@@ -1,0 +1,129 @@
+//! E8: the Set-Disjointness reductions — gadget scaling, iff-property
+//! spot checks, cut communication, and the implied lower bounds.
+//!
+//! ```text
+//! cargo run --release -p even-cycle-bench --bin lower_bounds
+//! ```
+
+use congest_graph::analysis;
+use congest_lowerbounds::disjointness::Disjointness;
+use congest_lowerbounds::gadgets::{C4Gadget, EvenCycleGadget, OddCycleGadget};
+use congest_lowerbounds::reduction::measure_even_detection;
+use congest_lowerbounds::theory;
+use even_cycle::Params;
+use even_cycle_bench::{render_table, Sample, Series};
+
+fn main() {
+    // Gadget scaling: fitted power laws N ~ n^alpha per family.
+    let c4: Vec<Sample> = [5u64, 7, 11, 13, 17, 23]
+        .iter()
+        .map(|&q| {
+            let g = C4Gadget::new(q);
+            Sample {
+                n: g.node_count(),
+                value: g.universe() as f64,
+            }
+        })
+        .collect();
+    println!(
+        "{}",
+        Series::fit("E8a — C4 gadget universe N(n), paper alpha = 1.5", c4).render()
+    );
+    let c6: Vec<Sample> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&s| {
+            let g = EvenCycleGadget::new(3, s);
+            // Vertices with all elements present: 4s + 2·s²·(k-2).
+            let inst = Disjointness::new(vec![true; s * s], vec![true; s * s]);
+            let built = g.build(&inst);
+            Sample {
+                n: built.graph.node_count(),
+                value: g.universe() as f64,
+            }
+        })
+        .collect();
+    println!(
+        "{}",
+        Series::fit("E8a — C6 gadget universe N(n), paper alpha = 1.0", c6).render()
+    );
+    let c5: Vec<Sample> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&t| {
+            let g = OddCycleGadget::new(2, t);
+            let inst = Disjointness::new(vec![true; t * t], vec![true; t * t]);
+            let built = g.build(&inst);
+            Sample {
+                n: built.graph.node_count(),
+                value: g.universe() as f64,
+            }
+        })
+        .collect();
+    println!(
+        "{}",
+        Series::fit("E8a — C5 gadget universe N(n), paper alpha = 2.0", c5).render()
+    );
+
+    // Iff-property spot checks at larger-than-test sizes.
+    let gadget = C4Gadget::new(13);
+    let mut ok = 0;
+    for seed in 0..6 {
+        let inst = Disjointness::random(gadget.universe(), 0.2, seed);
+        let built = gadget.build(&inst);
+        let has = analysis::has_cycle_exact(&built.graph, 4, Some(500_000_000));
+        assert_eq!(has, inst.intersects(), "iff violated at seed {seed}");
+        ok += 1;
+    }
+    println!("E8b — iff-property: {ok}/6 random instances over ER_13 agree (C4 ⇔ intersection)\n");
+
+    // Cut communication of Algorithm 1 on the gadget vs the protocol
+    // bound.
+    let mut rows = Vec::new();
+    for q in [7u64, 11, 13] {
+        let gadget = C4Gadget::new(q);
+        let (inst, _) = Disjointness::random_with_planted_intersection(gadget.universe(), 3);
+        let built = gadget.build(&inst);
+        let m = measure_even_detection(&built, &Params::practical(2).with_repetitions(16), 16, 2);
+        let n = built.graph.node_count();
+        rows.push(vec![
+            format!("ER_{q}"),
+            format!("{n}"),
+            format!("{}", m.rounds),
+            format!("{}", m.cut_bits()),
+            format!("{}", m.protocol_bound()),
+            format!("{}", gadget.universe()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E8c — cut communication of Algorithm 1 on the C4 gadget (16 iterations)",
+            &["base", "n", "rounds", "cut bits", "T*cut*logn", "N"],
+            &rows
+        )
+    );
+    println!("(The reduction says: an o(N/(cut·log n))-round algorithm would break the Ω(N) disjointness bound.)\n");
+
+    // Implied bounds at experiment scale and at paper scale.
+    let mut rows = Vec::new();
+    for exp in [10u32, 14, 20, 30] {
+        let n = 1usize << exp;
+        rows.push(vec![
+            format!("2^{exp}"),
+            format!("{:.1}", theory::c4_quantum_lower_bound(n)),
+            format!("{:.1}", theory::c2k_quantum_lower_bound(n)),
+            format!("{:.1}", theory::odd_quantum_lower_bound(n)),
+            format!(
+                "{:.1}",
+                even_cycle::theory::Table1Row::ThisPaperQuantum.rounds(n, 2)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E8d — implied quantum round lower bounds vs the C4 upper bound",
+            &["n", "C4 lower", "C2k lower", "C2k+1 lower", "C4 upper n^1/4"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,216 @@
+//! Regenerates Table 1: the round-complexity landscape, with measured
+//! scaling exponents next to the paper's theoretical ones.
+//!
+//! ```text
+//! cargo run --release -p even-cycle-bench --bin table1
+//! ```
+//!
+//! Prints (a) the full 16-row Table 1 with theory exponents and each
+//! row's status in this reproduction, and (b) measured scaling series
+//! with fitted exponents for every row we execute.
+
+use even_cycle::theory::Table1Row;
+use even_cycle_bench::{
+    c4_free_hosts, k3_hosts, measure_classical_per_iteration, measure_quantum_odd_rounds,
+    measure_quantum_rounds, render_table, sparse_hosts, Sample, Series,
+};
+
+fn main() {
+    // ---------- Part 1: the 16 rows with theory exponents ----------
+    let mut rows = Vec::new();
+    for row in Table1Row::ALL {
+        let k_shown = 3usize;
+        rows.push(vec![
+            row.label().to_string(),
+            if row.is_quantum() { "quantum" } else { "classical" }.to_string(),
+            if row.is_upper_bound() { "upper" } else { "lower" }.to_string(),
+            format!("n^{:.3} (k=3)", row.exponent(k_shown)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 1 — deciding C_k-freeness in CONGEST (exponents at k = 3)",
+            &["row", "model", "bound", "complexity"],
+            &rows
+        )
+    );
+
+    // ---------- Part 2: measured scaling ----------
+    println!("Measured scaling (per-coloring-iteration rounds; the paper's K is n-independent):\n");
+
+    // E1: this paper, k = 2, on extremal C4-free hosts.
+    let hosts = c4_free_hosts(&[11, 17, 23, 31]);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| Sample {
+            n: g.node_count(),
+            value: measure_classical_per_iteration(g, 2, 4, 11),
+        })
+        .collect();
+    let s = Series::fit("this paper, C4 (k=2), polarity hosts — theory n^0.5", samples);
+    println!("{}", s.render());
+
+    // E1-adversarial: funnel hosts drive the per-edge load of the second
+    // color-BFS to Θ(n·p) = Θ(n^{1-1/k}) — the worst case the threshold
+    // τ is sized for — so the measured rounds realize the Table 1
+    // exponent, not just bound it. The constant-scaled profile (see
+    // Params::with_probability_scale) moves the p = min(1, ·) clamp
+    // below the simulated sizes; exponents are unaffected.
+    for (k, sizes) in [
+        (2usize, [1024usize, 2048, 4096, 8192, 16384]),
+        (3, [4096, 8192, 16384, 32768, 65536]),
+    ] {
+        let samples: Vec<Sample> = sizes
+            .iter()
+            .map(|&n| {
+                let g = congest_graph::generators::funnel(n, 4, k);
+                let params = even_cycle::Params::practical(k)
+                    .with_repetitions(6)
+                    .with_probability_scale(0.3);
+                let det = even_cycle::CycleDetector::new(params);
+                let opts = even_cycle::RunOptions {
+                    continue_after_reject: true,
+                    ..Default::default()
+                };
+                let outcome = det.run_with(&g, 3, &opts);
+                // Congestion (max words on any edge in a round) is the
+                // floor-free proxy: the per-superstep round charge is
+                // exactly the max load, and the constant superstep floor
+                // washes out of the congestion statistic.
+                Sample {
+                    n,
+                    value: outcome.report.congestion.max_words_per_edge_step as f64,
+                }
+            })
+            .collect();
+        let s = Series::fit(
+            format!(
+                "this paper, C{} (k={k}), funnel-host peak congestion — theory n^{:.3}",
+                2 * k,
+                1.0 - 1.0 / k as f64
+            ),
+            samples,
+        );
+        println!("{}", s.render());
+    }
+
+    // E1: this paper, k = 3, on degree-n^{1/3} hosts.
+    let hosts = k3_hosts(&[128, 256, 512, 1024], 5);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| Sample {
+            n: g.node_count(),
+            value: measure_classical_per_iteration(g, 3, 4, 13),
+        })
+        .collect();
+    let s = Series::fit(
+        "this paper, C6 (k=3), n^{1/3}-regular hosts — theory n^0.667",
+        samples,
+    );
+    println!("{}", s.render());
+
+    // E2: the [10] local-threshold baseline at k = 2 (attempt count is
+    // the n-dependent factor; per-attempt cost is constant).
+    let hosts = c4_free_hosts(&[11, 17, 23, 31]);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| {
+            let det = congest_baselines::censor_hillel::LocalThresholdDetector::new(2)
+                .with_attempts(1.0, 1 << 20);
+            let o = det.run(g, 3);
+            Sample {
+                n: g.node_count(),
+                value: o.report.rounds as f64,
+            }
+        })
+        .collect();
+    let s = Series::fit("[10] local threshold, C4 — theory n^0.5", samples);
+    println!("{}", s.render());
+
+    // E2: deterministic gathering baseline (odd rows' Θ̃(n) on sparse
+    // hosts).
+    let hosts = sparse_hosts(&[64, 128, 256, 512], 9);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| {
+            let o = congest_baselines::deterministic::gather_and_decide(g, 5, 0)
+                .expect("gather cannot fail");
+            Sample {
+                n: g.node_count(),
+                value: o.report.rounds as f64,
+            }
+        })
+        .collect();
+    let s = Series::fit("[15,30] deterministic gather (sparse) — theory n^1", samples);
+    println!("{}", s.render());
+
+    // E3: quantum pipeline, k = 2 — theory n^{1/4} (+ polylog).
+    let hosts = sparse_hosts(&[128, 256, 512, 1024, 2048], 21);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| Sample {
+            n: g.node_count(),
+            value: measure_quantum_rounds(g, 2, 17),
+        })
+        .collect();
+    let s = Series::fit("this paper quantum, C4 (k=2) — theory n^0.25·polylog", samples);
+    println!("{}", s.render());
+
+    // E3: quantum pipeline, k = 3 — theory n^{1/3} (+ polylog).
+    let hosts = sparse_hosts(&[128, 256, 512, 1024, 2048], 23);
+    let samples: Vec<Sample> = hosts
+        .iter()
+        .map(|g| Sample {
+            n: g.node_count(),
+            value: measure_quantum_rounds(g, 3, 19),
+        })
+        .collect();
+    let s = Series::fit(
+        "this paper quantum, C6 (k=3) — theory n^0.333·polylog",
+        samples,
+    );
+    println!("{}", s.render());
+
+    // E9: quantum odd cycles — theory √n.
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let samples: Vec<Sample> = sizes
+        .iter()
+        .map(|&n| {
+            let g = congest_graph::generators::random_bipartite(n / 2, n / 2, 0.05, 31);
+            Sample {
+                n,
+                value: measure_quantum_odd_rounds(&g, 2, 29),
+            }
+        })
+        .collect();
+    let s = Series::fit("this paper quantum, C5 (k=2 odd) — theory n^0.5·polylog", samples);
+    println!("{}", s.render());
+
+    // E10: our quantum F2k exponent vs [33] (model comparison).
+    println!("Quantum F_2k model comparison (rounds at n = 2^20):");
+    for k in [2usize, 3, 4, 5] {
+        let ours = Table1Row::ThisPaperQuantumF2k.rounds(1 << 20, k);
+        let theirs = congest_baselines::apeldoorn_devos::ApeldoornDeVosModel::new(k)
+            .round_bound(1 << 20);
+        println!(
+            "  k = {k}: ours n^{:.3} = {ours:>10.0}   [33] n^{:.3} = {theirs:>10.0}   ({:.2}x)",
+            Table1Row::ThisPaperQuantumF2k.exponent(k),
+            0.5 - 1.0 / (4.0 * k as f64 + 2.0),
+            theirs / ours
+        );
+    }
+
+    // E2: the k ≥ 6 crossover against Eden et al.
+    println!("\nClassical exponent landscape (ours vs [16], the k >= 6 improvement):");
+    for k in [3usize, 4, 5, 6, 7, 8, 10, 12] {
+        let ours = Table1Row::ThisPaperClassical.exponent(k);
+        let eden = if k % 2 == 0 {
+            Table1Row::EdenEvenK.exponent(k)
+        } else {
+            Table1Row::EdenOddK.exponent(k)
+        };
+        let status = if k <= 5 { "[10] already matched" } else { "this paper improves" };
+        println!("  k = {k:>2}: ours n^{ours:.4}   [16] n^{eden:.4}   {status}");
+    }
+}

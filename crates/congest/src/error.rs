@@ -1,0 +1,63 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::NodeId;
+
+/// Errors surfaced by the CONGEST executors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node attempted to send a message to a vertex it has no edge to —
+    /// physically impossible in the model.
+    NotANeighbor {
+        /// The sending node.
+        from: NodeId,
+        /// The illegal destination.
+        to: NodeId,
+    },
+    /// The superstep limit was reached with nodes still running; the
+    /// algorithm did not terminate.
+    StepLimitExceeded {
+        /// The limit that tripped.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotANeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "superstep limit {limit} exceeded without termination")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::NotANeighbor {
+            from: NodeId::new(1),
+            to: NodeId::new(5),
+        };
+        assert!(e.to_string().contains("non-neighbor"));
+        let e = SimError::StepLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

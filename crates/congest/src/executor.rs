@@ -1,0 +1,504 @@
+//! The logical-superstep executor.
+
+use congest_graph::{Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cut::CutMeter;
+use crate::derive_seed;
+use crate::error::SimError;
+use crate::message::MessageSize;
+use crate::metrics::{CongestionStats, RunReport};
+use crate::program::{Control, Ctx, Decision, Outbox, Program};
+
+/// Executes a [`Program`] on every vertex of a network in synchronous
+/// supersteps, charging CONGEST rounds from per-edge word loads.
+///
+/// One superstep = one algorithm step at every live node. A superstep in
+/// which the most loaded directed edge carries `w` words costs
+/// `max(1, ⌈w/B⌉)` rounds, where `B` is the bandwidth
+/// ([`Executor::set_bandwidth`], default 1 word = one `O(log n)`-bit
+/// message per edge per round, the classical CONGEST budget).
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct Executor<'g, P: Program> {
+    graph: &'g Graph,
+    seed: u64,
+    bandwidth: u64,
+    cut: Option<CutMeter>,
+    nodes: Vec<P>,
+}
+
+impl<'g, P: Program> Executor<'g, P> {
+    /// Creates an executor on `graph`; all node randomness derives from
+    /// `seed`.
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        Executor {
+            graph,
+            seed,
+            bandwidth: 1,
+            cut: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-edge bandwidth in words per round (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    pub fn set_bandwidth(&mut self, bandwidth: u64) -> &mut Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Installs a [`CutMeter`]; the run report will include the words that
+    /// crossed it.
+    pub fn set_cut(&mut self, cut: CutMeter) -> &mut Self {
+        self.cut = Some(cut);
+        self
+    }
+
+    /// The per-node program states after the last [`Executor::run`]
+    /// (empty before the first run). Indexed by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Runs the program to completion (all nodes halted).
+    ///
+    /// `factory(v, n)` builds the program instance for vertex `v`;
+    /// capture per-node inputs (set memberships, colorings, …) in the
+    /// closure.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotANeighbor`] if a node sends to a non-neighbor;
+    /// [`SimError::StepLimitExceeded`] if any node is still running after
+    /// `max_supersteps`.
+    pub fn run<F>(&mut self, mut factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
+    where
+        F: FnMut(NodeId, usize) -> P,
+    {
+        let n = self.graph.node_count();
+        self.nodes = (0..n as u32)
+            .map(|v| factory(NodeId::new(v), n))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
+            .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
+            .collect();
+
+        let mut halted = vec![false; n];
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut stats = CongestionStats::default();
+        let mut cut_words: u64 = if self.cut.is_some() { 0 } else { u64::MAX };
+        let mut edge_words: Vec<u64> = vec![0; self.graph.directed_edge_count()];
+        let mut touched_edges: Vec<usize> = Vec::new();
+
+        let mut rounds: u64 = 0;
+        let mut supersteps: u64 = 0;
+
+        // Init phase: superstep-0 sends.
+        let mut pending: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut out = Outbox::new();
+            let mut ctx = Ctx {
+                node: NodeId::new(v as u32),
+                n,
+                neighbors: self.graph.neighbors(NodeId::new(v as u32)),
+                rng: &mut rngs[v],
+            };
+            self.nodes[v].init(&mut ctx, &mut out);
+            pending.push(out);
+        }
+        let any_sent = pending.iter().any(|o| !o.is_empty());
+        if any_sent {
+            rounds += self.deliver(
+                &mut pending,
+                &mut inboxes,
+                &mut stats,
+                &mut cut_words,
+                &mut edge_words,
+                &mut touched_edges,
+            )?;
+        }
+
+        loop {
+            let all_halted = halted.iter().all(|&h| h);
+            let inbox_empty = inboxes.iter().all(Vec::is_empty);
+            if all_halted && inbox_empty {
+                break;
+            }
+            if supersteps >= max_supersteps {
+                return Err(SimError::StepLimitExceeded {
+                    limit: max_supersteps,
+                });
+            }
+
+            pending.clear();
+            for v in 0..n {
+                let mut out = Outbox::new();
+                if !halted[v] {
+                    let inbox = std::mem::take(&mut inboxes[v]);
+                    let mut ctx = Ctx {
+                        node: NodeId::new(v as u32),
+                        n,
+                        neighbors: self.graph.neighbors(NodeId::new(v as u32)),
+                        rng: &mut rngs[v],
+                    };
+                    let control =
+                        self.nodes[v].step(&mut ctx, supersteps as usize, &inbox, &mut out);
+                    if control == Control::Halt {
+                        halted[v] = true;
+                    }
+                } else {
+                    // Messages to halted nodes are dropped.
+                    inboxes[v].clear();
+                }
+                pending.push(out);
+            }
+            supersteps += 1;
+            rounds += self.deliver(
+                &mut pending,
+                &mut inboxes,
+                &mut stats,
+                &mut cut_words,
+                &mut edge_words,
+                &mut touched_edges,
+            )?;
+        }
+
+        let rejecting_nodes: Vec<u32> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.decision() == Decision::Reject)
+            .map(|(v, _)| v as u32)
+            .collect();
+        let decision = if rejecting_nodes.is_empty() {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        };
+        Ok(RunReport {
+            rounds,
+            supersteps,
+            congestion: stats,
+            decision,
+            rejecting_nodes,
+            cut_words: self.cut.as_ref().map(|_| cut_words),
+        })
+    }
+
+    /// Delivers all pending outboxes, returning the round cost of the
+    /// superstep: `max(1, max_edge ⌈words/B⌉)`.
+    fn deliver(
+        &self,
+        pending: &mut [Outbox<P::Msg>],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        stats: &mut CongestionStats,
+        cut_words: &mut u64,
+        edge_words: &mut [u64],
+        touched_edges: &mut Vec<usize>,
+    ) -> Result<u64, SimError> {
+        for &e in touched_edges.iter() {
+            edge_words[e] = 0;
+        }
+        touched_edges.clear();
+
+        let mut account = |from: NodeId, to: NodeId, words: u64| -> Result<(), SimError> {
+            let idx = self
+                .graph
+                .directed_edge_index(from, to)
+                .ok_or(SimError::NotANeighbor { from, to })?;
+            if edge_words[idx] == 0 {
+                touched_edges.push(idx);
+            }
+            edge_words[idx] += words;
+            stats.total_words += words;
+            stats.total_messages += 1;
+            if let Some(cut) = &self.cut {
+                if cut.crosses(from, to) {
+                    *cut_words += words;
+                }
+            }
+            Ok(())
+        };
+
+        for (v, out) in pending.iter().enumerate() {
+            let from = NodeId::new(v as u32);
+            if let Some(msg) = &out.broadcast {
+                let words = msg.words() as u64;
+                for &to in self.graph.neighbors(from) {
+                    account(from, to, words)?;
+                }
+            }
+            for (to, msg) in &out.messages {
+                account(from, *to, msg.words() as u64)?;
+            }
+        }
+
+        // Deliver (sender order => deterministic inbox order).
+        for (v, out) in pending.iter_mut().enumerate() {
+            let from = NodeId::new(v as u32);
+            if let Some(msg) = out.broadcast.take() {
+                for &to in self.graph.neighbors(from) {
+                    inboxes[to.index()].push((from, msg.clone()));
+                }
+            }
+            for (to, msg) in out.messages.drain(..) {
+                inboxes[to.index()].push((from, msg));
+            }
+        }
+
+        let max_load = touched_edges
+            .iter()
+            .map(|&e| edge_words[e])
+            .max()
+            .unwrap_or(0);
+        stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
+        Ok(max_load.div_ceil(self.bandwidth).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// Every node broadcasts its id once, then halts after hearing all
+    /// neighbors.
+    struct HelloOnce {
+        heard: Vec<NodeId>,
+    }
+
+    impl Program for HelloOnce {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u32>) {
+            out.broadcast(ctx.node.raw());
+        }
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            _s: usize,
+            inbox: &[(NodeId, u32)],
+            _out: &mut Outbox<u32>,
+        ) -> Control {
+            self.heard.extend(inbox.iter().map(|&(f, _)| f));
+            Control::Halt
+        }
+    }
+
+    #[test]
+    fn hello_exchanges_with_all_neighbors() {
+        let g = generators::cycle(5);
+        let mut exec = Executor::new(&g, 1);
+        let report = exec
+            .run(|_, _| HelloOnce { heard: vec![] }, 10)
+            .unwrap();
+        assert_eq!(report.supersteps, 1);
+        assert_eq!(report.rounds, 2, "init round + one silent step round");
+        assert_eq!(report.congestion.max_words_per_edge_step, 1);
+        assert_eq!(report.congestion.total_messages, 10); // 5 nodes × 2 nbrs
+        for (v, p) in exec.nodes().iter().enumerate() {
+            let mut heard: Vec<u32> = p.heard.iter().map(|x| x.raw()).collect();
+            heard.sort_unstable();
+            let mut expected: Vec<u32> = g
+                .neighbors(NodeId::new(v as u32))
+                .iter()
+                .map(|x| x.raw())
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(heard, expected);
+        }
+    }
+
+    /// Sends a `size`-word message to the first neighbor, once.
+    struct BigSend {
+        size: usize,
+    }
+
+    impl Program for BigSend {
+        type Msg = Vec<u32>;
+        fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<Vec<u32>>) {
+            if ctx.node.raw() == 0 {
+                out.send(ctx.neighbors[0], vec![7; self.size]);
+            }
+        }
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            _s: usize,
+            _inbox: &[(NodeId, Vec<u32>)],
+            _out: &mut Outbox<Vec<u32>>,
+        ) -> Control {
+            Control::Halt
+        }
+    }
+
+    #[test]
+    fn round_cost_scales_with_message_size() {
+        let g = generators::path(3);
+        let mut exec = Executor::new(&g, 0);
+        let report = exec.run(|_, _| BigSend { size: 10 }, 10).unwrap();
+        // init superstep costs ceil(10/1) = 10 rounds, final silent step 1.
+        assert_eq!(report.rounds, 11);
+        assert_eq!(report.congestion.max_words_per_edge_step, 10);
+
+        let mut exec = Executor::new(&g, 0);
+        exec.set_bandwidth(4);
+        let report = exec.run(|_, _| BigSend { size: 10 }, 10).unwrap();
+        assert_eq!(report.rounds, 3 + 1, "ceil(10/4) + silent step");
+    }
+
+    /// Illegally sends to a fixed non-neighbor.
+    struct BadSender;
+
+    impl Program for BadSender {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u32>) {
+            if ctx.node.raw() == 0 {
+                out.send(NodeId::new(2), 1); // 0-2 is not an edge of P3
+            }
+        }
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            _s: usize,
+            _inbox: &[(NodeId, u32)],
+            _out: &mut Outbox<u32>,
+        ) -> Control {
+            Control::Halt
+        }
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_errors() {
+        let g = generators::path(3); // edges 0-1, 1-2
+        let mut exec = Executor::new(&g, 0);
+        let err = exec.run(|_, _| BadSender, 10).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NotANeighbor {
+                from: NodeId::new(0),
+                to: NodeId::new(2)
+            }
+        );
+    }
+
+    /// Never halts.
+    struct Forever;
+
+    impl Program for Forever {
+        type Msg = u32;
+        fn init(&mut self, _ctx: &mut Ctx, _out: &mut Outbox<u32>) {}
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            _s: usize,
+            _inbox: &[(NodeId, u32)],
+            _out: &mut Outbox<u32>,
+        ) -> Control {
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn step_limit_trips() {
+        let g = generators::path(2);
+        let mut exec = Executor::new(&g, 0);
+        let err = exec.run(|_, _| Forever, 5).unwrap_err();
+        assert_eq!(err, SimError::StepLimitExceeded { limit: 5 });
+    }
+
+    /// Rejects iff the node id is odd.
+    struct OddRejects {
+        me: u32,
+    }
+
+    impl Program for OddRejects {
+        type Msg = u32;
+        fn init(&mut self, _ctx: &mut Ctx, _out: &mut Outbox<u32>) {}
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            _s: usize,
+            _inbox: &[(NodeId, u32)],
+            _out: &mut Outbox<u32>,
+        ) -> Control {
+            Control::Halt
+        }
+        fn decision(&self) -> Decision {
+            if self.me % 2 == 1 {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_aggregate() {
+        let g = generators::path(4);
+        let mut exec = Executor::new(&g, 0);
+        let report = exec.run(|v, _| OddRejects { me: v.raw() }, 10).unwrap();
+        assert!(report.rejected());
+        assert_eq!(report.rejecting_nodes, vec![1, 3]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use rand::Rng;
+
+        /// Broadcasts a random coin for three steps.
+        struct Coins {
+            log: Vec<u32>,
+        }
+        impl Program for Coins {
+            type Msg = u32;
+            fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u32>) {
+                out.broadcast(ctx.rng.gen_range(0..1000));
+            }
+            fn step(
+                &mut self,
+                ctx: &mut Ctx,
+                s: usize,
+                inbox: &[(NodeId, u32)],
+                out: &mut Outbox<u32>,
+            ) -> Control {
+                self.log.extend(inbox.iter().map(|&(_, m)| m));
+                if s < 2 {
+                    out.broadcast(ctx.rng.gen_range(0..1000));
+                    Control::Continue
+                } else {
+                    Control::Halt
+                }
+            }
+        }
+
+        let g = generators::erdos_renyi(20, 0.2, 3);
+        let run = |seed: u64| {
+            let mut exec = Executor::new(&g, seed);
+            exec.run(|_, _| Coins { log: vec![] }, 20).unwrap();
+            exec.nodes()
+                .iter()
+                .map(|p| p.log.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same seed, same transcript");
+        assert_ne!(run(5), run(6), "different seed, different transcript");
+    }
+
+    #[test]
+    fn cut_meter_counts() {
+        let g = generators::path(4); // 0-1-2-3, cut between 1 and 2
+        let mut exec = Executor::new(&g, 0);
+        exec.set_cut(CutMeter::new(&g, vec![false, false, true, true]));
+        let report = exec.run(|_, _| HelloOnce { heard: vec![] }, 10).unwrap();
+        // Each endpoint of edge 1-2 broadcast 1 word across the cut.
+        assert_eq!(report.cut_words, Some(2));
+        assert_eq!(report.cut_bits(2), Some(4));
+    }
+}

@@ -1,0 +1,91 @@
+//! Message size accounting.
+
+use congest_graph::NodeId;
+
+/// Size of a message in CONGEST *words*.
+///
+/// One word is one `O(log n)`-bit unit — exactly enough for a node
+/// identifier, the currency of every algorithm in the paper. A message of
+/// `w` words needs `⌈w/B⌉` rounds on an edge of bandwidth `B` words/round.
+///
+/// The empty message still costs one word (a round in which a node sends
+/// *something* occupies the edge).
+pub trait MessageSize {
+    /// The number of words this message occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl MessageSize for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u64 {
+    fn words(&self) -> usize {
+        // Two identifiers' worth on 32-bit-id networks; still O(log n).
+        1
+    }
+}
+
+impl MessageSize for NodeId {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(MessageSize::words).sum::<usize>().max(1)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn words(&self) -> usize {
+        self.as_ref().map_or(1, MessageSize::words)
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl MessageSize for bool {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for () {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(5u32.words(), 1);
+        assert_eq!(NodeId::new(9).words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!(().words(), 1);
+    }
+
+    #[test]
+    fn vector_sizes() {
+        assert_eq!(vec![1u32, 2, 3].words(), 3);
+        assert_eq!(Vec::<u32>::new().words(), 1, "empty message still costs a word");
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((NodeId::new(1), vec![2u32, 3]).words(), 3);
+        assert_eq!(Some(vec![1u32, 2]).words(), 2);
+        assert_eq!(None::<u32>.words(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Round, message, and congestion accounting.
+
+use crate::program::Decision;
+
+/// Congestion statistics of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CongestionStats {
+    /// Maximum words carried by any directed edge in any single superstep
+    /// — the quantity the paper's threshold `τ` bounds.
+    pub max_words_per_edge_step: u64,
+    /// Total words sent over all edges and supersteps.
+    pub total_words: u64,
+    /// Total number of point-to-point messages (a broadcast to `d`
+    /// neighbors counts `d`).
+    pub total_messages: u64,
+}
+
+/// The result of executing a [`crate::Program`] on a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// CONGEST rounds charged: `Σ_steps max_edge ⌈words/B⌉` (each
+    /// superstep costs at least one round).
+    pub rounds: u64,
+    /// Number of supersteps executed (algorithm steps).
+    pub supersteps: u64,
+    /// Congestion statistics.
+    pub congestion: CongestionStats,
+    /// The global decision: `Reject` iff at least one node rejected.
+    pub decision: Decision,
+    /// Ids (raw) of all rejecting nodes.
+    pub rejecting_nodes: Vec<u32>,
+    /// Words that crossed the metered cut, if a cut was installed.
+    pub cut_words: Option<u64>,
+}
+
+impl RunReport {
+    /// Whether at least one node rejected.
+    pub fn rejected(&self) -> bool {
+        self.decision == Decision::Reject
+    }
+
+    /// Bits across the metered cut, assuming `bits_per_word` bits per
+    /// word (callers typically pass `⌈log₂ n⌉`).
+    pub fn cut_bits(&self, bits_per_word: u32) -> Option<u64> {
+        self.cut_words.map(|w| w * u64::from(bits_per_word))
+    }
+
+    /// Merges another report into this one, summing costs and combining
+    /// decisions (reject dominates). Used by multi-phase drivers that run
+    /// several programs back to back.
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.rounds += other.rounds;
+        self.supersteps += other.supersteps;
+        self.congestion.max_words_per_edge_step = self
+            .congestion
+            .max_words_per_edge_step
+            .max(other.congestion.max_words_per_edge_step);
+        self.congestion.total_words += other.congestion.total_words;
+        self.congestion.total_messages += other.congestion.total_messages;
+        if other.decision == Decision::Reject {
+            self.decision = Decision::Reject;
+            self.rejecting_nodes
+                .extend_from_slice(&other.rejecting_nodes);
+        }
+        self.cut_words = match (self.cut_words, other.cut_words) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// An empty (accepting, zero-cost) report, the identity of
+    /// [`RunReport::absorb`].
+    pub fn empty() -> RunReport {
+        RunReport {
+            rounds: 0,
+            supersteps: 0,
+            congestion: CongestionStats::default(),
+            decision: Decision::Accept,
+            rejecting_nodes: Vec::new(),
+            cut_words: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rounds: u64, decision: Decision) -> RunReport {
+        RunReport {
+            rounds,
+            supersteps: rounds,
+            congestion: CongestionStats {
+                max_words_per_edge_step: rounds,
+                total_words: 10 * rounds,
+                total_messages: rounds,
+            },
+            decision,
+            rejecting_nodes: if decision == Decision::Reject {
+                vec![1]
+            } else {
+                vec![]
+            },
+            cut_words: None,
+        }
+    }
+
+    #[test]
+    fn absorb_sums_and_combines() {
+        let mut a = report(3, Decision::Accept);
+        let b = report(5, Decision::Reject);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 8);
+        assert_eq!(a.congestion.max_words_per_edge_step, 5);
+        assert_eq!(a.congestion.total_words, 80);
+        assert!(a.rejected());
+        assert_eq!(a.rejecting_nodes, vec![1]);
+    }
+
+    #[test]
+    fn absorb_identity() {
+        let mut a = RunReport::empty();
+        let b = report(4, Decision::Accept);
+        a.absorb(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cut_bits_scaling() {
+        let mut r = RunReport::empty();
+        r.cut_words = Some(12);
+        assert_eq!(r.cut_bits(10), Some(120));
+        assert_eq!(RunReport::empty().cut_bits(10), None);
+    }
+
+    #[test]
+    fn absorb_cut_words() {
+        let mut a = RunReport::empty();
+        a.cut_words = Some(5);
+        let mut b = RunReport::empty();
+        b.cut_words = Some(7);
+        a.absorb(&b);
+        assert_eq!(a.cut_words, Some(12));
+    }
+}

@@ -1,0 +1,383 @@
+//! A multi-threaded executor with the exact semantics of
+//! [`crate::Executor`].
+//!
+//! Node steps within a superstep are independent by definition of the
+//! synchronous model, so they parallelize embarrassingly; determinism is
+//! preserved because (a) each node's randomness is its own seeded
+//! stream, and (b) message delivery is ordered by sender id regardless
+//! of which thread produced the outbox. Tests assert transcript-level
+//! equivalence with the sequential executor.
+
+use congest_graph::{Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::derive_seed;
+use crate::error::SimError;
+use crate::message::MessageSize;
+use crate::metrics::{CongestionStats, RunReport};
+use crate::program::{Control, Ctx, Decision, Outbox, Program};
+
+/// A parallel CONGEST executor; see [`crate::Executor`] for the model
+/// semantics. Programs must be `Send` (they live on worker threads).
+#[derive(Debug)]
+pub struct ParallelExecutor<'g, P: Program> {
+    graph: &'g Graph,
+    seed: u64,
+    bandwidth: u64,
+    threads: usize,
+    nodes: Vec<P>,
+}
+
+impl<'g, P: Program + Send> ParallelExecutor<'g, P>
+where
+    P::Msg: Send,
+{
+    /// Creates a parallel executor with as many workers as available
+    /// parallelism (at least 1).
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        ParallelExecutor {
+            graph,
+            seed,
+            bandwidth: 1,
+            threads,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-edge bandwidth in words per round (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    pub fn set_bandwidth(&mut self, bandwidth: u64) -> &mut Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// The per-node program states after the last run.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Runs the program to completion; semantics identical to
+    /// [`crate::Executor::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::Executor::run`].
+    pub fn run<F>(&mut self, mut factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
+    where
+        F: FnMut(NodeId, usize) -> P,
+    {
+        let n = self.graph.node_count();
+        self.nodes = (0..n as u32)
+            .map(|v| factory(NodeId::new(v), n))
+            .collect();
+        let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
+            .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
+            .collect();
+
+        let mut halted = vec![false; n];
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut stats = CongestionStats::default();
+        let mut edge_words: Vec<u64> = vec![0; self.graph.directed_edge_count()];
+        let mut rounds: u64 = 0;
+        let mut supersteps: u64 = 0;
+
+        // Init phase (parallel over nodes).
+        let mut pending = self.parallel_phase(&mut rngs, &mut halted, &mut inboxes, None)?;
+        if pending.iter().any(|o| !o.is_empty()) {
+            rounds += self.deliver(&mut pending, &mut inboxes, &mut stats, &mut edge_words)?;
+        }
+
+        loop {
+            let all_halted = halted.iter().all(|&h| h);
+            let inbox_empty = inboxes.iter().all(Vec::is_empty);
+            if all_halted && inbox_empty {
+                break;
+            }
+            if supersteps >= max_supersteps {
+                return Err(SimError::StepLimitExceeded {
+                    limit: max_supersteps,
+                });
+            }
+            let mut pending = self.parallel_phase(
+                &mut rngs,
+                &mut halted,
+                &mut inboxes,
+                Some(supersteps as usize),
+            )?;
+            supersteps += 1;
+            rounds += self.deliver(&mut pending, &mut inboxes, &mut stats, &mut edge_words)?;
+        }
+
+        let rejecting_nodes: Vec<u32> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.decision() == Decision::Reject)
+            .map(|(v, _)| v as u32)
+            .collect();
+        let decision = if rejecting_nodes.is_empty() {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        };
+        Ok(RunReport {
+            rounds,
+            supersteps,
+            congestion: stats,
+            decision,
+            rejecting_nodes,
+            cut_words: None,
+        })
+    }
+
+    /// Steps all live nodes (or inits them when `superstep` is `None`)
+    /// across worker threads; returns the outboxes in node order.
+    fn parallel_phase(
+        &mut self,
+        rngs: &mut [ChaCha8Rng],
+        halted: &mut [bool],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        superstep: Option<usize>,
+    ) -> Result<Vec<Outbox<P::Msg>>, SimError> {
+        let n = self.graph.node_count();
+        let graph = self.graph;
+        let chunk = n.div_ceil(self.threads).max(1);
+
+        let mut outboxes: Vec<Outbox<P::Msg>> = (0..n).map(|_| Outbox::new()).collect();
+        // Split all per-node state into disjoint chunks for the workers.
+        let node_chunks = self.nodes.chunks_mut(chunk);
+        let rng_chunks = rngs.chunks_mut(chunk);
+        let halted_chunks = halted.chunks_mut(chunk);
+        let inbox_chunks = inboxes.chunks_mut(chunk);
+        let out_chunks = outboxes.chunks_mut(chunk);
+
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in node_chunks
+                .zip(rng_chunks)
+                .zip(halted_chunks)
+                .zip(inbox_chunks)
+                .zip(out_chunks)
+                .enumerate()
+            {
+                let base = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    for (off, node) in nodes.iter_mut().enumerate() {
+                        let v = base + off;
+                        let id = NodeId::new(v as u32);
+                        let mut ctx = Ctx {
+                            node: id,
+                            n,
+                            neighbors: graph.neighbors(id),
+                            rng: &mut rngs[off],
+                        };
+                        match superstep {
+                            None => node.init(&mut ctx, &mut outs[off]),
+                            Some(s) => {
+                                if halted[off] {
+                                    inboxes[off].clear();
+                                    continue;
+                                }
+                                let inbox = std::mem::take(&mut inboxes[off]);
+                                if node.step(&mut ctx, s, &inbox, &mut outs[off])
+                                    == Control::Halt
+                                {
+                                    halted[off] = true;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        Ok(outboxes)
+    }
+
+    /// Sequential delivery in sender order (identical to the sequential
+    /// executor's, so transcripts match bit for bit).
+    fn deliver(
+        &self,
+        pending: &mut [Outbox<P::Msg>],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        stats: &mut CongestionStats,
+        edge_words: &mut [u64],
+    ) -> Result<u64, SimError> {
+        for w in edge_words.iter_mut() {
+            *w = 0;
+        }
+        let mut max_load = 0u64;
+        for (v, out) in pending.iter().enumerate() {
+            let from = NodeId::new(v as u32);
+            if let Some(msg) = &out.broadcast {
+                let words = msg.words() as u64;
+                for &to in self.graph.neighbors(from) {
+                    let idx = self
+                        .graph
+                        .directed_edge_index(from, to)
+                        .ok_or(SimError::NotANeighbor { from, to })?;
+                    edge_words[idx] += words;
+                    max_load = max_load.max(edge_words[idx]);
+                    stats.total_words += words;
+                    stats.total_messages += 1;
+                }
+            }
+            for (to, msg) in &out.messages {
+                let idx = self
+                    .graph
+                    .directed_edge_index(from, *to)
+                    .ok_or(SimError::NotANeighbor { from, to: *to })?;
+                let words = msg.words() as u64;
+                edge_words[idx] += words;
+                max_load = max_load.max(edge_words[idx]);
+                stats.total_words += words;
+                stats.total_messages += 1;
+            }
+        }
+        stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
+        for (v, out) in pending.iter_mut().enumerate() {
+            let from = NodeId::new(v as u32);
+            if let Some(msg) = out.broadcast.take() {
+                for &to in self.graph.neighbors(from) {
+                    inboxes[to.index()].push((from, msg.clone()));
+                }
+            }
+            for (to, msg) in out.messages.drain(..) {
+                inboxes[to.index()].push((from, msg));
+            }
+        }
+        Ok(max_load.div_ceil(self.bandwidth).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+    use congest_graph::generators;
+    use rand::Rng;
+
+    /// Gossip a random token for a few steps (exercises rng, inboxes,
+    /// and halting).
+    #[derive(Debug)]
+    struct Gossip {
+        steps: usize,
+        log: Vec<(u32, u32)>,
+    }
+
+    impl Program for Gossip {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u32>) {
+            out.broadcast(ctx.rng.gen_range(0..1_000_000));
+        }
+        fn step(
+            &mut self,
+            ctx: &mut Ctx,
+            s: usize,
+            inbox: &[(NodeId, u32)],
+            out: &mut Outbox<u32>,
+        ) -> Control {
+            for &(from, m) in inbox {
+                self.log.push((from.raw(), m));
+            }
+            if s + 1 < self.steps {
+                out.broadcast(ctx.rng.gen_range(0..1_000_000));
+                Control::Continue
+            } else {
+                Control::Halt
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_transcripts() {
+        for seed in 0..4u64 {
+            let g = generators::erdos_renyi(60, 0.1, seed);
+            let mut seq = Executor::new(&g, seed);
+            let sr = seq
+                .run(
+                    |_, _| Gossip {
+                        steps: 5,
+                        log: vec![],
+                    },
+                    16,
+                )
+                .unwrap();
+            let mut par = ParallelExecutor::new(&g, seed);
+            par.set_threads(4);
+            let pr = par
+                .run(
+                    |_, _| Gossip {
+                        steps: 5,
+                        log: vec![],
+                    },
+                    16,
+                )
+                .unwrap();
+            assert_eq!(sr.rounds, pr.rounds, "seed {seed}");
+            assert_eq!(sr.supersteps, pr.supersteps);
+            assert_eq!(sr.congestion, pr.congestion);
+            let sl: Vec<_> = seq.nodes().iter().map(|p| p.log.clone()).collect();
+            let pl: Vec<_> = par.nodes().iter().map(|p| p.log.clone()).collect();
+            assert_eq!(sl, pl, "transcripts must match bit for bit");
+        }
+    }
+
+    #[test]
+    fn parallel_with_single_thread() {
+        let g = generators::cycle(12);
+        let mut par = ParallelExecutor::new(&g, 1);
+        par.set_threads(1);
+        let r = par
+            .run(
+                |_, _| Gossip {
+                    steps: 3,
+                    log: vec![],
+                },
+                8,
+            )
+            .unwrap();
+        assert_eq!(r.supersteps, 3);
+    }
+
+    #[test]
+    fn parallel_step_limit() {
+        #[derive(Debug)]
+        struct Forever;
+        impl Program for Forever {
+            type Msg = u32;
+            fn init(&mut self, _c: &mut Ctx, _o: &mut Outbox<u32>) {}
+            fn step(
+                &mut self,
+                _c: &mut Ctx,
+                _s: usize,
+                _i: &[(NodeId, u32)],
+                _o: &mut Outbox<u32>,
+            ) -> Control {
+                Control::Continue
+            }
+        }
+        let g = generators::path(4);
+        let mut par = ParallelExecutor::new(&g, 0);
+        let err = par.run(|_, _| Forever, 3).unwrap_err();
+        assert_eq!(err, SimError::StepLimitExceeded { limit: 3 });
+    }
+}

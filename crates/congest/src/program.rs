@@ -1,0 +1,138 @@
+//! Node programs: the local algorithms run by each vertex.
+
+use congest_graph::NodeId;
+use rand_chacha::ChaCha8Rng;
+
+use crate::message::MessageSize;
+
+/// The local view a node has of the network — everything a CONGEST
+/// algorithm is allowed to know before communicating.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// This node's identifier.
+    pub node: NodeId,
+    /// The total number of vertices `n` (standard prior knowledge in the
+    /// paper: "the only prior knowledge given to each node … is the size
+    /// `n = |V|` of the input graph").
+    pub n: usize,
+    /// The identifiers of this node's neighbors (sorted).
+    pub neighbors: &'a [NodeId],
+    /// Private per-node randomness, derived from the master seed.
+    pub rng: &'a mut ChaCha8Rng,
+}
+
+impl Ctx<'_> {
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// Whether a node keeps participating after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Control {
+    /// Keep stepping.
+    Continue,
+    /// Stop; the node will not be stepped again (its queued messages are
+    /// still delivered to neighbors).
+    Halt,
+}
+
+/// A node's final verdict, following the paper's decision rule: the graph
+/// is declared `H`-free iff *all* nodes accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Decision {
+    /// The node found no evidence of the forbidden subgraph.
+    #[default]
+    Accept,
+    /// The node found the forbidden subgraph.
+    Reject,
+}
+
+/// Messages queued by a node during one superstep.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    pub(crate) messages: Vec<(NodeId, M)>,
+    pub(crate) broadcast: Option<M>,
+}
+
+impl<M: Clone + MessageSize> Outbox<M> {
+    pub(crate) fn new() -> Self {
+        Outbox {
+            messages: Vec::new(),
+            broadcast: None,
+        }
+    }
+
+    /// Queues `msg` for delivery to neighbor `to` at the next superstep.
+    ///
+    /// `to` must be a neighbor; this is validated at collection time and
+    /// violations surface as [`crate::SimError::NotANeighbor`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.messages.push((to, msg));
+    }
+
+    /// Queues `msg` for delivery to *all* neighbors.
+    ///
+    /// Cheaper than `send`-ing in a loop and matches the broadcast-CONGEST
+    /// primitive used by several baselines.
+    pub fn broadcast(&mut self, msg: M) {
+        self.broadcast = Some(msg);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.messages.is_empty() && self.broadcast.is_none()
+    }
+}
+
+/// A CONGEST node program.
+///
+/// One value of the implementing type runs at *each* vertex. The executor
+/// calls [`Program::init`] once (superstep 0 sends), then
+/// [`Program::step`] once per superstep with the messages received from
+/// the previous superstep, until every node halts (or the superstep limit
+/// trips).
+pub trait Program {
+    /// The message type exchanged by this program.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before any communication; messages queued here are
+    /// delivered at superstep 0.
+    fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<Self::Msg>);
+
+    /// One synchronous superstep: `inbox` holds the messages sent to this
+    /// node in the previous superstep, tagged with their senders.
+    fn step(
+        &mut self,
+        ctx: &mut Ctx,
+        superstep: usize,
+        inbox: &[(NodeId, Self::Msg)],
+        out: &mut Outbox<Self::Msg>,
+    ) -> Control;
+
+    /// The node's verdict once the run ends. Default: accept.
+    fn decision(&self) -> Decision {
+        Decision::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects() {
+        let mut out: Outbox<u32> = Outbox::new();
+        assert!(out.is_empty());
+        out.send(NodeId::new(1), 7);
+        assert!(!out.is_empty());
+        let mut out2: Outbox<u32> = Outbox::new();
+        out2.broadcast(3);
+        assert!(!out2.is_empty());
+    }
+
+    #[test]
+    fn decision_default_is_accept() {
+        assert_eq!(Decision::default(), Decision::Accept);
+    }
+}

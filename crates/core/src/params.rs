@@ -1,0 +1,233 @@
+//! Parameter derivation for Algorithm 1 (paper Instructions 1–6).
+
+/// Tunable parameters of the `C_{2k}`-freeness detector.
+///
+/// The paper's Algorithm 1 derives everything from `k` and the target
+/// one-sided error `ε`:
+///
+/// * `ε̂ = ln(3/ε)` — the per-ingredient confidence budget;
+/// * selection probability `p = ε̂ · 2k² / n^{1/k}` (Instruction 2);
+/// * repetitions `K = ⌈ε̂ · (2k)^{2k}⌉` (Instruction 6);
+/// * threshold `τ = k · 2^k · n·p` (Instruction 6).
+///
+/// [`Params::paper`] reproduces those constants exactly;
+/// [`Params::practical`] keeps `p` and `τ` but caps `K` — the paper
+/// constants are astronomically conservative (`K ≈ 563` already for
+/// `k = 2`, `ε = 1/3`), and the per-iteration round cost, whose
+/// `n`-scaling Table 1 reports, does not depend on `K`. Experiments state
+/// which profile they use.
+///
+/// ```
+/// use even_cycle::Params;
+/// let params = Params::paper(2, 1.0 / 3.0);
+/// let inst = params.instantiate(10_000);
+/// assert_eq!(params.k, 2);
+/// assert!(inst.tau > 0);
+/// assert!(inst.selection_probability < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Half the target cycle length: the algorithm decides
+    /// `C_{2k}`-freeness.
+    pub k: usize,
+    /// Target one-sided error probability `ε`.
+    pub eps: f64,
+    /// Number of repetitions `K` of the coloring loop (Instruction 7).
+    pub repetitions: usize,
+    /// Multiplier on the selection probability (and hence `τ`), default
+    /// 1. The paper's constant `ε̂·2k²` keeps `p` clamped at 1 until
+    /// `n^{1/k} > ε̂·2k²` (`n ≈ 6·10⁴` already for `k = 3`); scaling
+    /// experiments shrink the constant to reach the asymptotic regime at
+    /// simulation sizes — the `n`-exponents of `p` and `τ` are
+    /// unaffected. See [`Params::with_probability_scale`].
+    pub probability_scale: f64,
+}
+
+/// Per-graph-size instantiation of [`Params`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// `n`, the number of vertices.
+    pub n: usize,
+    /// `ε̂ = ln(3/ε)`.
+    pub eps_hat: f64,
+    /// Degree threshold `n^{1/k}` separating light from heavy nodes
+    /// (Instruction 1).
+    pub degree_threshold: f64,
+    /// Selection probability `p = min(1, scale·ε̂·2k²/n^{1/k})`
+    /// (Instruction 2; `scale = 1` reproduces the paper exactly).
+    pub selection_probability: f64,
+    /// Threshold `τ = ⌈k·2^k·n·p⌉` (Instruction 6).
+    pub tau: u64,
+    /// `k²`, the selected-neighbor count defining `W` (Instruction 5).
+    pub k_squared: usize,
+}
+
+impl Params {
+    /// The paper's exact parameters for `C_{2k}`-freeness with one-sided
+    /// error `ε` (Theorem 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ≥ 2` and `0 < ε < 1`.
+    pub fn paper(k: usize, eps: f64) -> Self {
+        assert!(k >= 2, "the paper's algorithm requires k ≥ 2");
+        assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
+        let eps_hat = (3.0 / eps).ln();
+        let reps = (eps_hat * (2.0 * k as f64).powi(2 * k as i32)).ceil() as usize;
+        Params {
+            k,
+            eps,
+            repetitions: reps,
+            probability_scale: 1.0,
+        }
+    }
+
+    /// The paper's parameters at `ε = 1/3` with the repetition count
+    /// capped at `max_repetitions` (experiment profile; see type docs).
+    pub fn practical(k: usize) -> Self {
+        let mut p = Params::paper(k, 1.0 / 3.0);
+        p.repetitions = p.repetitions.min(1024);
+        p
+    }
+
+    /// Overrides the repetition count (e.g., for forced-coloring tests
+    /// where a single repetition suffices).
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition required");
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// Scales the selection probability and threshold by `scale`
+    /// (see the field docs on [`Params::probability_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn with_probability_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.probability_scale = scale;
+        self
+    }
+
+    /// Derives the size-dependent quantities for an `n`-vertex graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn instantiate(&self, n: usize) -> Instance {
+        assert!(n > 0, "graph must be non-empty");
+        let eps_hat = (3.0 / self.eps).ln();
+        let nf = n as f64;
+        let degree_threshold = nf.powf(1.0 / self.k as f64);
+        let p_raw =
+            self.probability_scale * eps_hat * 2.0 * (self.k * self.k) as f64 / degree_threshold;
+        let p = p_raw.min(1.0);
+        let tau = (self.k as f64 * 2f64.powi(self.k as i32) * nf * p).ceil() as u64;
+        Instance {
+            n,
+            eps_hat,
+            degree_threshold,
+            selection_probability: p,
+            tau: tau.max(1),
+            k_squared: self.k * self.k,
+        }
+    }
+
+    /// The paper's round-complexity bound for these parameters
+    /// (Theorem 1): `K · k · τ = O(log²(1/ε)·2^{3k}·k^{2k+3}·n^{1-1/k})`.
+    pub fn round_bound(&self, n: usize) -> f64 {
+        let inst = self.instantiate(n);
+        self.repetitions as f64 * self.k as f64 * inst.tau as f64
+    }
+
+    /// The number of colors used by the coloring loop (`2k`).
+    pub fn color_count(&self) -> usize {
+        2 * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_k2() {
+        let p = Params::paper(2, 1.0 / 3.0);
+        // K = ⌈ln(9)·4⁴⌉ = ⌈2.197·256⌉ = 563.
+        assert_eq!(p.repetitions, 563);
+        let inst = p.instantiate(4096);
+        assert!((inst.degree_threshold - 64.0).abs() < 1e-9);
+        // p = ln(9)·8/64 ≈ 0.2747.
+        assert!((inst.selection_probability - (9f64).ln() * 8.0 / 64.0).abs() < 1e-9);
+        // τ = 2·4·n·p.
+        let expected_tau = (8.0 * 4096.0 * inst.selection_probability).ceil() as u64;
+        assert_eq!(inst.tau, expected_tau);
+        assert_eq!(inst.k_squared, 4);
+    }
+
+    #[test]
+    fn probability_capped_for_tiny_graphs() {
+        let p = Params::paper(2, 1.0 / 3.0);
+        let inst = p.instantiate(16);
+        assert_eq!(inst.selection_probability, 1.0);
+    }
+
+    #[test]
+    fn smaller_eps_means_more_repetitions() {
+        let loose = Params::paper(2, 1.0 / 3.0);
+        let tight = Params::paper(2, 1.0 / 100.0);
+        assert!(tight.repetitions > loose.repetitions);
+        let inst_l = loose.instantiate(1 << 20);
+        let inst_t = tight.instantiate(1 << 20);
+        assert!(inst_t.selection_probability > inst_l.selection_probability);
+        assert!(inst_t.tau > inst_l.tau);
+    }
+
+    #[test]
+    fn practical_caps_repetitions() {
+        assert_eq!(Params::practical(2).repetitions, 563);
+        assert_eq!(Params::practical(3).repetitions, 1024);
+    }
+
+    #[test]
+    fn round_bound_scaling() {
+        // For fixed k, bound/n^{1-1/k} should be constant in n.
+        let p = Params::paper(2, 1.0 / 3.0);
+        let big = 1u64 << 30;
+        let r1 = p.round_bound(big as usize) / (big as f64).powf(0.5);
+        let r2 = p.round_bound((big * 4) as usize) / ((big * 4) as f64).powf(0.5);
+        assert!((r1 / r2 - 1.0).abs() < 0.01, "{r1} vs {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn k1_rejected() {
+        Params::paper(1, 0.5);
+    }
+
+    #[test]
+    fn color_count() {
+        assert_eq!(Params::paper(3, 0.5).color_count(), 6);
+    }
+
+    #[test]
+    fn probability_scale_shrinks_p_and_tau() {
+        let base = Params::paper(3, 1.0 / 3.0).instantiate(1000);
+        let scaled = Params::paper(3, 1.0 / 3.0)
+            .with_probability_scale(0.05)
+            .instantiate(1000);
+        assert!(scaled.selection_probability < base.selection_probability);
+        assert!(scaled.tau < base.tau);
+        // At this scale p leaves the clamp; the exponent is unchanged:
+        let a = Params::paper(3, 1.0 / 3.0)
+            .with_probability_scale(0.05)
+            .instantiate(1 << 12);
+        let b = Params::paper(3, 1.0 / 3.0)
+            .with_probability_scale(0.05)
+            .instantiate(1 << 24);
+        // τ ~ n^{1-1/k}: 2^12 → 2^24 is ×2^12 in n, ×2^8 in τ.
+        let ratio = b.tau as f64 / a.tau as f64;
+        assert!((ratio.log2() - 8.0).abs() < 0.2, "τ ratio 2^{}", ratio.log2());
+    }
+}

@@ -1,0 +1,558 @@
+//! The quantum `C_{2k}`-freeness detector (Theorem 2 / Lemma 13).
+//!
+//! Pipeline: (1) reduce the success probability and congestion with the
+//! Lemma 12 detector (`k^{O(k)}` rounds, success `1/(3τ)`); (2) amplify
+//! quadratically with distributed quantum Monte-Carlo amplification
+//! (Theorem 3); (3) remove the diameter dependence with the Lemma 9
+//! network decomposition, running the amplified detector on each
+//! diameter-`O(k log n)` component. Total:
+//! `k^{O(k)}·polylog(n)·n^{1/2-1/2k}` rounds, one-sided error
+//! `1/poly(n)`.
+
+use congest_graph::{CycleWitness, Graph};
+use congest_quantum::decomposition::{decompose, reduced_components};
+use congest_quantum::{GroverMode, MonteCarloAmplifier, WithSuccess};
+use congest_sim::derive_seed;
+
+use crate::params::Params;
+use crate::randomized::LowProbDetector;
+
+/// The result of the quantum pipeline.
+#[derive(Debug, Clone)]
+pub struct QuantumOutcome {
+    /// Whether a `C_{2k}` was found (one-sided: never true on a
+    /// `C_{2k}`-free graph).
+    pub rejected: bool,
+    /// The verified witness, mapped back to the input graph's ids.
+    pub witness: Option<CycleWitness>,
+    /// Total quantum rounds charged: decomposition + per-color maxima of
+    /// the amplified runs (components of one color run in parallel;
+    /// colors run sequentially, per Lemma 9).
+    pub quantum_rounds: u64,
+    /// What classical amplification of the same low-probability detector
+    /// would cost, summed the same way — the quadratic-speedup
+    /// comparison.
+    pub classical_rounds: u64,
+    /// Rounds charged for the network decomposition (Lemma 10).
+    pub decomposition_rounds: u64,
+    /// Total Grover iterations over all components.
+    pub iterations: u64,
+    /// Number of diameter-reduced components processed.
+    pub components: usize,
+    /// Number of cluster colors in the decomposition.
+    pub colors: u32,
+    /// Classical base-detector runs spent by the simulator (not part of
+    /// the quantum cost model).
+    pub classical_evals: u64,
+}
+
+/// Theorem 2's quantum `C_{2k}`-freeness algorithm.
+///
+/// ```
+/// use congest_graph::generators;
+/// use even_cycle::{Params, QuantumCycleDetector};
+///
+/// let host = generators::random_tree(32, 5);
+/// let (g, _) = generators::plant_cycle(&host, 4, 5);
+/// let det = QuantumCycleDetector::new(Params::practical(2).with_repetitions(24), 0.1)
+///     .with_declared_success(1.0 / 256.0);
+/// let outcome = det.run(&g, 3);
+/// assert!(outcome.rejected);
+/// assert!(outcome.witness.unwrap().is_valid(&g));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumCycleDetector {
+    params: Params,
+    delta: f64,
+    mode: GroverMode,
+    declared_success: Option<f64>,
+}
+
+impl QuantumCycleDetector {
+    /// Creates the detector: `params` configure the underlying Lemma 12
+    /// detector, `delta` is the target one-sided error (the paper takes
+    /// `1/poly(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < δ < 1`.
+    pub fn new(params: Params, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+        QuantumCycleDetector {
+            params,
+            delta,
+            mode: GroverMode::Analytic,
+            declared_success: None,
+        }
+    }
+
+    /// Selects the Grover simulation mode (default
+    /// [`GroverMode::Analytic`]; use [`GroverMode::Sampled`] for large
+    /// seed spaces).
+    pub fn with_mode(mut self, mode: GroverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Declares a tighter (but still valid) success probability for the
+    /// base detector than the pessimistic Lemma 12 bound `1/(3τ)`,
+    /// shrinking the amplifier's seed space. See
+    /// [`congest_quantum::WithSuccess`]; one-sidedness is unaffected.
+    pub fn with_declared_success(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0,1]");
+        self.declared_success = Some(eps);
+        self
+    }
+
+    /// Runs the full pipeline on `g`.
+    pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        let k = self.params.k;
+        // Lemma 9 uses the decomposition with separation parameter
+        // 2k + 1 and enlargement radius k.
+        let decomposition = decompose(g, 2 * k as u32 + 1, derive_seed(seed, 0xDEC));
+        let components = reduced_components(g, &decomposition, k as u32);
+
+        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut iterations = 0u64;
+        let mut classical_evals = 0u64;
+        let mut rejected = false;
+        let mut witness: Option<CycleWitness> = None;
+
+        for (ci, comp) in components.iter().enumerate() {
+            if comp.graph.node_count() < 2 * k {
+                continue; // cannot contain a 2k-cycle
+            }
+            let detector = LowProbDetector::new(self.params.clone());
+            let base = detector.as_monte_carlo(&comp.graph);
+            let declared = self
+                .declared_success
+                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
+            let mc = WithSuccess::new(base, declared);
+            let diameter = congest_graph::analysis::diameter(&comp.graph)
+                .expect("components are connected") as u64;
+            let amplifier = MonteCarloAmplifier::new(self.delta)
+                .with_diameter(diameter)
+                .with_mode(self.mode);
+            let report = amplifier.amplify(&mc, derive_seed(seed, 0xA0_00 + ci as u64));
+            iterations += report.iterations;
+            classical_evals += report.classical_evals;
+            let qc = per_color_quantum.entry(comp.color).or_insert(0);
+            *qc = (*qc).max(report.quantum_rounds);
+            let cc = per_color_classical.entry(comp.color).or_insert(0);
+            *cc = (*cc).max(report.classical_rounds_baseline);
+
+            if report.rejected && !rejected {
+                rejected = true;
+                // Re-run the base detector with the witness seed and map
+                // the witness back to the original ids.
+                let ws = report.witness_seed.expect("rejected implies witness seed");
+                let local = detector.run(&comp.graph, ws);
+                let local_witness = local
+                    .witness
+                    .expect("witness seed reproduces the rejection");
+                let mapped = CycleWitness::new(
+                    local_witness
+                        .nodes()
+                        .iter()
+                        .map(|v| comp.original_ids[v.index()])
+                        .collect(),
+                );
+                assert!(mapped.is_valid(g), "mapped witness must stay valid");
+                witness = Some(mapped);
+            }
+        }
+
+        QuantumOutcome {
+            rejected,
+            witness,
+            quantum_rounds: decomposition.round_cost
+                + per_color_quantum.values().sum::<u64>(),
+            classical_rounds: decomposition.round_cost
+                + per_color_classical.values().sum::<u64>(),
+            decomposition_rounds: decomposition.round_cost,
+            iterations,
+            components: components.len(),
+            colors: decomposition.colors,
+            classical_evals,
+        }
+    }
+}
+
+/// Theorem 2's quantum `C_{2k+1}`-freeness algorithm (§3.4): the
+/// constant-round odd-cycle detector with success `Ω(1/n)`, amplified by
+/// Theorem 3 over the Lemma 9 components — `Õ(√n)` rounds, which the
+/// paper proves optimal for `k ≥ 2`.
+#[derive(Debug, Clone)]
+pub struct QuantumOddCycleDetector {
+    k: usize,
+    repetitions: usize,
+    delta: f64,
+    mode: GroverMode,
+    declared_success: Option<f64>,
+}
+
+impl QuantumOddCycleDetector {
+    /// Creates the detector for `C_{2k+1}` (`k ≥ 1`); `repetitions`
+    /// configures the base detector (see
+    /// [`crate::OddCycleDetector::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ≥ 1`, `repetitions ≥ 1` and `0 < δ < 1`.
+    pub fn new(k: usize, repetitions: usize, delta: f64) -> Self {
+        assert!(k >= 1, "odd cycles start at C3");
+        assert!(repetitions >= 1, "at least one repetition");
+        assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+        QuantumOddCycleDetector {
+            k,
+            repetitions,
+            delta,
+            mode: GroverMode::Analytic,
+            declared_success: None,
+        }
+    }
+
+    /// Selects the Grover simulation mode.
+    pub fn with_mode(mut self, mode: GroverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Declares a tighter success probability than the §3.4 bound
+    /// (seed-space sizing only; one-sidedness unaffected).
+    pub fn with_declared_success(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0,1]");
+        self.declared_success = Some(eps);
+        self
+    }
+
+    /// Runs the full pipeline on `g`.
+    pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        let k = self.k;
+        let l = 2 * k + 1;
+        let decomposition = decompose(g, l as u32 + 1, derive_seed(seed, 0x0DDD));
+        // Radius k+1 covers any C_{2k+1} around any of its vertices.
+        let components = reduced_components(g, &decomposition, k as u32 + 1);
+
+        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut iterations = 0u64;
+        let mut classical_evals = 0u64;
+        let mut rejected = false;
+        let mut witness: Option<CycleWitness> = None;
+
+        for (ci, comp) in components.iter().enumerate() {
+            if comp.graph.node_count() < l {
+                continue;
+            }
+            let detector = crate::OddCycleDetector::new(k, self.repetitions);
+            let base = detector.as_monte_carlo(&comp.graph);
+            let declared = self
+                .declared_success
+                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
+            let mc = WithSuccess::new(base, declared);
+            let diameter = congest_graph::analysis::diameter(&comp.graph)
+                .expect("components are connected") as u64;
+            let amplifier = MonteCarloAmplifier::new(self.delta)
+                .with_diameter(diameter)
+                .with_mode(self.mode);
+            let report = amplifier.amplify(&mc, derive_seed(seed, 0x0D_00 + ci as u64));
+            iterations += report.iterations;
+            classical_evals += report.classical_evals;
+            let qc = per_color_quantum.entry(comp.color).or_insert(0);
+            *qc = (*qc).max(report.quantum_rounds);
+            let cc = per_color_classical.entry(comp.color).or_insert(0);
+            *cc = (*cc).max(report.classical_rounds_baseline);
+
+            if report.rejected && !rejected {
+                rejected = true;
+                let ws = report.witness_seed.expect("rejected implies witness seed");
+                let local = detector.run(&comp.graph, ws);
+                let local_witness = local
+                    .witness
+                    .expect("witness seed reproduces the rejection");
+                let mapped = CycleWitness::new(
+                    local_witness
+                        .nodes()
+                        .iter()
+                        .map(|v| comp.original_ids[v.index()])
+                        .collect(),
+                );
+                assert!(mapped.is_valid(g), "mapped witness must stay valid");
+                witness = Some(mapped);
+            }
+        }
+
+        QuantumOutcome {
+            rejected,
+            witness,
+            quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
+            classical_rounds: decomposition.round_cost
+                + per_color_classical.values().sum::<u64>(),
+            decomposition_rounds: decomposition.round_cost,
+            iterations,
+            components: components.len(),
+            colors: decomposition.colors,
+            classical_evals,
+        }
+    }
+}
+
+/// The §3.5 quantum `{C_ℓ | 3 ≤ ℓ ≤ 2k}`-freeness algorithm: the
+/// randomized (constant-congestion) `F_{2k}` detector amplified by
+/// Theorem 3 over the Lemma 9 components — `Õ(n^{1/2-1/2k})` rounds,
+/// improving van Apeldoorn–de Vos's `Õ(n^{1/2-1/(4k+2)})`.
+#[derive(Debug, Clone)]
+pub struct QuantumF2kDetector {
+    k: usize,
+    repetitions: usize,
+    delta: f64,
+    mode: GroverMode,
+    declared_success: Option<f64>,
+}
+
+impl QuantumF2kDetector {
+    /// Creates the detector for cycle lengths `3..=2k` (`k ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ≥ 2`, `repetitions ≥ 1` and `0 < δ < 1`.
+    pub fn new(k: usize, repetitions: usize, delta: f64) -> Self {
+        assert!(k >= 2, "F_{{2k}} needs k ≥ 2");
+        assert!(repetitions >= 1, "at least one repetition");
+        assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+        QuantumF2kDetector {
+            k,
+            repetitions,
+            delta,
+            mode: GroverMode::Analytic,
+            declared_success: None,
+        }
+    }
+
+    /// Selects the Grover simulation mode.
+    pub fn with_mode(mut self, mode: GroverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Declares a tighter success probability (seed-space sizing only).
+    pub fn with_declared_success(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0,1]");
+        self.declared_success = Some(eps);
+        self
+    }
+
+    /// Runs the full pipeline on `g`.
+    pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        let k = self.k;
+        let decomposition = decompose(g, 2 * k as u32 + 1, derive_seed(seed, 0xF2D));
+        let components = reduced_components(g, &decomposition, k as u32);
+
+        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        let mut iterations = 0u64;
+        let mut classical_evals = 0u64;
+        let mut rejected = false;
+        let mut witness: Option<CycleWitness> = None;
+
+        for (ci, comp) in components.iter().enumerate() {
+            if comp.graph.node_count() < 3 {
+                continue; // cannot contain any cycle
+            }
+            let detector = crate::F2kDetector::new(k)
+                .with_repetitions(self.repetitions)
+                .randomized();
+            let base = detector.as_monte_carlo(&comp.graph);
+            let declared = self
+                .declared_success
+                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
+            let mc = WithSuccess::new(base, declared);
+            let diameter = congest_graph::analysis::diameter(&comp.graph)
+                .expect("components are connected") as u64;
+            let amplifier = MonteCarloAmplifier::new(self.delta)
+                .with_diameter(diameter)
+                .with_mode(self.mode);
+            let report = amplifier.amplify(&mc, derive_seed(seed, 0xF2_00 + ci as u64));
+            iterations += report.iterations;
+            classical_evals += report.classical_evals;
+            let qc = per_color_quantum.entry(comp.color).or_insert(0);
+            *qc = (*qc).max(report.quantum_rounds);
+            let cc = per_color_classical.entry(comp.color).or_insert(0);
+            *cc = (*cc).max(report.classical_rounds_baseline);
+
+            if report.rejected && !rejected {
+                rejected = true;
+                let ws = report.witness_seed.expect("rejected implies witness seed");
+                let local = detector.run(&comp.graph, ws);
+                let local_witness = local
+                    .witness
+                    .expect("witness seed reproduces the rejection");
+                let mapped = CycleWitness::new(
+                    local_witness
+                        .nodes()
+                        .iter()
+                        .map(|v| comp.original_ids[v.index()])
+                        .collect(),
+                );
+                assert!(mapped.is_valid(g), "mapped witness must stay valid");
+                witness = Some(mapped);
+            }
+        }
+
+        QuantumOutcome {
+            rejected,
+            witness,
+            quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
+            classical_rounds: decomposition.round_cost
+                + per_color_classical.values().sum::<u64>(),
+            decomposition_rounds: decomposition.round_cost,
+            iterations,
+            components: components.len(),
+            colors: decomposition.colors,
+            classical_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// Detection tests: analytic Grover over a compact seed space sized
+    /// by an empirically-safe declared success probability.
+    fn small_detector() -> QuantumCycleDetector {
+        QuantumCycleDetector::new(Params::practical(2).with_repetitions(24), 0.1)
+            .with_declared_success(1.0 / 256.0)
+    }
+
+    /// Soundness tests: the sampled mode is much cheaper and cannot
+    /// break one-sidedness.
+    fn sampled_detector() -> QuantumCycleDetector {
+        QuantumCycleDetector::new(Params::practical(2).with_repetitions(12), 0.1)
+            .with_mode(congest_quantum::GroverMode::Sampled { samples: 32 })
+    }
+
+    #[test]
+    fn finds_planted_c4() {
+        let host = generators::random_tree(32, 5);
+        let (g, _) = generators::plant_cycle(&host, 4, 5);
+        let outcome = small_detector().run(&g, 3);
+        assert!(outcome.rejected);
+        let w = outcome.witness.unwrap();
+        assert_eq!(w.len(), 4);
+        assert!(w.is_valid(&g));
+        assert!(outcome.iterations > 0);
+    }
+
+    #[test]
+    fn one_sided_on_trees() {
+        let det = sampled_detector();
+        for seed in 0..2 {
+            let g = generators::random_tree(32, seed);
+            let outcome = det.run(&g, seed);
+            assert!(!outcome.rejected, "seed {seed}");
+            assert!(outcome.witness.is_none());
+        }
+    }
+
+    #[test]
+    fn one_sided_on_polarity_graph() {
+        let g = generators::polarity_graph(3);
+        let outcome = sampled_detector().run(&g, 7);
+        assert!(!outcome.rejected);
+    }
+
+    #[test]
+    fn accounts_decomposition_and_components() {
+        let host = generators::random_tree(40, 2);
+        let (g, _) = generators::plant_cycle(&host, 4, 2);
+        let outcome = small_detector().run(&g, 1);
+        assert!(outcome.decomposition_rounds > 0);
+        assert!(outcome.components >= 1);
+        assert!(outcome.colors >= 1);
+        assert!(outcome.quantum_rounds >= outcome.decomposition_rounds);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let host = generators::random_tree(28, 4);
+        let (g, _) = generators::plant_cycle(&host, 4, 4);
+        let det = small_detector();
+        let a = det.run(&g, 9);
+        let b = det.run(&g, 9);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.quantum_rounds, b.quantum_rounds);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn quantum_odd_detects_c5() {
+        // A C5 farm keeps the base success rate workable.
+        let mut g = generators::cycle(5);
+        for _ in 1..6 {
+            g = generators::disjoint_union(&g, &generators::cycle(5));
+        }
+        let g = generators::disjoint_union(&g, &generators::path(10));
+        let det = QuantumOddCycleDetector::new(2, 60, 0.1)
+            .with_declared_success(1.0 / 64.0);
+        let found = (0..4).any(|seed| {
+            let o = det.run(&g, seed);
+            if o.rejected {
+                let w = o.witness.as_ref().unwrap();
+                assert_eq!(w.len(), 5);
+                assert!(w.is_valid(&g));
+            }
+            o.rejected
+        });
+        assert!(found, "quantum odd pipeline never found a C5");
+    }
+
+    #[test]
+    fn quantum_odd_sound_on_bipartite() {
+        let det = QuantumOddCycleDetector::new(2, 12, 0.1)
+            .with_mode(congest_quantum::GroverMode::Sampled { samples: 16 });
+        for seed in 0..2 {
+            let g = generators::random_bipartite(16, 16, 0.15, seed);
+            assert!(!det.run(&g, seed).rejected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quantum_f2k_detects_short_cycle() {
+        // Plant a C4 in a tree; the quantum F2k pipeline (k = 2: lengths
+        // 3..4) must find it with the declared-success shortcut.
+        let host = generators::random_tree(36, 6);
+        let (g, _) = generators::plant_cycle(&host, 4, 6);
+        let det = QuantumF2kDetector::new(2, 40, 0.1).with_declared_success(1.0 / 128.0);
+        let found = (0..4).any(|seed| {
+            let o = det.run(&g, seed);
+            if o.rejected {
+                let w = o.witness.as_ref().unwrap();
+                assert!(w.len() == 3 || w.len() == 4);
+                assert!(w.is_valid(&g));
+            }
+            o.rejected
+        });
+        assert!(found, "quantum F2k pipeline never found the planted C4");
+    }
+
+    #[test]
+    fn quantum_f2k_sound_on_high_girth() {
+        // Girth > 6 input for k = 3 (lengths 3..6): must always accept.
+        let det = QuantumF2kDetector::new(3, 12, 0.1)
+            .with_mode(congest_quantum::GroverMode::Sampled { samples: 16 });
+        for seed in 0..2 {
+            let g = generators::high_girth(48, 6, 8, seed);
+            assert!(!det.run(&g, seed).rejected, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,923 @@
+//! The Density Lemma machinery (paper §2.2.3, Lemmas 4–7) — constructive.
+//!
+//! This module implements, verbatim, the sparsification of the proof of
+//! Lemma 4: the edge sets `OUT(v)` and `IN(v)` (Eqs. 3–4), the nested
+//! sequence `IN(v,0) ⊆ IN(v,1) ⊆ … ⊆ IN(v,2q)` (Eqs. 5–7), and `OUT(v)`
+//! for layered vertices (Eq. 8); then the **constructive** Lemma 6: when
+//! some `IN(v,0)` is non-empty, it assembles the three paths `P`
+//! (Claim 1), `P′` and `P″` (Claim 2) into an explicit `2k`-cycle
+//! intersecting `S` — exactly the object Figure 1 depicts for `k = 5`,
+//! `i = 2` — and Lemma 7's counting bound when every `IN(v,0)` is empty.
+//!
+//! The machinery is what makes Algorithm 1's third `color-BFS` sound:
+//! if a node would have to forward identifiers of more than
+//! `2^{i-1}(k-1)|S|` vertices of `W₀`, a `2k`-cycle through `S` exists
+//! (and would have been caught by the second `color-BFS`).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::{CycleWitness, Graph, NodeId};
+
+/// Errors from the density machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DensityError {
+    /// The input masks/layers violate the Density Lemma's premises.
+    InvalidInput(String),
+    /// The Lemma 6 construction failed — impossible if the input
+    /// invariants hold; indicates a bug (or a violated premise).
+    Construction(String),
+}
+
+impl fmt::Display for DensityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DensityError::InvalidInput(m) => write!(f, "invalid density input: {m}"),
+            DensityError::Construction(m) => write!(f, "cycle construction failed: {m}"),
+        }
+    }
+}
+
+impl Error for DensityError {}
+
+/// Input to the sparsification: the disjoint sets
+/// `S, W₀, V₁, …, V_{k-1}` of Lemma 4.
+///
+/// `layer[v] = Some(i)` places `v` in `V_i` (`1 ≤ i ≤ k-1`); `W₀` plays
+/// the role of `V₀`. In Algorithm 1's analysis the layers are the color
+/// classes `V_i = {v ∈ V∖S : c(v) = i}` restricted to the exploration,
+/// but the lemma — and this code — works for arbitrary disjoint sets.
+#[derive(Debug, Clone)]
+pub struct DensityInput {
+    /// `k ≥ 2` (the target cycle has length `2k`).
+    pub k: usize,
+    /// Membership mask of `S`.
+    pub s_mask: Vec<bool>,
+    /// Membership mask of `W₀` (every member needs ≥ `k²` `S`-neighbors).
+    pub w0_mask: Vec<bool>,
+    /// Layer assignment (`Some(i)` ⇒ `v ∈ V_i`, `1 ≤ i ≤ k-1`).
+    pub layer: Vec<Option<u8>>,
+}
+
+/// The computed sparsification with the Lemma 6 cycle constructor.
+#[derive(Debug)]
+pub struct Sparsification<'a> {
+    g: &'a Graph,
+    input: DensityInput,
+    /// Edges of `E(S, W₀)` as `(s, w)` pairs.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Lookup `(s, w) → edge id`.
+    edge_ids: HashMap<(NodeId, NodeId), u32>,
+    /// `OUT(v)` per vertex (sorted edge-id sets; empty for unlayered).
+    out_sets: Vec<Vec<u32>>,
+    /// `IN(v)` per layered vertex.
+    in_sets: Vec<Vec<u32>>,
+    /// `IN(v, γ)` for `γ = 0..=2q(v)` per layered vertex.
+    nested: Vec<Vec<Vec<u32>>>,
+}
+
+/// The dichotomy established by Lemma 4: either the reachability sets are
+/// small everywhere, or an explicit `2k`-cycle through `S` exists.
+#[derive(Debug, Clone)]
+pub enum DensityVerdict {
+    /// All `IN(v,0)` empty; `|W₀(v)| ≤ 2^{i-1}(k-1)|S|` verified for
+    /// every layered `v`. Carries the maximum observed ratio
+    /// `|W₀(v)| / (2^{i-1}(k-1)|S|) ≤ 1`.
+    BoundHolds {
+        /// Maximum of `|W₀(v)|` over the Lemma 7 bound, over all layered
+        /// vertices (≤ 1 when the verdict holds).
+        max_ratio: f64,
+    },
+    /// Some `IN(v,0) ≠ ∅`; the constructed cycle (length `2k`,
+    /// intersecting `S`, validated against the graph).
+    CycleFound(CycleWitness),
+}
+
+impl<'a> Sparsification<'a> {
+    /// Computes the full sparsification.
+    ///
+    /// # Errors
+    ///
+    /// [`DensityError::InvalidInput`] if the sets are not disjoint, a
+    /// layer index is out of range, or some `w ∈ W₀` has fewer than `k²`
+    /// neighbors in `S`.
+    pub fn new(g: &'a Graph, input: DensityInput) -> Result<Self, DensityError> {
+        let n = g.node_count();
+        let k = input.k;
+        if k < 2 {
+            return Err(DensityError::InvalidInput("k must be at least 2".into()));
+        }
+        for len in [input.s_mask.len(), input.w0_mask.len(), input.layer.len()] {
+            if len != n {
+                return Err(DensityError::InvalidInput(format!(
+                    "mask length {len} != n = {n}"
+                )));
+            }
+        }
+        for v in 0..n {
+            let in_s = input.s_mask[v];
+            let in_w0 = input.w0_mask[v];
+            let in_layer = input.layer[v].is_some();
+            if (in_s as u8 + in_w0 as u8 + in_layer as u8) > 1 {
+                return Err(DensityError::InvalidInput(format!(
+                    "vertex {v} belongs to multiple sets"
+                )));
+            }
+            if let Some(i) = input.layer[v] {
+                if i == 0 || i as usize >= k {
+                    return Err(DensityError::InvalidInput(format!(
+                        "vertex {v} has layer {i} outside 1..k-1"
+                    )));
+                }
+            }
+        }
+        // Edge set E(S, W₀) and the k² premise.
+        let mut edges = Vec::new();
+        let mut edge_ids = HashMap::new();
+        for w in g.nodes() {
+            if !input.w0_mask[w.index()] {
+                continue;
+            }
+            let mut s_deg = 0usize;
+            for &s in g.neighbors(w) {
+                if input.s_mask[s.index()] {
+                    let id = edges.len() as u32;
+                    edges.push((s, w));
+                    edge_ids.insert((s, w), id);
+                    s_deg += 1;
+                }
+            }
+            if s_deg < k * k {
+                return Err(DensityError::InvalidInput(format!(
+                    "w0 vertex {w} has only {s_deg} < k² = {} S-neighbors",
+                    k * k
+                )));
+            }
+        }
+
+        let mut sp = Sparsification {
+            g,
+            input,
+            edges,
+            edge_ids,
+            out_sets: vec![Vec::new(); n],
+            in_sets: vec![Vec::new(); n],
+            nested: vec![Vec::new(); n],
+        };
+        sp.compute();
+        Ok(sp)
+    }
+
+    /// The `(s, w)` endpoints of edge `id`.
+    pub fn edge(&self, id: u32) -> (NodeId, NodeId) {
+        self.edges[id as usize]
+    }
+
+    /// Number of edges in `E(S, W₀)`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `IN(v)` (empty for unlayered vertices).
+    pub fn in_set(&self, v: NodeId) -> &[u32] {
+        &self.in_sets[v.index()]
+    }
+
+    /// `OUT(v)`.
+    pub fn out_set(&self, v: NodeId) -> &[u32] {
+        &self.out_sets[v.index()]
+    }
+
+    /// The nested sets `IN(v, 0..=2q)` of a layered vertex.
+    pub fn nested_sets(&self, v: NodeId) -> &[Vec<u32>] {
+        &self.nested[v.index()]
+    }
+
+    /// `q = ⌊(k - i)/2⌋` for `v ∈ V_i`.
+    pub fn q_of(&self, v: NodeId) -> Option<usize> {
+        self.input.layer[v.index()].map(|i| (self.input.k - i as usize) / 2)
+    }
+
+    /// Vertices with non-empty `IN(v, 0)`, in increasing layer order —
+    /// the triggers of Lemma 6.
+    pub fn nonempty_in0(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .g
+            .nodes()
+            .filter(|v| {
+                self.input.layer[v.index()].is_some()
+                    && !self.nested[v.index()]
+                        .first()
+                        .map_or(true, Vec::is_empty)
+            })
+            .collect();
+        out.sort_by_key(|v| self.input.layer[v.index()]);
+        out
+    }
+
+    /// The reachability set `W₀(v)`: vertices `w ∈ W₀` with a path
+    /// `(w, v_1, …, v_i = v)`, `v_j ∈ V_j` (the sets Lemma 7 bounds, and
+    /// the identifiers `v` would forward in the third `color-BFS`).
+    pub fn w0_reachable(&self, v: NodeId) -> Vec<NodeId> {
+        let Some(layer) = self.input.layer[v.index()] else {
+            return Vec::new();
+        };
+        // Backward layered BFS.
+        let mut frontier: HashSet<NodeId> = HashSet::from([v]);
+        for j in (1..layer).rev() {
+            let mut next = HashSet::new();
+            for &u in &frontier {
+                for &w in self.g.neighbors(u) {
+                    if self.input.layer[w.index()] == Some(j) {
+                        next.insert(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let mut out: HashSet<NodeId> = HashSet::new();
+        for &u in &frontier {
+            for &w in self.g.neighbors(u) {
+                if self.input.w0_mask[w.index()] {
+                    out.insert(w);
+                }
+            }
+        }
+        let mut v: Vec<NodeId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The Lemma 7 bound `2^{i-1}(k-1)|S|` for `v ∈ V_i`.
+    pub fn density_bound(&self, v: NodeId) -> Option<f64> {
+        let i = self.input.layer[v.index()]?;
+        let s_size = self.input.s_mask.iter().filter(|&&b| b).count();
+        Some(2f64.powi(i as i32 - 1) * (self.input.k - 1) as f64 * s_size as f64)
+    }
+
+    /// Runs the Lemma 4 dichotomy: constructs a `2k`-cycle through `S`
+    /// if some `IN(v,0)` is non-empty, otherwise verifies the Lemma 7
+    /// bound everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DensityError::Construction`] (a bug if it happens).
+    pub fn verdict(&self) -> Result<DensityVerdict, DensityError> {
+        if let Some(&v) = self.nonempty_in0().first() {
+            return Ok(DensityVerdict::CycleFound(self.construct_cycle(v)?));
+        }
+        let mut max_ratio: f64 = 0.0;
+        for v in self.g.nodes() {
+            if self.input.layer[v.index()].is_none() {
+                continue;
+            }
+            let reach = self.w0_reachable(v).len() as f64;
+            let bound = self.density_bound(v).expect("layered");
+            if bound > 0.0 {
+                max_ratio = max_ratio.max(reach / bound);
+            } else if reach > 0.0 {
+                max_ratio = f64::INFINITY;
+            }
+        }
+        if max_ratio > 1.0 {
+            return Err(DensityError::Construction(format!(
+                "Lemma 7 bound violated (ratio {max_ratio}) with all IN(v,0) empty"
+            )));
+        }
+        Ok(DensityVerdict::BoundHolds { max_ratio })
+    }
+
+    /// The constructive Lemma 6: given `v` with `IN(v,0) ≠ ∅`, builds the
+    /// paths `P`, `P′`, `P″` and returns their union — a validated
+    /// `2k`-cycle intersecting `S`.
+    ///
+    /// # Errors
+    ///
+    /// [`DensityError::Construction`] if `IN(v,0)` is empty or an
+    /// invariant fails.
+    pub fn construct_cycle(&self, v: NodeId) -> Result<CycleWitness, DensityError> {
+        let k = self.input.k;
+        let i = self.input.layer[v.index()].ok_or_else(|| {
+            DensityError::Construction(format!("{v} is not a layered vertex"))
+        })? as usize;
+        let q = (k - i) / 2;
+        let nested = &self.nested[v.index()];
+        let in0 = nested
+            .first()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| DensityError::Construction(format!("IN({v},0) is empty")))?;
+
+        // ---- Claim 1: the alternating path P inside IN(v, 2q). ----
+        let mut deque: VecDeque<NodeId> = VecDeque::new();
+        let mut used_s: HashSet<NodeId> = HashSet::new();
+        let mut used_w: HashSet<NodeId> = HashSet::new();
+        let (s1, _) = self.edge(in0[0]);
+        deque.push_back(s1);
+        used_s.insert(s1);
+
+        for gamma in 0..q {
+            // Extend both ends with fresh W₀ vertices via IN(v, 2γ+1).
+            for front in [true, false] {
+                let s_end = *if front {
+                    deque.front()
+                } else {
+                    deque.back()
+                }
+                .expect("non-empty");
+                let w_new = self
+                    .pick_partner(&nested[2 * gamma + 1], s_end, true, &used_w)
+                    .ok_or_else(|| {
+                        DensityError::Construction(format!(
+                            "no fresh W₀ extension for {s_end} at γ = {gamma}"
+                        ))
+                    })?;
+                used_w.insert(w_new);
+                if front {
+                    deque.push_front(w_new);
+                } else {
+                    deque.push_back(w_new);
+                }
+            }
+            // Extend both ends with fresh S vertices via IN(v, 2γ+2).
+            for front in [true, false] {
+                let w_end = *if front {
+                    deque.front()
+                } else {
+                    deque.back()
+                }
+                .expect("non-empty");
+                let s_new = self
+                    .pick_partner(&nested[2 * gamma + 2], w_end, false, &used_s)
+                    .ok_or_else(|| {
+                        DensityError::Construction(format!(
+                            "no fresh S extension for {w_end} at γ = {gamma}"
+                        ))
+                    })?;
+                used_s.insert(s_new);
+                if front {
+                    deque.push_front(s_new);
+                } else {
+                    deque.push_back(s_new);
+                }
+            }
+        }
+        debug_assert_eq!(deque.len(), 4 * q + 1);
+
+        if (k - i) % 2 == 0 {
+            // 4q+1 = 2(k-i)+1: drop one S endpoint.
+            deque.pop_back();
+        } else {
+            // 4q+1 = 2(k-i)-1: extend the front S endpoint with a fresh
+            // w via IN(v, 2q).
+            let s_end = *deque.front().expect("non-empty");
+            let w_new = self
+                .pick_partner(&nested[2 * q], s_end, true, &used_w)
+                .ok_or_else(|| {
+                    DensityError::Construction(format!("no final W₀ extension for {s_end}"))
+                })?;
+            used_w.insert(w_new);
+            deque.push_front(w_new);
+        }
+        // Normalize: P runs from its W₀ end to its S end.
+        let mut p: Vec<NodeId> = deque.into();
+        if !self.input.w0_mask[p[0].index()] {
+            p.reverse();
+        }
+        debug_assert_eq!(p.len(), 2 * (k - i));
+        let w_end = p[0];
+        let s_end = *p.last().expect("non-empty");
+        debug_assert!(self.input.w0_mask[w_end.index()]);
+        debug_assert!(self.input.s_mask[s_end.index()]);
+
+        // ---- Claim 2, path P′: Lemma 5 walk for the edge of P at w. ----
+        let e_w = *self
+            .edge_ids
+            .get(&(p[1], w_end))
+            .ok_or_else(|| DensityError::Construction("P edge at w missing".into()))?;
+        let p_prime = self.lemma5_path(v, e_w)?; // [w, v'_1, ..., v'_{i-1}, v]
+        debug_assert_eq!(p_prime[0], w_end);
+
+        // ---- Claim 2, path P″: an IN(v)[s] edge avoiding P and all
+        // OUT(v'_j). ----
+        let p_w0: HashSet<NodeId> = p
+            .iter()
+            .copied()
+            .filter(|u| self.input.w0_mask[u.index()])
+            .collect();
+        let avoid_out: Vec<&Vec<u32>> = p_prime[1..p_prime.len() - 1]
+            .iter()
+            .map(|u| &self.out_sets[u.index()])
+            .collect();
+        let e2 = self.in_sets[v.index()]
+            .iter()
+            .copied()
+            .find(|&e| {
+                let (s, w) = self.edge(e);
+                s == s_end
+                    && !p_w0.contains(&w)
+                    && !avoid_out.iter().any(|o| o.binary_search(&e).is_ok())
+            })
+            .ok_or_else(|| {
+                DensityError::Construction(format!("no admissible IN(v)[{s_end}] edge"))
+            })?;
+        let p_second = self.lemma5_path(v, e2)?; // [w″, v″_1, ..., v]
+        let (_, w2) = self.edge(e2);
+        debug_assert_eq!(p_second[0], w2);
+
+        // ---- Assemble: v, P′ reversed (v'_{i-1}..v'_1, w), P (w→s),
+        // then s, w″, v″_1, ..., v″_{i-1}, back to v. ----
+        let mut cycle: Vec<NodeId> = vec![v];
+        for &u in p_prime[1..p_prime.len() - 1].iter().rev() {
+            cycle.push(u);
+        }
+        cycle.extend_from_slice(&p); // w .. s
+        for &u in &p_second[..p_second.len() - 1] {
+            cycle.push(u); // w″, v″_1, ..., v″_{i-1}
+        }
+        let witness = CycleWitness::new(cycle);
+        if witness.len() != 2 * k || !witness.is_valid(self.g) {
+            return Err(DensityError::Construction(format!(
+                "assembled object is not a valid 2k-cycle: {witness:?}"
+            )));
+        }
+        if !witness
+            .nodes()
+            .iter()
+            .any(|u| self.input.s_mask[u.index()])
+        {
+            return Err(DensityError::Construction(
+                "assembled cycle avoids S".into(),
+            ));
+        }
+        Ok(witness)
+    }
+
+    /// Picks, within an edge set, a partner of `anchor` on the other side
+    /// (`want_w`: pick the `w` endpoint of an edge whose `s` is `anchor`,
+    /// or vice versa) avoiding `used`.
+    fn pick_partner(
+        &self,
+        edge_set: &[u32],
+        anchor: NodeId,
+        want_w: bool,
+        used: &HashSet<NodeId>,
+    ) -> Option<NodeId> {
+        for &e in edge_set {
+            let (s, w) = self.edge(e);
+            if want_w && s == anchor && !used.contains(&w) {
+                return Some(w);
+            }
+            if !want_w && w == anchor && !used.contains(&s) {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Lemma 5: for `e ∈ IN(v)` with `v ∈ V_i`, the path
+    /// `(w, v_1, …, v_{i-1}, v)` with `e ∈ OUT(v_j)` for every `j`.
+    fn lemma5_path(&self, v: NodeId, e: u32) -> Result<Vec<NodeId>, DensityError> {
+        let i = self.input.layer[v.index()].expect("layered") as usize;
+        let (_, w) = self.edge(e);
+        let mut chain = vec![v];
+        let mut cur = v;
+        for j in (1..i).rev() {
+            let next = self
+                .g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|u| {
+                    self.input.layer[u.index()] == Some(j as u8)
+                        && self.out_sets[u.index()].binary_search(&e).is_ok()
+                })
+                .ok_or_else(|| {
+                    DensityError::Construction(format!(
+                        "Lemma 5 walk stuck at layer {j} below {cur}"
+                    ))
+                })?;
+            chain.push(next);
+            cur = next;
+        }
+        // cur ∈ V_1 (or cur = v when i = 1): w must be adjacent.
+        if !self.g.has_edge(cur, w) {
+            return Err(DensityError::Construction(format!(
+                "Lemma 5 terminal {cur} not adjacent to {w}"
+            )));
+        }
+        chain.push(w);
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Computes `OUT`/`IN`/nested sets bottom-up (Eqs. 3–8).
+    fn compute(&mut self) {
+        let k = self.input.k;
+        let n = self.g.node_count();
+        // Layer 0 = W₀: OUT(w) = E({w}, S).
+        for e in 0..self.edges.len() as u32 {
+            let (_, w) = self.edges[e as usize];
+            self.out_sets[w.index()].push(e);
+        }
+        for v in 0..n {
+            self.out_sets[v].sort_unstable();
+        }
+
+        for i in 1..k {
+            // Gather V_i.
+            let members: Vec<NodeId> = self
+                .g
+                .nodes()
+                .filter(|v| self.input.layer[v.index()] == Some(i as u8))
+                .collect();
+            for &v in &members {
+                // Eq. 4: IN(v) = ⋃ OUT(v') over (i-1)-layer neighbors
+                // (W₀ neighbors when i = 1).
+                let mut acc: Vec<u32> = Vec::new();
+                for &u in self.g.neighbors(v) {
+                    let is_prev = if i == 1 {
+                        self.input.w0_mask[u.index()]
+                    } else {
+                        self.input.layer[u.index()] == Some((i - 1) as u8)
+                    };
+                    if is_prev {
+                        acc.extend_from_slice(&self.out_sets[u.index()]);
+                    }
+                }
+                acc.sort_unstable();
+                acc.dedup();
+                self.in_sets[v.index()] = acc;
+
+                // Eqs. 5–7: the nested sequence.
+                let q = (k - i) / 2;
+                let in_v = &self.in_sets[v.index()];
+                let top_threshold = 2f64.powi(i as i32 - 1) as u64 * (k as u64 - 1);
+                let mut seq: Vec<Vec<u32>> = vec![Vec::new(); 2 * q + 1];
+                seq[2 * q] = self.filter_by_degree(in_v, in_v, true, top_threshold);
+                let mut gamma = q;
+                while gamma >= 1 {
+                    let from = seq[2 * gamma].clone();
+                    seq[2 * gamma - 1] =
+                        self.filter_by_degree(&from, &from, false, 2 * gamma as u64);
+                    let mid = seq[2 * gamma - 1].clone();
+                    seq[2 * gamma - 2] =
+                        self.filter_by_degree(&mid, &mid, true, 2 * gamma as u64 - 1);
+                    gamma -= 1;
+                }
+                self.nested[v.index()] = seq;
+
+                // Eq. 8: OUT(v) = edges dropped by the s-degree filters.
+                let nested = &self.nested[v.index()];
+                let mut out: Vec<u32> = set_difference(in_v, &nested[2 * q]);
+                for g2 in 1..=q {
+                    out.extend(set_difference(&nested[2 * g2 - 1], &nested[2 * g2 - 2]));
+                }
+                out.sort_unstable();
+                out.dedup();
+                self.out_sets[v.index()] = out;
+            }
+        }
+    }
+
+    /// Keeps the edges of `subset` whose `s`-endpoint (if `by_s`) or
+    /// `w`-endpoint has degree strictly greater than `threshold` within
+    /// `degree_universe`.
+    fn filter_by_degree(
+        &self,
+        subset: &[u32],
+        degree_universe: &[u32],
+        by_s: bool,
+        threshold: u64,
+    ) -> Vec<u32> {
+        let mut deg: HashMap<NodeId, u64> = HashMap::new();
+        for &e in degree_universe {
+            let (s, w) = self.edge(e);
+            *deg.entry(if by_s { s } else { w }).or_insert(0) += 1;
+        }
+        subset
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let (s, w) = self.edge(e);
+                deg.get(&if by_s { s } else { w }).copied().unwrap_or(0) > threshold
+            })
+            .collect()
+    }
+}
+
+/// Sorted-set difference `a ∖ b`.
+fn set_difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter()
+        .copied()
+        .filter(|e| b.binary_search(e).is_err())
+        .collect()
+}
+
+/// Builds a synthetic instance that triggers the Lemma 6 construction at
+/// layer `i` exactly.
+///
+/// Structure: `S` of size `sigma ≥ k²` completely joined to a `W₀` of
+/// size `(k-1)·hubs_top·2^{i-2}` (for `i ≥ 2`; `(k-1)·hubs_top` for
+/// `i = 1`); `W₀` is partitioned into groups of size `k-1`, each hanging
+/// off one `V_1` hub; hubs pair up in a binary tree through layers
+/// `2, …, i-1`; a single apex vertex in `V_i` sees the whole top layer.
+///
+/// The sizes are tuned to the filter thresholds of Eqs. 5–7: a hub at
+/// layer `j < i` accumulates `s`-degrees of exactly `2^{j-1}(k-1)` in its
+/// `IN` set — *equal* to the layer-`j` threshold, so the top filter drops
+/// everything (`IN(·, 2q) = ∅`, all edges fall into `OUT`), while the
+/// apex accumulates `s`-degrees of `hubs_top·2^{i-2}·(k-1) >
+/// 2^{i-1}(k-1)` (for `hubs_top ≥ 3`), so its `IN(v, 0)` is non-empty
+/// and Lemma 6 fires there — and nowhere below.
+///
+/// Returns `(graph, input, apex)`.
+///
+/// # Panics
+///
+/// Panics unless `k ≥ 2`, `1 ≤ i < k`, `sigma ≥ k²`, and `hubs_top ≥ 3`.
+pub fn layered_density_instance(
+    k: usize,
+    i: usize,
+    sigma: usize,
+    hubs_top: usize,
+) -> (Graph, DensityInput, NodeId) {
+    assert!(k >= 2 && i >= 1 && i < k, "need 1 ≤ i < k and k ≥ 2");
+    assert!(sigma >= k * k, "need σ ≥ k² for the W₀ premise");
+    assert!(hubs_top >= 3, "need ≥ 3 top hubs to clear the threshold");
+    // Hub counts per layer j = 1..=i-1: hubs_top · 2^{i-1-j}.
+    let hub_counts: Vec<usize> = (1..i)
+        .map(|j| hubs_top << (i - 1 - j))
+        .collect();
+    let groups = if i == 1 {
+        hubs_top
+    } else {
+        hub_counts[0]
+    };
+    let omega = (k - 1) * groups;
+    let total_hubs: usize = hub_counts.iter().sum();
+    let n = sigma + omega + total_hubs + 1; // +1 apex
+    let mut b = congest_graph::GraphBuilder::new(n);
+    let s_id = |s: usize| NodeId::new(s as u32);
+    let w_id = |w: usize| NodeId::new((sigma + w) as u32);
+    // Hub layout: layer-1 hubs first, then layer 2, ...
+    let mut hub_base = vec![0usize; i + 1];
+    for j in 2..i {
+        hub_base[j] = hub_base[j - 1] + hub_counts[j - 2];
+    }
+    let hub_id =
+        |j: usize, m: usize| NodeId::new((sigma + omega + hub_base[j] + m) as u32);
+    let apex = NodeId::new((n - 1) as u32);
+
+    // Complete join S × W₀.
+    for w in 0..omega {
+        for s in 0..sigma {
+            b.add_edge(s_id(s), w_id(w));
+        }
+    }
+    if i == 1 {
+        // Apex is the single V_1 vertex over all of W₀.
+        for w in 0..omega {
+            b.add_edge(apex, w_id(w));
+        }
+    } else {
+        // Layer-1 hubs over their (k-1)-groups.
+        for m in 0..hub_counts[0] {
+            for t in 0..(k - 1) {
+                b.add_edge(hub_id(1, m), w_id(m * (k - 1) + t));
+            }
+        }
+        // Binary pairing up the tree.
+        for j in 2..i {
+            for m in 0..hub_counts[j - 1] {
+                b.add_edge(hub_id(j, m), hub_id(j - 1, 2 * m));
+                b.add_edge(hub_id(j, m), hub_id(j - 1, 2 * m + 1));
+            }
+        }
+        // Apex sees the whole top hub layer.
+        for m in 0..hub_counts[i - 2] {
+            b.add_edge(apex, hub_id(i - 1, m));
+        }
+    }
+    let g = b.build();
+    let mut s_mask = vec![false; n];
+    let mut w0_mask = vec![false; n];
+    let mut layer = vec![None; n];
+    for s in 0..sigma {
+        s_mask[s] = true;
+    }
+    for w in 0..omega {
+        w0_mask[sigma + w] = true;
+    }
+    for j in 1..i {
+        for m in 0..hub_counts[j - 1] {
+            layer[hub_id(j, m).index()] = Some(j as u8);
+        }
+    }
+    layer[apex.index()] = Some(i as u8);
+    (
+        g,
+        DensityInput {
+            k,
+            s_mask,
+            w0_mask,
+            layer,
+        },
+        apex,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = congest_graph::generators::complete(6);
+        // Overlapping sets.
+        let input = DensityInput {
+            k: 2,
+            s_mask: vec![true, false, false, false, false, false],
+            w0_mask: vec![true, false, false, false, false, false],
+            layer: vec![None; 6],
+        };
+        assert!(matches!(
+            Sparsification::new(&g, input),
+            Err(DensityError::InvalidInput(_))
+        ));
+        // W₀ vertex without k² S-neighbors.
+        let input = DensityInput {
+            k: 2,
+            s_mask: vec![true, false, false, false, false, false],
+            w0_mask: vec![false, true, false, false, false, false],
+            layer: vec![None; 6],
+        };
+        assert!(matches!(
+            Sparsification::new(&g, input),
+            Err(DensityError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn dense_instance_triggers_cycle_k2() {
+        let (g, input, apex) = layered_density_instance(2, 1, 6, 4);
+        let sp = Sparsification::new(&g, input).unwrap();
+        assert_eq!(sp.nonempty_in0(), vec![apex], "apex is the only trigger");
+        let w = sp.construct_cycle(apex).expect("construction succeeds");
+        assert_eq!(w.len(), 4);
+        assert!(w.is_valid(&g));
+    }
+
+    #[test]
+    fn dense_instance_triggers_cycle_various_k_i() {
+        for (k, i) in [(3usize, 1usize), (3, 2), (4, 2), (4, 3), (5, 2), (5, 4)] {
+            let sigma = k * k + 4;
+            let (g, input, apex) = layered_density_instance(k, i, sigma, 4);
+            let sp = Sparsification::new(&g, input).unwrap();
+            assert_eq!(
+                sp.nonempty_in0(),
+                vec![apex],
+                "trigger must be exactly the apex (k={k}, i={i})"
+            );
+            match sp.verdict().expect("no construction error") {
+                DensityVerdict::CycleFound(w) => {
+                    assert_eq!(w.len(), 2 * k, "k={k}, i={i}");
+                    assert!(w.is_valid(&g), "k={k}, i={i}");
+                }
+                DensityVerdict::BoundHolds { .. } => {
+                    panic!("expected a cycle for k={k}, i={i} (dense instance)")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_scenario_k5_i2() {
+        // The Figure 1 setting: k = 5, v ∈ V_2, q = 1,
+        // IN(v,0) ⊆ IN(v,1) ⊆ IN(v,2) ⊆ IN(v).
+        let k = 5;
+        let sigma = 30;
+        let (g, input, apex) = layered_density_instance(k, 2, sigma, 4);
+        let sp = Sparsification::new(&g, input).unwrap();
+        assert_eq!(sp.q_of(apex), Some(1));
+        assert_eq!(sp.nested_sets(apex).len(), 3); // IN(v,0), IN(v,1), IN(v,2)
+        // Nesting is monotone.
+        let sets = sp.nested_sets(apex);
+        for g2 in 0..sets.len() - 1 {
+            for e in &sets[g2] {
+                assert!(
+                    sets[g2 + 1].binary_search(e).is_ok(),
+                    "IN(v,{g2}) ⊄ IN(v,{})",
+                    g2 + 1
+                );
+            }
+        }
+        let w = sp.construct_cycle(apex).expect("Figure 1 cycle");
+        assert_eq!(w.len(), 10);
+        assert!(w.is_valid(&g));
+        // The cycle meets S.
+        assert!(w.nodes().iter().any(|u| u.index() < sigma));
+    }
+
+    #[test]
+    fn sparse_instance_bound_holds() {
+        // A thin instance: one V_1 vertex over a (k-1)-sized W₀ — the
+        // top filter drops everything, no trigger, Lemma 7 bound holds.
+        let k = 3;
+        let sigma = k * k;
+        let omega = k - 1;
+        let n = sigma + omega + 1;
+        let mut b = congest_graph::GraphBuilder::new(n);
+        for w in 0..omega as u32 {
+            for s in 0..sigma as u32 {
+                b.add_edge(NodeId::new(s), NodeId::new(sigma as u32 + w));
+            }
+            b.add_edge(NodeId::new(sigma as u32 + w), NodeId::new((n - 1) as u32));
+        }
+        let g = b.build();
+        let mut s_mask = vec![false; n];
+        let mut w0_mask = vec![false; n];
+        let mut layer = vec![None; n];
+        for s in 0..sigma {
+            s_mask[s] = true;
+        }
+        for w in sigma..sigma + omega {
+            w0_mask[w] = true;
+        }
+        layer[n - 1] = Some(1);
+        let sp = Sparsification::new(
+            &g,
+            DensityInput {
+                k,
+                s_mask,
+                w0_mask,
+                layer,
+            },
+        )
+        .unwrap();
+        match sp.verdict().unwrap() {
+            DensityVerdict::BoundHolds { max_ratio } => {
+                assert!(max_ratio <= 1.0);
+                assert!(max_ratio > 0.0);
+            }
+            DensityVerdict::CycleFound(_) => panic!("no trigger expected"),
+        }
+    }
+
+    #[test]
+    fn out_sets_of_w0_are_incident_edges() {
+        let (g, input, _) = layered_density_instance(2, 1, 5, 4);
+        let sp = Sparsification::new(&g, input.clone()).unwrap();
+        for w in g.nodes().filter(|w| input.w0_mask[w.index()]) {
+            let out = sp.out_set(w);
+            assert_eq!(out.len(), 5, "complete join to S");
+            for &e in out {
+                assert_eq!(sp.edge(e).1, w);
+            }
+        }
+    }
+
+    #[test]
+    fn in_set_is_union_of_out_sets() {
+        let (g, input, apex) = layered_density_instance(3, 1, 10, 4);
+        let sp = Sparsification::new(&g, input.clone()).unwrap();
+        // apex ∈ V_1 adjacent to all W₀: IN = all edges.
+        assert_eq!(sp.in_set(apex).len(), sp.edge_count());
+        let _ = g;
+    }
+
+    #[test]
+    fn w0_reachable_counts() {
+        let (g, input, apex) = layered_density_instance(3, 2, 10, 4);
+        let sp = Sparsification::new(&g, input.clone()).unwrap();
+        // The apex (V_2) reaches all of W₀ through the V_1 hubs.
+        let omega = input.w0_mask.iter().filter(|&&b| b).count();
+        assert_eq!(sp.w0_reachable(apex).len(), omega);
+        let _ = g;
+    }
+
+    #[test]
+    fn fact5_out_degree_bound() {
+        // Fact 5: deg_{OUT(v)}(s) ≤ 2^{i-1}(k-1) for layered v.
+        for (k, i) in [(3usize, 1usize), (4, 2), (5, 2)] {
+            let sigma = k * k + 3;
+            let (g, input, _) = layered_density_instance(k, i, sigma, 4);
+            let sp = Sparsification::new(&g, input.clone()).unwrap();
+            for v in g.nodes().filter(|v| input.layer[v.index()].is_some()) {
+                let iv = input.layer[v.index()].unwrap() as i32;
+                let bound = 2f64.powi(iv - 1) as usize * (k - 1);
+                let mut deg: HashMap<NodeId, usize> = HashMap::new();
+                for &e in sp.out_set(v) {
+                    *deg.entry(sp.edge(e).0).or_insert(0) += 1;
+                }
+                for (&s, &d) in &deg {
+                    assert!(
+                        d <= bound,
+                        "Fact 5 violated at v={v}, s={s}: {d} > {bound} (k={k}, i={i})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Bipartiteness testing.
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// A proper 2-coloring of `g` if one exists (`g` bipartite), else `None`.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.node_count();
+    let mut side = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in g.nodes() {
+        if side[start.index()] != u8::MAX {
+            continue;
+        }
+        side[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if side[v.index()] == u8::MAX {
+                    side[v.index()] = 1 - side[u.index()];
+                    queue.push_back(v);
+                } else if side[v.index()] == side[u.index()] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Whether `g` contains no odd cycle.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn even_cycles_bipartite_odd_not() {
+        assert!(is_bipartite(&generators::cycle(4)));
+        assert!(is_bipartite(&generators::cycle(10)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(!is_bipartite(&generators::cycle(9)));
+    }
+
+    #[test]
+    fn trees_bipartite() {
+        assert!(is_bipartite(&generators::random_tree(25, 3)));
+        assert!(is_bipartite(&generators::path(8)));
+        assert!(is_bipartite(&generators::empty(4)));
+    }
+
+    #[test]
+    fn partition_is_proper() {
+        let g = generators::grid(3, 5);
+        let side = bipartition(&g).expect("grid is bipartite");
+        for (u, v) in g.edges() {
+            assert_ne!(side[u.index()], side[v.index()]);
+        }
+    }
+
+    #[test]
+    fn complete_graph_not_bipartite() {
+        assert!(!is_bipartite(&generators::complete(3)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Exact girth computation.
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// The exact girth of `g` (length of its shortest cycle), or `None` for a
+/// forest.
+///
+/// Runs one BFS per vertex (`O(n·m)`): for the BFS rooted at a vertex of a
+/// shortest cycle, the non-tree edge "opposite" the root closes the cycle
+/// at exactly the girth; every other candidate only ever certifies a cycle
+/// at least as short as the walk it closes, so the minimum over all roots
+/// and edges is exact.
+pub fn girth(g: &Graph) -> Option<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<usize> = None;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for root in g.nodes() {
+        for &t in &touched {
+            dist[t] = u32::MAX;
+            parent[t] = u32::MAX;
+        }
+        touched.clear();
+        let depth_cap = best.map_or(u32::MAX, |b| (b as u32).div_ceil(2));
+        let mut queue = VecDeque::new();
+        dist[root.index()] = 0;
+        touched.push(root.index());
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            if du >= depth_cap {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    parent[v.index()] = u.raw();
+                    touched.push(v.index());
+                    queue.push_back(v);
+                } else if parent[u.index()] != v.raw() && parent[v.index()] != u.raw() {
+                    // Non-tree edge: closes a walk of length
+                    // dist[u] + dist[v] + 1, which contains a cycle at
+                    // most that long.
+                    let cand = (du + dist[v.index()] + 1) as usize;
+                    if best.map_or(true, |b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        if best == Some(3) {
+            break; // cannot improve
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn girth_of_cycles() {
+        for n in 3..=12 {
+            assert_eq!(girth(&generators::cycle(n)), Some(n));
+        }
+    }
+
+    #[test]
+    fn girth_of_forest_none() {
+        assert_eq!(girth(&generators::path(10)), None);
+        assert_eq!(girth(&generators::star(6)), None);
+        assert_eq!(girth(&generators::empty(5)), None);
+        assert_eq!(girth(&generators::empty(0)), None);
+    }
+
+    #[test]
+    fn girth_of_complete() {
+        assert_eq!(girth(&generators::complete(5)), Some(3));
+    }
+
+    #[test]
+    fn girth_of_bipartite_families() {
+        assert_eq!(girth(&generators::complete_bipartite(3, 3)), Some(4));
+        assert_eq!(girth(&generators::grid(4, 4)), Some(4));
+        assert_eq!(girth(&generators::hypercube(3)), Some(4));
+    }
+
+    #[test]
+    fn girth_theta_graphs() {
+        assert_eq!(girth(&generators::theta(2, 5)), Some(7));
+        assert_eq!(girth(&generators::theta(4, 4)), Some(8));
+        assert_eq!(girth(&generators::theta(1, 5)), Some(6));
+    }
+
+    #[test]
+    fn girth_cycle_with_one_chord() {
+        // C8 with chord 0-4 creates two 5-cycles.
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 4),
+            ],
+        )
+        .unwrap();
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn girth_petersen() {
+        // The Petersen graph has girth 5.
+        let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 5)).collect();
+        let inner: Vec<(u32, u32)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
+        let edges: Vec<(u32, u32)> =
+            outer.into_iter().chain(spokes).chain(inner).collect();
+        let g = Graph::from_edges(10, edges).unwrap();
+        assert_eq!(girth(&g), Some(5));
+    }
+}

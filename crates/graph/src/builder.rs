@@ -1,0 +1,212 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::error::GraphError;
+use crate::{Graph, NodeId};
+
+/// Incrementally builds a simple undirected [`Graph`].
+///
+/// The builder accepts edges in any order and orientation, silently merges
+/// duplicates, and produces a CSR graph with sorted adjacency lists.
+///
+/// ```
+/// use congest_graph::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1));
+/// b.add_edge(NodeId::new(1), NodeId::new(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices of the graph under construction.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `count` fresh vertices, returning the id of the first.
+    ///
+    /// Useful for gadget constructions that allocate per-element path
+    /// vertices on the fly.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = NodeId::new(self.n as u32);
+        self.n += count;
+        first
+    }
+
+    /// Adds the edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range. Use
+    /// [`GraphBuilder::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.try_add_edge(u, v).expect("invalid edge");
+    }
+
+    /// Adds the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`, and
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let n = self.n as u32;
+        for w in [u, v] {
+            if w.raw() >= n {
+                return Err(GraphError::NodeOutOfRange { node: w, n: self.n });
+            }
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Adds a path `v_0 - v_1 - ... - v_{len}` of `len` fresh edges between
+    /// `from` and `to`, creating `len - 1` fresh internal vertices.
+    ///
+    /// With `len == 1` this is just the edge `{from, to}`. Returns the ids
+    /// of the internal vertices (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `from == to`.
+    pub fn add_path(&mut self, from: NodeId, to: NodeId, len: usize) -> Vec<NodeId> {
+        assert!(len >= 1, "path length must be at least 1");
+        assert_ne!(from, to, "path endpoints must differ");
+        if len == 1 {
+            self.add_edge(from, to);
+            return Vec::new();
+        }
+        let first = self.add_nodes(len - 1);
+        let internals: Vec<NodeId> = (0..len - 1)
+            .map(|i| NodeId::new(first.raw() + i as u32))
+            .collect();
+        let mut prev = from;
+        for &w in &internals {
+            self.add_edge(prev, w);
+            prev = w;
+        }
+        self.add_edge(prev, to);
+        internals
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// Duplicate edges are merged.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty offsets");
+            offsets.push(last + d);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut adj = vec![NodeId::new(0); self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            adj[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        // Adjacency of u is filled in increasing v-order for the (u, v)
+        // half because edges are sorted, but the (v, u) half interleaves;
+        // sort each list to restore the invariant.
+        for v in 0..self.n {
+            adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph::from_sorted_csr(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_extends_range() {
+        let mut b = GraphBuilder::new(2);
+        let first = b.add_nodes(3);
+        assert_eq!(first, NodeId::new(2));
+        assert_eq!(b.node_count(), 5);
+        b.add_edge(NodeId::new(0), NodeId::new(4));
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(4)));
+    }
+
+    #[test]
+    fn add_path_len_one_is_edge() {
+        let mut b = GraphBuilder::new(2);
+        let internals = b.add_path(NodeId::new(0), NodeId::new(1), 1);
+        assert!(internals.is_empty());
+        let g = b.build();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn add_path_creates_internals() {
+        let mut b = GraphBuilder::new(2);
+        let internals = b.add_path(NodeId::new(0), NodeId::new(1), 4);
+        assert_eq!(internals.len(), 3);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        // Endpoints have degree 1, internals degree 2.
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(1)), 1);
+        for w in internals {
+            assert_eq!(g.degree(w), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path length")]
+    fn add_path_zero_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_path(NodeId::new(0), NodeId::new(1), 0);
+    }
+
+    #[test]
+    fn builder_dedups() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(0));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for v in [4u32, 2, 3, 1] {
+            b.add_edge(NodeId::new(0), NodeId::new(v));
+        }
+        let g = b.build();
+        let nbrs = g.neighbors(NodeId::new(0));
+        let mut sorted = nbrs.to_vec();
+        sorted.sort();
+        assert_eq!(nbrs, &sorted[..]);
+    }
+}

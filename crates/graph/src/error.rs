@@ -1,0 +1,76 @@
+//! Error types for graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced when building or parsing a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `(u, u)` was supplied; simple graphs have no self-loops.
+    SelfLoop {
+        /// The offending vertex.
+        node: NodeId,
+    },
+    /// An edge endpoint was at least the vertex count.
+    NodeOutOfRange {
+        /// The offending vertex.
+        node: NodeId,
+        /// The number of vertices of the graph under construction.
+        n: usize,
+    },
+    /// A serialized graph could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph on {n} vertices")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(7),
+        };
+        assert_eq!(e.to_string(), "self-loop at node 7");
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            n: 4,
+        };
+        assert_eq!(e.to_string(), "node 9 out of range for graph on 4 vertices");
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

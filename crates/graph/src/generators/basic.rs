@@ -1,0 +1,205 @@
+//! Deterministic graph families.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The empty graph on `n` vertices.
+pub fn empty(n: usize) -> Graph {
+    Graph::empty(n)
+}
+
+/// The path `P_n` on `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(NodeId::new(v - 1), NodeId::new(v));
+    }
+    b.build()
+}
+
+/// The cycle `C_n` on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        b.add_edge(NodeId::new(v), NodeId::new((v + 1) % n as u32));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` (parts `0..a` and `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            builder.add_edge(NodeId::new(u), NodeId::new(a as u32 + v));
+        }
+    }
+    builder.build()
+}
+
+/// The star `K_{1,n-1}` with center 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "a star needs at least 1 vertex");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(NodeId::new(0), NodeId::new(v));
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| NodeId::new((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices.
+///
+/// # Panics
+///
+/// Panics if `d > 20` (guard against accidental huge allocations).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(NodeId::new(v as u32), NodeId::new(u as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The theta graph `Θ(a, b)`: two vertices joined by two internally
+/// disjoint paths of lengths `a` and `b` — the minimal graph containing a
+/// cycle of length exactly `a + b` and nothing else.
+///
+/// # Panics
+///
+/// Panics unless `a >= 1`, `b >= 2` (simple graph) or both at least 2.
+pub fn theta(a: usize, b: usize) -> Graph {
+    assert!(a >= 2 || b >= 2, "two length-1 paths would be a multi-edge");
+    assert!(a >= 1 && b >= 1 && a + b >= 3, "theta paths too short");
+    let mut builder = GraphBuilder::new(2);
+    let (s, t) = (NodeId::new(0), NodeId::new(1));
+    builder.add_path(s, t, a);
+    builder.add_path(s, t, b);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn path_trivial() {
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_counts_and_girth() {
+        for n in 3..10 {
+            let g = cycle(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n);
+            assert_eq!(analysis::girth(&g), Some(n));
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(analysis::is_bipartite(&g));
+        assert_eq!(analysis::girth(&g), Some(4));
+    }
+
+    #[test]
+    fn star_has_no_cycle() {
+        let g = star(8);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(analysis::girth(&g), None);
+    }
+
+    #[test]
+    fn grid_girth_four() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(analysis::girth(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(analysis::girth(&g), Some(4));
+        assert!(analysis::is_bipartite(&g));
+    }
+
+    #[test]
+    fn theta_contains_exactly_three_cycles() {
+        // Θ(2,3) = C5; Θ(2,4) contains C6 only; Θ(3,3) contains C6 only.
+        let g = theta(2, 3);
+        assert_eq!(analysis::girth(&g), Some(5));
+        let g = theta(3, 3);
+        assert_eq!(analysis::girth(&g), Some(6));
+        assert!(analysis::find_cycle_exact(&g, 6, None).is_some());
+        assert!(analysis::find_cycle_exact(&g, 4, None).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-edge")]
+    fn theta_rejects_double_edge() {
+        theta(1, 1);
+    }
+}

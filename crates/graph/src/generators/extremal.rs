@@ -1,0 +1,176 @@
+//! Extremal graphs: dense `C4`-free polarity graphs over projective planes.
+//!
+//! The Drucker–Kuhn–Oshman lower bound for `C4`-freeness (paper §3.3.1)
+//! needs a gadget graph with `N = Θ(n^{3/2})` edges that is itself
+//! `C4`-free. The classical extremal object with this property is the
+//! *Erdős–Rényi polarity graph* `ER_q`: vertices are the points of the
+//! projective plane `PG(2, q)` over `GF(q)` (`q` prime here), with `x ~ y`
+//! iff `x · y = 0 (mod q)`. It has `q² + q + 1` vertices, roughly
+//! `½ q(q+1)²` edges, and contains no `C4` — two distinct points lie on a
+//! unique line, so two vertices have at most one common neighbor.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Whether `q` is prime (deterministic trial division; fine for the sizes
+/// used by the gadgets, `q ≤ ~10^4`).
+pub fn is_prime(q: u64) -> bool {
+    if q < 2 {
+        return false;
+    }
+    if q % 2 == 0 {
+        return q == 2;
+    }
+    let mut d = 3;
+    while d * d <= q {
+        if q % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ q`.
+///
+/// # Panics
+///
+/// Panics if no prime fits in `u64` above `q` (practically unreachable).
+pub fn smallest_prime_at_least(q: u64) -> u64 {
+    let mut c = q.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime search overflow");
+    }
+}
+
+/// Canonical projective representatives of `PG(2, q)`: each 1-dimensional
+/// subspace of `GF(q)³` is represented by its unique vector whose first
+/// nonzero coordinate is 1.
+fn projective_points(q: u64) -> Vec<[u64; 3]> {
+    let mut pts = Vec::with_capacity((q * q + q + 1) as usize);
+    // (1, y, z)
+    for y in 0..q {
+        for z in 0..q {
+            pts.push([1, y, z]);
+        }
+    }
+    // (0, 1, z)
+    for z in 0..q {
+        pts.push([0, 1, z]);
+    }
+    // (0, 0, 1)
+    pts.push([0, 0, 1]);
+    pts
+}
+
+fn dot3(a: &[u64; 3], b: &[u64; 3], q: u64) -> u64 {
+    (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) % q
+}
+
+/// The Erdős–Rényi polarity graph `ER_q` for prime `q`.
+///
+/// * `q² + q + 1` vertices,
+/// * `½(q+1)(q² + q + 1) - O(q)` edges (self-orthogonal points lose their
+///   loop),
+/// * girth ≥ 5 apart from triangles — in particular **no `C4`**.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime.
+///
+/// ```
+/// use congest_graph::generators::polarity_graph;
+/// let g = polarity_graph(5);
+/// assert_eq!(g.node_count(), 31); // 5² + 5 + 1
+/// ```
+pub fn polarity_graph(q: u64) -> Graph {
+    assert!(is_prime(q), "polarity graph requires prime q, got {q}");
+    let pts = projective_points(q);
+    let n = pts.len();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dot3(&pts[i], &pts[j], q) == 0 {
+                b.add_edge(NodeId::new(i as u32), NodeId::new(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn primality() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 101];
+        let composites = [0u64, 1, 4, 9, 15, 100];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn next_prime() {
+        assert_eq!(smallest_prime_at_least(0), 2);
+        assert_eq!(smallest_prime_at_least(8), 11);
+        assert_eq!(smallest_prime_at_least(11), 11);
+        assert_eq!(smallest_prime_at_least(90), 97);
+    }
+
+    #[test]
+    fn projective_point_count() {
+        for q in [2u64, 3, 5, 7] {
+            assert_eq!(projective_points(q).len() as u64, q * q + q + 1);
+        }
+    }
+
+    #[test]
+    fn polarity_graph_is_c4_free() {
+        for q in [3u64, 5, 7] {
+            let g = polarity_graph(q);
+            assert_eq!(g.node_count() as u64, q * q + q + 1);
+            assert!(
+                analysis::find_cycle_exact(&g, 4, None).is_none(),
+                "ER_{q} must be C4-free"
+            );
+        }
+    }
+
+    #[test]
+    fn polarity_graph_is_dense() {
+        // m = ½(q+1)(q²+q+1) - (#self-orthogonal points)·(q+1)/2-ish;
+        // check the Θ(q³) scaling concretely.
+        let q = 7u64;
+        let g = polarity_graph(q);
+        let m = g.edge_count() as u64;
+        assert!(
+            m >= q * q * q / 4,
+            "ER_{q} too sparse: {m} edges vs q³/4 = {}",
+            q * q * q / 4
+        );
+    }
+
+    #[test]
+    fn polarity_graph_common_neighbors_at_most_one() {
+        // The defining property behind C4-freeness: any two vertices have
+        // at most one common neighbor.
+        let g = polarity_graph(5);
+        let n = g.node_count();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let nu = g.neighbors(NodeId::new(u));
+                let nv = g.neighbors(NodeId::new(v));
+                let common = nu.iter().filter(|x| nv.contains(x)).count();
+                assert!(common <= 1, "vertices {u},{v} share {common} neighbors");
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic, seedable graph generators.
+//!
+//! Everything here is used by the experiments: plain families for unit
+//! tests ([`path`], [`cycle`], [`complete`], …), random families for
+//! statistical experiments ([`erdos_renyi`], [`random_tree`], …),
+//! planted-cycle instances for detection benchmarks ([`plant_cycle`]),
+//! extremal C4-free graphs for the lower-bound gadgets
+//! ([`polarity_graph`]), and composition operators ([`disjoint_union`],
+//! [`join_with_matching`]) used to assemble the two-party reductions.
+
+mod basic;
+mod compose;
+mod extremal;
+mod planted;
+mod random;
+
+pub use basic::{
+    complete, complete_bipartite, cycle, empty, grid, hypercube, path, star, theta,
+};
+pub use compose::{disjoint_union, join_with_matching};
+pub use extremal::{is_prime, polarity_graph, smallest_prime_at_least};
+pub use planted::{cycle_with_chords, funnel, plant_cycle, plant_cycle_on_heavy_hub};
+pub use random::{
+    erdos_renyi, erdos_renyi_m, high_girth, random_bipartite, random_regular_ish, random_tree,
+};

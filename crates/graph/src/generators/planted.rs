@@ -1,0 +1,199 @@
+//! Planted-cycle instances for detection experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{CycleWitness, Graph, GraphBuilder, NodeId};
+
+/// Plants a cycle `C_ℓ` on `ℓ` uniformly random vertices of `host`,
+/// returning the new graph and the planted cycle as a witness.
+///
+/// The cycle's edges are added on top of the host's; planted instances are
+/// the standard "yes" inputs of the detection experiments (the host is
+/// typically `C_{2k}`-free by construction or by filtering).
+///
+/// # Panics
+///
+/// Panics if `host.node_count() < ℓ` or `ℓ < 3`.
+pub fn plant_cycle(host: &Graph, l: usize, seed: u64) -> (Graph, CycleWitness) {
+    assert!(l >= 3, "cycle length must be at least 3");
+    assert!(host.node_count() >= l, "host too small for planted cycle");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..host.node_count() as u32).collect();
+    ids.shuffle(&mut rng);
+    let chosen: Vec<NodeId> = ids[..l].iter().copied().map(NodeId::new).collect();
+    let mut b = GraphBuilder::new(host.node_count());
+    for (u, v) in host.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 0..l {
+        b.add_edge(chosen[i], chosen[(i + 1) % l]);
+    }
+    (b.build(), CycleWitness::new(chosen))
+}
+
+/// Plants a `2k`-cycle through a designated high-degree hub: vertex 0 gets
+/// `hub_degree` pendant neighbors plus a cycle of length `l` through it.
+///
+/// This produces "heavy cycle" instances — cycles through a node of degree
+/// `> n^{1/k}` — the case Algorithm 1's third `color-BFS` exists for.
+pub fn plant_cycle_on_heavy_hub(
+    host: &Graph,
+    l: usize,
+    hub_degree: usize,
+    seed: u64,
+) -> (Graph, CycleWitness) {
+    assert!(l >= 3, "cycle length must be at least 3");
+    assert!(
+        host.node_count() >= l,
+        "host too small for planted cycle"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (1..host.node_count() as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut chosen: Vec<NodeId> = vec![NodeId::new(0)];
+    chosen.extend(ids[..l - 1].iter().copied().map(NodeId::new));
+
+    let mut b = GraphBuilder::new(host.node_count());
+    for (u, v) in host.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 0..l {
+        b.add_edge(chosen[i], chosen[(i + 1) % l]);
+    }
+    // Pendant leaves to pump up the hub degree.
+    let first_leaf = b.add_nodes(hub_degree);
+    for i in 0..hub_degree {
+        b.add_edge(NodeId::new(0), NodeId::new(first_leaf.raw() + i as u32));
+    }
+    (b.build(), CycleWitness::new(chosen))
+}
+
+/// A cycle `C_n` with `chords` random chords added — a cheap family whose
+/// members contain many cycles of many lengths, for stress tests.
+pub fn cycle_with_chords(n: usize, chords: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "cycle length must be at least 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        b.add_edge(NodeId::new(v), NodeId::new((v + 1) % n as u32));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < chords && attempts < chords * 20 + 100 {
+        attempts += 1;
+        let u = rand::Rng::gen_range(&mut rng, 0..n as u32);
+        let v = rand::Rng::gen_range(&mut rng, 0..n as u32);
+        if u == v || (u as i64 - v as i64).rem_euclid(n as i64) <= 1 {
+            continue;
+        }
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+        added += 1;
+    }
+    b.build()
+}
+
+/// A congestion "funnel": `branches` parallel gadgets, each consisting of
+/// a large source set fully joined to the first vertex of a path of
+/// `chain` vertices. With all sources launching a colored BFS, the edge
+/// from a funnel's head to its chain must carry one identifier per
+/// (0-colored, selected) source — the worst case a global threshold
+/// `τ = Θ(n·p)` is sized for, realized with only `O(n)` edges.
+///
+/// Layout: sources first (grouped by branch), then the `branches × chain`
+/// path vertices.
+///
+/// # Panics
+///
+/// Panics if `branches == 0`, `chain == 0`, or `n` is too small to give
+/// each branch at least one source.
+pub fn funnel(n: usize, branches: usize, chain: usize) -> Graph {
+    assert!(branches > 0 && chain > 0, "need branches and a chain");
+    let overhead = branches * chain;
+    assert!(n > overhead, "n too small for {branches} branches of {chain}");
+    let sources = n - overhead;
+    let per_branch = sources / branches;
+    assert!(per_branch > 0, "each branch needs a source");
+    let mut b = GraphBuilder::new(n);
+    for br in 0..branches {
+        let head = NodeId::new((sources + br * chain) as u32);
+        let lo = br * per_branch;
+        let hi = if br + 1 == branches { sources } else { lo + per_branch };
+        for s in lo..hi {
+            b.add_edge(NodeId::new(s as u32), head);
+        }
+        for c in 1..chain {
+            b.add_edge(
+                NodeId::new((sources + br * chain + c - 1) as u32),
+                NodeId::new((sources + br * chain + c) as u32),
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::generators;
+
+    #[test]
+    fn funnel_shape() {
+        let g = funnel(100, 4, 3);
+        assert_eq!(g.node_count(), 100);
+        // 88 sources + 4 chains of 3; heads have degree 22 + 1.
+        let head = NodeId::new(88);
+        assert_eq!(g.degree(head), 23);
+        assert_eq!(analysis::girth(&g), None, "funnels are forests");
+        assert_eq!(
+            analysis::connected_components(&g).component_count(),
+            4,
+            "one component per branch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn funnel_needs_room() {
+        funnel(5, 3, 2);
+    }
+
+    #[test]
+    fn planted_cycle_is_valid_witness() {
+        let host = generators::random_tree(40, 3);
+        for seed in 0..5 {
+            let (g, w) = plant_cycle(&host, 6, seed);
+            assert!(w.is_valid(&g), "{w:?} invalid");
+            assert_eq!(w.len(), 6);
+            assert!(analysis::find_cycle_exact(&g, 6, None).is_some());
+        }
+    }
+
+    #[test]
+    fn planted_cycle_preserves_host_edges() {
+        let host = generators::path(20);
+        let (g, _) = plant_cycle(&host, 4, 1);
+        for (u, v) in host.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn heavy_hub_instance() {
+        let host = generators::empty(10);
+        let (g, w) = plant_cycle_on_heavy_hub(&host, 6, 30, 2);
+        assert!(w.is_valid(&g));
+        assert!(w.nodes().contains(&NodeId::new(0)));
+        assert!(g.degree(NodeId::new(0)) >= 30);
+        assert_eq!(g.node_count(), 40);
+    }
+
+    #[test]
+    fn chords_added() {
+        let g = cycle_with_chords(20, 5, 7);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.edge_count() >= 24, "expected most chords to land");
+    }
+}

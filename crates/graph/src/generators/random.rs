@@ -1,0 +1,332 @@
+//! Seedable random graph families.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+fn rng_from(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is `O(n + m)` rather than `O(n²)`
+/// for sparse `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    let mut rng = rng_from(seed);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+        return b.build();
+    }
+    // Enumerate pairs (u, v), u < v, in lexicographic order, skipping
+    // geometrically distributed gaps.
+    let log1mp = (1.0 - p).ln();
+    let mut idx: i64 = -1;
+    let total = (n as i64) * (n as i64 - 1) / 2;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1mp).floor() as i64 + 1;
+        idx += skip;
+        if idx >= total {
+            break;
+        }
+        let (u, v) = pair_from_index(idx as u64, n as u64);
+        b.add_edge(NodeId::new(u as u32), NodeId::new(v as u32));
+    }
+    b.build()
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the pair `(u, v)`, `u < v`,
+/// in lexicographic order.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve incrementally.
+    let mut u = 0u64;
+    let mut remaining = idx;
+    loop {
+        let row = n - u - 1;
+        if remaining < row {
+            return (u, u + 1 + remaining);
+        }
+        remaining -= row;
+        u += 1;
+    }
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n(n-1)/2`.
+pub fn erdos_renyi_m(n: usize, m: usize, seed: u64) -> Graph {
+    let total = n * n.saturating_sub(1) / 2;
+    assert!(m <= total, "too many edges requested");
+    let mut rng = rng_from(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::new(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(NodeId::new(key.0), NodeId::new(key.1));
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` vertices (via a random Prüfer
+/// sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        return b.build();
+    }
+    let mut rng = rng_from(seed);
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+    let mut degree = vec![1u32; n];
+    for &x in &prufer {
+        degree[x as usize] += 1;
+    }
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree invariant");
+        b.add_edge(NodeId::new(leaf), NodeId::new(x));
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 {
+            leaves.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(bb) = leaves.pop().expect("two leaves remain");
+    b.add_edge(NodeId::new(a), NodeId::new(bb));
+    b.build()
+}
+
+/// An approximately `d`-regular graph via the configuration model with
+/// self-loops and multi-edges discarded (so some vertices may have degree
+/// slightly below `d`).
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular_ish(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = rng_from(seed);
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for v in 0..n as u32 {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(NodeId::new(pair[0]), NodeId::new(pair[1]));
+        }
+    }
+    b.build()
+}
+
+/// A random bipartite graph with parts of sizes `a` and `b` and edge
+/// probability `p` (part `0..a` vs `a..a+b`). Bipartite graphs contain no
+/// odd cycles, which makes this a useful odd-cycle-free family.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = rng_from(seed);
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            if rng.gen_bool(p) {
+                builder.add_edge(NodeId::new(u), NodeId::new(a as u32 + v));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A random connected graph with `extra` non-tree edges and girth
+/// strictly greater than `min_girth`: starts from a random tree and adds
+/// random edges, skipping any that would close a cycle of length
+/// `≤ min_girth` (checked with a bounded BFS). A certified
+/// `{C_ℓ | ℓ ≤ min_girth}`-free family for soundness experiments at
+/// scale, where exact whole-graph search would be too slow.
+///
+/// May return fewer than `extra` extra edges if the attempt budget runs
+/// out (dense + high girth is extremal-graph-theory hard).
+pub fn high_girth(n: usize, min_girth: usize, extra: usize, seed: u64) -> Graph {
+    assert!(min_girth >= 3, "girth constraint below 3 is vacuous");
+    let tree = random_tree(n, seed);
+    if n < 2 {
+        return tree;
+    }
+    let mut rng = rng_from(seed ^ 0x6127);
+    let mut edges: Vec<(u32, u32)> = tree
+        .edges()
+        .map(|(u, v)| (u.raw(), v.raw()))
+        .collect();
+    let mut current = tree;
+    let mut added = 0;
+    let mut attempts = 0;
+    let budget = extra * 30 + 100;
+    while added < extra && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v || current.has_edge(NodeId::new(u), NodeId::new(v)) {
+            continue;
+        }
+        // Adding {u, v} closes a cycle of length dist(u, v) + 1; keep the
+        // edge only if every u-v distance exceeds min_girth - 1.
+        let dist = crate::analysis::bfs_distances_bounded(
+            &current,
+            NodeId::new(u),
+            (min_girth - 1) as u32,
+        );
+        if dist[v as usize].is_some() {
+            continue;
+        }
+        edges.push((u, v));
+        added += 1;
+        current = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn high_girth_respects_constraint() {
+        for (girth, seed) in [(4usize, 1u64), (6, 2), (8, 3)] {
+            let g = high_girth(60, girth, 15, seed);
+            if let Some(observed) = analysis::girth(&g) {
+                assert!(
+                    observed > girth,
+                    "requested girth > {girth}, got {observed} (seed {seed})"
+                );
+            }
+            assert!(g.edge_count() >= 59, "tree edges all present");
+        }
+    }
+
+    #[test]
+    fn high_girth_adds_edges_when_loose() {
+        let g = high_girth(100, 4, 10, 7);
+        assert!(g.edge_count() > 99, "some extra edges should land");
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_lexicographically() {
+        let n = 5u64;
+        let mut expected = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                expected.push((u, v));
+            }
+        }
+        for (i, &(u, v)) in expected.iter().enumerate() {
+            assert_eq!(pair_from_index(i as u64, n), (u, v));
+        }
+    }
+
+    #[test]
+    fn er_p_zero_and_one() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn er_determinism() {
+        let a = erdos_renyi(50, 0.1, 7);
+        let b = erdos_renyi(50, 0.1, 7);
+        assert_eq!(a, b);
+        let c = erdos_renyi(50, 0.1, 8);
+        assert_ne!(a, c, "different seed should (almost surely) differ");
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 42);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "edge count {m} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn er_m_exact_count() {
+        let g = erdos_renyi_m(30, 100, 3);
+        assert_eq!(g.edge_count(), 100);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(40, seed);
+            assert_eq!(g.edge_count(), 39);
+            assert!(analysis::is_connected(&g));
+            assert_eq!(analysis::girth(&g), None);
+        }
+    }
+
+    #[test]
+    fn random_tree_tiny() {
+        assert_eq!(random_tree(0, 1).node_count(), 0);
+        assert_eq!(random_tree(1, 1).edge_count(), 0);
+        assert_eq!(random_tree(2, 1).edge_count(), 1);
+        let g = random_tree(3, 9);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn regular_ish_degrees_bounded() {
+        let g = random_regular_ish(60, 4, 11);
+        for v in g.nodes() {
+            assert!(g.degree(v) <= 4);
+        }
+        // Most stubs survive collision removal.
+        assert!(g.edge_count() >= 100);
+    }
+
+    #[test]
+    fn bipartite_has_no_odd_cycles() {
+        let g = random_bipartite(20, 25, 0.2, 5);
+        assert!(analysis::is_bipartite(&g));
+        assert!(analysis::find_cycle_exact(&g, 5, None).is_none());
+    }
+}

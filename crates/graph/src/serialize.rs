@@ -1,0 +1,171 @@
+//! Plain-text graph serialization.
+//!
+//! The format is a minimal edge list:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! n 5
+//! 0 1
+//! 1 2
+//! ```
+//!
+//! The `n <count>` header fixes the vertex count (isolated vertices would
+//! otherwise be lost).
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Serializes `g` to the edge-list text format.
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("n {}\n", g.node_count()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{} {}\n", u.raw(), v.raw()));
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and the usual
+/// construction errors for invalid edges.
+pub fn from_text(text: &str) -> Result<Graph, GraphError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("n ") {
+            let parsed = rest.trim().parse::<usize>().map_err(|e| GraphError::Parse {
+                line: lineno,
+                message: format!("bad vertex count: {e}"),
+            })?;
+            n = Some(parsed);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: "expected two endpoints".into(),
+                })
+            }
+        };
+        let u = a.parse::<u32>().map_err(|e| GraphError::Parse {
+            line: lineno,
+            message: format!("bad endpoint: {e}"),
+        })?;
+        let v = b.parse::<u32>().map_err(|e| GraphError::Parse {
+            line: lineno,
+            message: format!("bad endpoint: {e}"),
+        })?;
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    Graph::from_edges(n, edges)
+}
+
+/// Renders a graph (and an optional highlighted cycle) as a GraphViz DOT
+/// string, used by the Figure 1 reproduction binary.
+pub fn to_dot(g: &Graph, highlight: &[NodeId]) -> String {
+    let mut out = String::from("graph G {\n");
+    let hl: std::collections::HashSet<NodeId> = highlight.iter().copied().collect();
+    for v in g.nodes() {
+        if hl.contains(&v) {
+            out.push_str(&format!("  {} [style=filled, fillcolor=gold];\n", v.raw()));
+        }
+    }
+    let hl_edges: std::collections::HashSet<(NodeId, NodeId)> = highlight
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            let v = highlight[(i + 1) % highlight.len()];
+            if u < v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        })
+        .collect();
+    for (u, v) in g.edges() {
+        if !highlight.is_empty() && hl_edges.contains(&(u, v)) {
+            out.push_str(&format!("  {} -- {} [penwidth=3, color=red];\n", u.raw(), v.raw()));
+        } else {
+            out.push_str(&format!("  {} -- {};\n", u.raw(), v.raw()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::erdos_renyi(25, 0.15, 11);
+        let text = to_text(&g);
+        let h = from_text(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_with_isolated_vertices() {
+        let g = Graph::from_edges(6, [(0, 1)]).unwrap();
+        let h = from_text(&to_text(&g)).unwrap();
+        assert_eq!(h.node_count(), 6);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let g = from_text("# header\n\nn 3\n0 1\n# mid\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_infers_n_without_header() {
+        let g = from_text("0 1\n1 4\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            from_text("0\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("0 x\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("n 2\n0 5\n"),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_output_mentions_highlight() {
+        let g = generators::cycle(4);
+        let dot = to_dot(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert!(dot.contains("fillcolor=gold"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.starts_with("graph G {"));
+    }
+}

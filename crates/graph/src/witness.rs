@@ -1,0 +1,175 @@
+//! Certified cycle witnesses.
+
+use std::fmt;
+
+use crate::{Graph, NodeId};
+
+/// An explicit cycle in a graph, used to certify rejections.
+///
+/// The paper's algorithms are one-sided: a node only rejects when a
+/// `2k`-cycle provably exists ("any node that rejects does so rightfully",
+/// proof of Theorem 1). This library makes that operational — every
+/// rejection carries a `CycleWitness` that has been [validated] against the
+/// input graph.
+///
+/// [validated]: CycleWitness::is_valid
+///
+/// ```
+/// use congest_graph::{generators, CycleWitness, NodeId};
+/// let g = generators::cycle(4);
+/// let w = CycleWitness::new(vec![0, 1, 2, 3].into_iter().map(NodeId::new).collect());
+/// assert!(w.is_valid(&g));
+/// assert_eq!(w.len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleWitness {
+    nodes: Vec<NodeId>,
+}
+
+impl CycleWitness {
+    /// Wraps a vertex sequence `v_0, v_1, ..., v_{ℓ-1}` claimed to be a
+    /// cycle (`v_i ~ v_{i+1}` and `v_{ℓ-1} ~ v_0`, all distinct).
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        CycleWitness { nodes }
+    }
+
+    /// The vertices of the cycle, in cyclic order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The length (number of vertices = number of edges) of the cycle.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the witness is empty (never valid).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Checks the witness against `g`: at least 3 distinct vertices, and
+    /// every consecutive pair (cyclically) is an edge of `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        let l = self.nodes.len();
+        if l < 3 {
+            return false;
+        }
+        let mut sorted = self.nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != l {
+            return false; // repeated vertex
+        }
+        if sorted.last().map_or(false, |v| v.index() >= g.node_count()) {
+            return false;
+        }
+        for i in 0..l {
+            let u = self.nodes[i];
+            let v = self.nodes[(i + 1) % l];
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A canonical form: rotated so the minimum vertex comes first, and
+    /// oriented so the second vertex is the smaller of the two neighbors of
+    /// the minimum. Two witnesses describe the same cycle iff their
+    /// canonical forms are equal.
+    pub fn canonicalize(&self) -> CycleWitness {
+        let l = self.nodes.len();
+        if l == 0 {
+            return self.clone();
+        }
+        let (min_pos, _) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| **v)
+            .expect("non-empty");
+        let fwd: Vec<NodeId> = (0..l).map(|i| self.nodes[(min_pos + i) % l]).collect();
+        let bwd: Vec<NodeId> = (0..l)
+            .map(|i| self.nodes[(min_pos + l - i) % l])
+            .collect();
+        if fwd[1.min(l - 1)] <= bwd[1.min(l - 1)] {
+            CycleWitness::new(fwd)
+        } else {
+            CycleWitness::new(bwd)
+        }
+    }
+}
+
+impl fmt::Debug for CycleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}[", self.nodes.len())?;
+        for (i, v) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn w(ids: &[u32]) -> CycleWitness {
+        CycleWitness::new(ids.iter().copied().map(NodeId::new).collect())
+    }
+
+    #[test]
+    fn valid_square() {
+        let g = generators::cycle(4);
+        assert!(w(&[0, 1, 2, 3]).is_valid(&g));
+        assert!(w(&[2, 3, 0, 1]).is_valid(&g));
+        assert!(w(&[3, 2, 1, 0]).is_valid(&g));
+    }
+
+    #[test]
+    fn invalid_cases() {
+        let g = generators::cycle(4);
+        assert!(!w(&[0, 1, 2]).is_valid(&g), "0-2 is not an edge");
+        assert!(!w(&[0, 1]).is_valid(&g), "too short");
+        assert!(!w(&[0, 1, 2, 1]).is_valid(&g), "repeated vertex");
+        assert!(!w(&[0, 1, 2, 9]).is_valid(&g), "out of range");
+        assert!(!w(&[]).is_valid(&g), "empty");
+    }
+
+    #[test]
+    fn chord_not_required() {
+        // Witness must be a cycle subgraph, not induced: a chord in g is fine.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert!(w(&[0, 1, 2, 3]).is_valid(&g));
+        assert!(w(&[0, 1, 2]).is_valid(&g));
+    }
+
+    #[test]
+    fn canonical_form_identifies_rotations_and_reflections() {
+        let a = w(&[2, 3, 0, 1]).canonicalize();
+        let b = w(&[1, 0, 3, 2]).canonicalize();
+        let c = w(&[0, 1, 2, 3]).canonicalize();
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+        assert_eq!(c.nodes()[0], NodeId::new(0));
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_distinct_cycles() {
+        let a = w(&[0, 1, 2, 3]).canonicalize();
+        let b = w(&[0, 1, 3, 2]).canonicalize();
+        assert_ne!(a, b);
+    }
+}

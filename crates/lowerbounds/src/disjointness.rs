@@ -1,0 +1,161 @@
+//! Two-party Set-Disjointness instances.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A Set-Disjointness instance over the universe `[N]`: Alice holds `x`,
+/// Bob holds `y`, and they must decide whether some element lies in both
+/// sets.
+///
+/// ```
+/// use congest_lowerbounds::disjointness::Disjointness;
+/// let d = Disjointness::from_sets(8, &[1, 3], &[0, 3, 7]);
+/// assert!(d.intersects());
+/// assert_eq!(d.intersection(), vec![3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disjointness {
+    x: Vec<bool>,
+    y: Vec<bool>,
+}
+
+impl Disjointness {
+    /// Creates an instance from membership masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different lengths.
+    pub fn new(x: Vec<bool>, y: Vec<bool>) -> Self {
+        assert_eq!(x.len(), y.len(), "universe size mismatch");
+        Disjointness { x, y }
+    }
+
+    /// Creates an instance from element lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is `≥ n`.
+    pub fn from_sets(n: usize, xs: &[usize], ys: &[usize]) -> Self {
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        for &e in xs {
+            assert!(e < n, "element out of universe");
+            x[e] = true;
+        }
+        for &e in ys {
+            assert!(e < n, "element out of universe");
+            y[e] = true;
+        }
+        Disjointness { x, y }
+    }
+
+    /// A random instance where each element joins each set independently
+    /// with probability `p`.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = (0..n).map(|_| rng.gen_bool(p)).collect();
+        let y = (0..n).map(|_| rng.gen_bool(p)).collect();
+        Disjointness { x, y }
+    }
+
+    /// A random *disjoint* instance: each element goes to Alice, Bob, or
+    /// neither — never both.
+    pub fn random_disjoint(n: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        for e in 0..n {
+            match rng.gen_range(0..3) {
+                0 => x[e] = true,
+                1 => y[e] = true,
+                _ => {}
+            }
+        }
+        Disjointness { x, y }
+    }
+
+    /// A random instance guaranteed to intersect in exactly one planted
+    /// element (the hard distribution of the lower bound).
+    pub fn random_with_planted_intersection(n: usize, seed: u64) -> (Self, usize) {
+        let mut d = Self::random_disjoint(n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E37);
+        let e = rng.gen_range(0..n);
+        d.x[e] = true;
+        d.y[e] = true;
+        // Remove any other accidental intersection (random_disjoint has
+        // none, so e is unique by construction).
+        (d, e)
+    }
+
+    /// Universe size `N`.
+    pub fn universe(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Alice's membership mask.
+    pub fn x(&self) -> &[bool] {
+        &self.x
+    }
+
+    /// Bob's membership mask.
+    pub fn y(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// Whether the sets intersect.
+    pub fn intersects(&self) -> bool {
+        self.x.iter().zip(&self.y).any(|(&a, &b)| a && b)
+    }
+
+    /// All common elements.
+    pub fn intersection(&self) -> Vec<usize> {
+        (0..self.universe())
+            .filter(|&e| self.x[e] && self.y[e])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let d = Disjointness::from_sets(6, &[0, 2], &[1, 3]);
+        assert!(!d.intersects());
+        assert!(d.intersection().is_empty());
+        assert_eq!(d.universe(), 6);
+        let d = Disjointness::from_sets(6, &[0, 2], &[2]);
+        assert!(d.intersects());
+        assert_eq!(d.intersection(), vec![2]);
+    }
+
+    #[test]
+    fn random_disjoint_never_intersects() {
+        for seed in 0..20 {
+            assert!(!Disjointness::random_disjoint(64, seed).intersects());
+        }
+    }
+
+    #[test]
+    fn planted_intersection_exact() {
+        for seed in 0..20 {
+            let (d, e) = Disjointness::random_with_planted_intersection(64, seed);
+            assert_eq!(d.intersection(), vec![e]);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(
+            Disjointness::random(32, 0.3, 5),
+            Disjointness::random(32, 0.3, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size mismatch")]
+    fn mismatched_masks_panic() {
+        Disjointness::new(vec![true], vec![true, false]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quantum substrate for the even-cycle CONGEST reproduction.
+//!
+//! The paper's quantum ingredients (Section 3) are, in dependency order:
+//!
+//! 1. **Grover search / amplitude amplification** over the randomness of a
+//!    classical algorithm — simulated here either with an exact
+//!    state-vector ([`StateVector`]) or with exact *analytic* amplitude
+//!    tracking (success probability `sin²((2j+1)θ)` after `j` iterations,
+//!    `θ = asin √(m/M)`), plus the Boyer–Brassard–Høyer–Tapp schedule for
+//!    an unknown number of marked items ([`GroverSearch`]).
+//! 2. **Distributed quantum search** (Lemma 8 = Le Gall–Magniez
+//!    [26, Thm 7]): a leader amplifies a distributed `Setup`/`Checking`
+//!    pair; round cost `O(log(1/δ) · (T_setup + T_check)/√ε)`
+//!    ([`DistributedSearch`]).
+//! 3. **Distributed quantum Monte-Carlo amplification** (Theorem 3): any
+//!    distributed one-sided Monte-Carlo algorithm with success probability
+//!    `ε` and round complexity `T(n, D)` becomes a quantum algorithm with
+//!    error `δ` in `polylog(1/δ)·(D + T)/√ε` rounds
+//!    ([`MonteCarloAmplifier`]).
+//! 4. **Diameter reduction** (Lemma 9, via the network decomposition of
+//!    Lemma 10): clusters of diameter `O(k log n)` colored with few colors
+//!    such that same-color clusters are far apart ([`decomposition`]).
+//!
+//! # Simulation contract
+//!
+//! No quantum hardware exists for the CONGEST model; what this crate
+//! preserves — and what the paper's results are about — is (a) the
+//! *behaviour* of the algorithms (one-sided error; a returned candidate is
+//! always verified classically before being reported, so false positives
+//! are impossible), and (b) the *round accounting* (the quadratic `1/√ε`
+//! vs `1/ε` gap). Reports expose both the quantum cost model (iterations,
+//! charged rounds) and the classical work the simulator spent
+//! (`classical_evals`), so no simulation cost is ever confused with
+//! algorithm cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amplification;
+mod complex;
+pub mod decomposition;
+mod grover;
+mod mcalg;
+mod search;
+mod statevector;
+
+pub use amplification::{AmplificationReport, MonteCarloAmplifier};
+pub use complex::Complex;
+pub use grover::{optimal_iterations, success_probability, GroverMode, GroverReport, GroverSearch};
+pub use mcalg::{FnAlgorithm, McOutcome, MonteCarloAlgorithm, WithSuccess};
+pub use search::{DistributedSearch, SearchReport};
+pub use statevector::StateVector;

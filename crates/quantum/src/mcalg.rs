@@ -1,0 +1,146 @@
+//! The interface between classical Monte-Carlo distributed algorithms and
+//! the quantum amplification machinery.
+
+/// The outcome of one seeded run of a Monte-Carlo distributed algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McOutcome {
+    /// Whether at least one node rejected.
+    pub rejected: bool,
+    /// CONGEST rounds this run took.
+    pub rounds: u64,
+}
+
+/// A distributed Monte-Carlo algorithm with one-sided *success*
+/// probability, in the sense of Theorem 3:
+///
+/// * if the input satisfies the predicate (e.g. is `C_{2k}`-free), **every**
+///   run accepts;
+/// * otherwise, a run rejects with probability at least
+///   [`success_probability`](MonteCarloAlgorithm::success_probability).
+///
+/// All randomness must come from the seed: equal seeds must give equal
+/// outcomes, which is what lets the amplifier treat seeds as the Grover
+/// search space.
+pub trait MonteCarloAlgorithm {
+    /// Runs the algorithm with the given seed.
+    fn run(&self, seed: u64) -> McOutcome;
+
+    /// An upper bound on the rounds of a single run — the `T(n, D)` of
+    /// Theorem 3.
+    fn round_bound(&self) -> u64;
+
+    /// The one-sided success probability `ε`: a lower bound on the
+    /// rejection probability on inputs violating the predicate.
+    fn success_probability(&self) -> f64;
+}
+
+/// A [`MonteCarloAlgorithm`] built from a closure — convenient for tests
+/// and for wrapping ad-hoc detectors.
+///
+/// ```
+/// use congest_quantum::{FnAlgorithm, McOutcome, MonteCarloAlgorithm};
+/// let alg = FnAlgorithm::new(|seed| McOutcome { rejected: seed % 8 == 0, rounds: 3 }, 3, 1.0 / 8.0);
+/// assert!(alg.run(16).rejected);
+/// assert_eq!(alg.round_bound(), 3);
+/// ```
+pub struct FnAlgorithm<F> {
+    f: F,
+    round_bound: u64,
+    success: f64,
+}
+
+impl<F: Fn(u64) -> McOutcome> FnAlgorithm<F> {
+    /// Wraps `f` with the stated round bound and success probability.
+    pub fn new(f: F, round_bound: u64, success: f64) -> Self {
+        FnAlgorithm {
+            f,
+            round_bound,
+            success,
+        }
+    }
+}
+
+impl<F: Fn(u64) -> McOutcome> MonteCarloAlgorithm for FnAlgorithm<F> {
+    fn run(&self, seed: u64) -> McOutcome {
+        (self.f)(seed)
+    }
+
+    fn round_bound(&self) -> u64 {
+        self.round_bound
+    }
+
+    fn success_probability(&self) -> f64 {
+        self.success
+    }
+}
+
+impl<F> std::fmt::Debug for FnAlgorithm<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnAlgorithm")
+            .field("round_bound", &self.round_bound)
+            .field("success", &self.success)
+            .finish()
+    }
+}
+
+/// Overrides the declared success probability of a wrapped algorithm.
+///
+/// The declared `ε` sizes the amplifier's seed space (`M ≈ c/ε`); when an
+/// algorithm's analytic lower bound is far more pessimistic than its
+/// empirical rejection rate on an instance family, experiments can
+/// declare a tighter (still valid) `ε` to avoid paying for the slack.
+/// One-sidedness is unaffected — a wrong override can only make the
+/// amplifier miss, never fabricate.
+#[derive(Debug, Clone)]
+pub struct WithSuccess<A> {
+    inner: A,
+    eps: f64,
+}
+
+impl<A: MonteCarloAlgorithm> WithSuccess<A> {
+    /// Wraps `inner`, declaring success probability `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps ≤ 1`.
+    pub fn new(inner: A, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0,1]");
+        WithSuccess { inner, eps }
+    }
+}
+
+impl<A: MonteCarloAlgorithm> MonteCarloAlgorithm for WithSuccess<A> {
+    fn run(&self, seed: u64) -> McOutcome {
+        self.inner.run(seed)
+    }
+
+    fn round_bound(&self) -> u64 {
+        self.inner.round_bound()
+    }
+
+    fn success_probability(&self) -> f64 {
+        self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_algorithm_roundtrip() {
+        let alg = FnAlgorithm::new(
+            |seed| McOutcome {
+                rejected: seed == 7,
+                rounds: 11,
+            },
+            11,
+            0.25,
+        );
+        assert!(alg.run(7).rejected);
+        assert!(!alg.run(8).rejected);
+        assert_eq!(alg.run(0).rounds, 11);
+        assert_eq!(alg.round_bound(), 11);
+        assert!((alg.success_probability() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Dense state-vector simulation of amplitude amplification.
+
+use rand::Rng;
+
+use crate::complex::Complex;
+
+/// A dense quantum state over `dim` basis states.
+///
+/// This is all the quantum mechanics the paper needs: the search register
+/// of Grover's algorithm over a space of classical seeds. The two Grover
+/// operators — the phase oracle and the diffusion (inversion about the
+/// mean) — are provided directly.
+///
+/// ```
+/// use congest_quantum::StateVector;
+/// let mut psi = StateVector::uniform(4);
+/// // Mark element 2 and amplify once: for M = 4, m = 1 a single Grover
+/// // iteration reaches certainty (sin²(3·π/6) = 1).
+/// psi.apply_phase_oracle(|x| x == 2);
+/// psi.apply_diffusion();
+/// assert!((psi.probability_of(|x| x == 2) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The uniform superposition `H^{⊗log M}|0⟩` over `dim` basis states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn uniform(dim: usize) -> Self {
+        assert!(dim > 0, "state space must be non-empty");
+        let a = Complex::real(1.0 / (dim as f64).sqrt());
+        StateVector {
+            amps: vec![a; dim],
+        }
+    }
+
+    /// A computational basis state `|x⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= dim` or `dim == 0`.
+    pub fn basis(dim: usize, x: usize) -> Self {
+        assert!(x < dim, "basis index out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[x] = Complex::ONE;
+        StateVector { amps }
+    }
+
+    /// Dimension of the state space.
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of basis state `x`.
+    pub fn amplitude(&self, x: usize) -> Complex {
+        self.amps[x]
+    }
+
+    /// Total probability mass (should stay 1 up to float error).
+    pub fn total_probability(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The probability that measuring yields an `x` with `pred(x)`.
+    pub fn probability_of<F: Fn(usize) -> bool>(&self, pred: F) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| pred(*x))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// The phase oracle `O_f |x⟩ = (-1)^{f(x)} |x⟩`.
+    pub fn apply_phase_oracle<F: FnMut(usize) -> bool>(&mut self, mut f: F) {
+        for (x, a) in self.amps.iter_mut().enumerate() {
+            if f(x) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// The Grover diffusion operator `2|s⟩⟨s| - I` (inversion about the
+    /// mean amplitude).
+    pub fn apply_diffusion(&mut self) {
+        let dim = self.amps.len() as f64;
+        let mut mean = Complex::ZERO;
+        for a in &self.amps {
+            mean += *a;
+        }
+        mean = mean.scale(1.0 / dim);
+        for a in self.amps.iter_mut() {
+            *a = mean.scale(2.0) - *a;
+        }
+    }
+
+    /// One full Grover iteration (oracle then diffusion).
+    pub fn grover_iteration<F: FnMut(usize) -> bool>(&mut self, f: F) {
+        self.apply_phase_oracle(f);
+        self.apply_diffusion();
+    }
+
+    /// Samples a measurement outcome in the computational basis.
+    pub fn measure<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = self.total_probability();
+        let mut r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (x, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if r < p {
+                return x;
+            }
+            r -= p;
+        }
+        self.amps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_is_normalized() {
+        let psi = StateVector::uniform(37);
+        assert!((psi.total_probability() - 1.0).abs() < 1e-12);
+        assert!((psi.amplitude(0).re - 1.0 / (37f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_state() {
+        let psi = StateVector::basis(8, 3);
+        assert_eq!(psi.amplitude(3), Complex::ONE);
+        assert!((psi.probability_of(|x| x == 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_flips_signs() {
+        let mut psi = StateVector::uniform(4);
+        psi.apply_phase_oracle(|x| x == 1);
+        assert!(psi.amplitude(1).re < 0.0);
+        assert!(psi.amplitude(0).re > 0.0);
+        assert!((psi.total_probability() - 1.0).abs() < 1e-12, "unitary");
+    }
+
+    #[test]
+    fn diffusion_preserves_norm() {
+        let mut psi = StateVector::uniform(16);
+        psi.apply_phase_oracle(|x| x % 3 == 0);
+        psi.apply_diffusion();
+        assert!((psi.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grover_success_matches_theory() {
+        // M = 64, m = 4: θ = asin(√(1/16)); after j iterations the marked
+        // probability is sin²((2j+1)θ).
+        let m_space = 64usize;
+        let marked = |x: usize| x % 16 == 0; // 4 marked
+        let theta = (4.0f64 / 64.0).sqrt().asin();
+        let mut psi = StateVector::uniform(m_space);
+        for j in 1..=6u32 {
+            psi.grover_iteration(marked);
+            let p = psi.probability_of(marked);
+            let theory = ((2 * j + 1) as f64 * theta).sin().powi(2);
+            assert!(
+                (p - theory).abs() < 1e-9,
+                "iteration {j}: sim {p} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut psi = StateVector::uniform(4);
+        psi.grover_iteration(|x| x == 2); // near-certain on 2
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(psi.measure(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_space_panics() {
+        StateVector::uniform(0);
+    }
+}

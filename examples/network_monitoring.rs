@@ -1,0 +1,87 @@
+//! Scenario: distributed detection of short dependency loops.
+//!
+//! A microservice mesh is a network where each service only talks to its
+//! direct dependencies — exactly the CONGEST setting. Short *even*
+//! dependency loops (mutual fallbacks, A→B→C→D→A) are a classic outage
+//! amplifier; this example monitors a synthetic mesh for 4- and 6-loops
+//! using the paper's detector, entirely via node-local message passing.
+//!
+//! ```text
+//! cargo run --release --example network_monitoring
+//! ```
+
+use even_cycle_congest::cycle::{CycleDetector, F2kDetector, Params};
+use even_cycle_congest::graph::{analysis, Graph, GraphBuilder, NodeId};
+
+/// A layered service mesh: `layers × width` services. The skeleton is a
+/// tree (an API-gateway star over layer 0, then per-service chains down
+/// the layers) — provably loop-free — plus "legacy" edges that may close
+/// loops.
+fn service_mesh(layers: usize, width: usize, legacy_edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new(layers * width);
+    let id = |layer: usize, i: usize| NodeId::new((layer * width + i) as u32);
+    for i in 1..width {
+        b.add_edge(id(0, 0), id(0, i)); // gateway fan-out
+    }
+    for layer in 0..layers - 1 {
+        for i in 0..width {
+            b.add_edge(id(layer, i), id(layer + 1, i)); // dependency chains
+        }
+    }
+    for &(u, v) in legacy_edges {
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    b.build()
+}
+
+fn main() {
+    let layers = 12;
+    let width = 8;
+
+    // The skeleton is a tree, so it is loop-free by construction; verify
+    // with exact analysis:
+    let clean = service_mesh(layers, width, &[]);
+    println!(
+        "clean mesh: n = {}, m = {}, girth = {:?}",
+        clean.node_count(),
+        clean.edge_count(),
+        analysis::girth(&clean)
+    );
+
+    // Ship it... then someone adds two legacy fallback edges that close a
+    // 4-loop between adjacent layers.
+    let bad = service_mesh(layers, width, &[(8, 17), (9, 16)]);
+    // Loop: 8 - 16 (chain), 16 - 9 (legacy), 9 - 17 (chain), 17 - 8
+    // (legacy) — a 4-cycle across layers 1 and 2.
+    println!(
+        "after legacy edges: girth = {:?}",
+        analysis::girth(&bad)
+    );
+
+    let detector = CycleDetector::new(Params::practical(2));
+    for (name, mesh) in [("clean", &clean), ("patched", &bad)] {
+        let outcome = detector.run(mesh, 2024);
+        match outcome.witness() {
+            Some(w) => println!(
+                "[{name}] ALERT: dependency 4-loop {w} (found in {} rounds)",
+                outcome.report.rounds
+            ),
+            None => println!(
+                "[{name}] ok: no 4-loop (checked in {} rounds)",
+                outcome.report.rounds
+            ),
+        }
+    }
+
+    // Sweep all loop lengths up to 6 with the F_{2k} detector (§3.5).
+    let sweep = F2kDetector::new(3).with_repetitions(1500);
+    let outcome = sweep.run(&bad, 9);
+    match outcome.witness {
+        Some(w) => println!(
+            "loop sweep (lengths 3..=6): found C{} = {w} via pair l = {}",
+            w.len(),
+            outcome.pair.expect("pair recorded")
+        ),
+        None => println!("loop sweep (lengths 3..=6): nothing found"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Even-cycle detection in the randomized and quantum CONGEST model.
+//!
+//! Facade crate re-exporting the whole workspace — the reproduction of
+//! Fraigniaud, Luce, Magniez, Todinca, *Even-Cycle Detection in the
+//! Randomized and Quantum CONGEST Model*, PODC 2024 (arXiv:2402.12018).
+//!
+//! * [`graph`] — graph substrate (CSR graphs, generators, exact ground
+//!   truth for cycle containment).
+//! * [`sim`] — the CONGEST model simulator (synchronous rounds,
+//!   `O(log n)`-bit messages, congestion accounting).
+//! * [`cycle`] — the paper's algorithms: Algorithm 1
+//!   (`O(n^{1-1/k})`-round `C_{2k}`-freeness), Algorithm 2
+//!   (congestion-reduced `randomized-color-BFS`), the odd-cycle and
+//!   `F_{2k}` variants, the Density Lemma machinery, and the quantum
+//!   pipeline of Theorem 2.
+//! * [`quantum`] — Grover/amplitude-amplification simulation, distributed
+//!   quantum search (Lemma 8), Monte-Carlo amplification (Theorem 3),
+//!   network decomposition (Lemmas 9–10).
+//! * [`baselines`] — the Table 1 comparators ([10], [15], [16], [30],
+//!   [33]).
+//! * [`lowerbounds`] — the Set-Disjointness reductions of §3.3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use even_cycle_congest::graph::generators;
+//! use even_cycle_congest::cycle::{CycleDetector, Params};
+//!
+//! // A random tree with a planted 4-cycle.
+//! let host = generators::random_tree(64, 7);
+//! let (g, planted) = generators::plant_cycle(&host, 4, 7);
+//!
+//! let detector = CycleDetector::new(Params::practical(2));
+//! let outcome = detector.run(&g, 42);
+//! assert!(outcome.rejected(), "the planted C4 must be detected");
+//! let witness = outcome.witness().expect("rejections carry witnesses");
+//! assert!(witness.is_valid(&g));
+//! # let _ = planted;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congest_baselines as baselines;
+pub use congest_graph as graph;
+pub use congest_lowerbounds as lowerbounds;
+pub use congest_quantum as quantum;
+pub use congest_sim as sim;
+pub use even_cycle as cycle;
