@@ -12,7 +12,10 @@
 
 use congest_graph::{CycleWitness, Graph, NodeId};
 use congest_sim::{derive_seed, RunReport};
-use even_cycle::{extract_even_witness, random_coloring, run_color_bfs};
+use even_cycle::{
+    extract_even_witness, random_coloring, run_color_bfs_bw, Budget, Descriptor, DetectResult,
+    Detection, Detector, Model, RunCost, Target, Verdict,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -88,13 +91,22 @@ impl LocalThresholdDetector {
 
     /// The attempt budget for an `n`-vertex graph.
     pub fn attempts_for(&self, n: usize) -> u64 {
-        let want =
-            (self.attempt_factor * (n as f64).powf(1.0 - 1.0 / self.k as f64)).ceil() as u64;
+        let want = (self.attempt_factor * (n as f64).powf(1.0 - 1.0 / self.k as f64)).ceil() as u64;
         want.clamp(1, self.max_attempts)
     }
 
     /// Runs the detector on `g` with randomness from `seed`.
     pub fn run(&self, g: &Graph, seed: u64) -> LocalThresholdOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`LocalThresholdDetector::run`] at per-edge bandwidth `B`.
+    pub fn run_with_bandwidth(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+    ) -> LocalThresholdOutcome {
         let n = g.node_count();
         let k = self.k;
         let mut total = RunReport::empty();
@@ -110,7 +122,7 @@ impl LocalThresholdDetector {
                 x_mask[u.index()] = true;
             }
             let colors = random_coloring(n, 2 * k, derive_seed(seed, 0x5000 + attempt));
-            let result = run_color_bfs(
+            let result = run_color_bfs_bw(
                 g,
                 k,
                 &colors,
@@ -118,6 +130,7 @@ impl LocalThresholdDetector {
                 &x_mask,
                 None,
                 self.tau,
+                bandwidth,
                 derive_seed(seed, 0x6000 + attempt),
             );
             total.absorb(&result.report);
@@ -138,6 +151,43 @@ impl LocalThresholdDetector {
             attempts,
             report: total,
         }
+    }
+}
+
+impl Detector for LocalThresholdDetector {
+    fn descriptor(&self) -> Descriptor {
+        Descriptor {
+            name: "local-threshold sampling",
+            reference: "[10]",
+            model: Model::Classical,
+            target: Target::Even { k: self.k },
+            exponent: even_cycle::theory::Table1Row::CensorHillelEven.exponent(self.k),
+            table1: Some(even_cycle::theory::Table1Row::CensorHillelEven),
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        let det = match budget.repetitions {
+            // The [10] outer loop counts *attempts*, so the repetition
+            // override caps the attempt budget.
+            Some(r) => self.clone().with_attempts(self.attempt_factor, r as u64),
+            None => self.clone(),
+        };
+        let o = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        let verdict = if o.rejected {
+            let cycle_length = o.witness.as_ref().map(|w| w.len());
+            Verdict::Reject {
+                witness: o.witness,
+                cycle_length,
+            }
+        } else {
+            Verdict::Accept
+        };
+        Ok(Detection {
+            algorithm: self.descriptor(),
+            verdict,
+            cost: RunCost::from_report(&o.report, o.attempts),
+        })
     }
 }
 

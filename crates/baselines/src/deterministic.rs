@@ -14,6 +14,9 @@
 
 use congest_graph::{analysis, CycleWitness, Graph, NodeId};
 use congest_sim::{Control, Ctx, Decision, Executor, Outbox, Program, RunReport, SimError};
+use even_cycle::{
+    Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target, Verdict,
+};
 
 /// An edge record `(u, v)` flooded through the network; two identifier
 /// words.
@@ -141,8 +144,27 @@ pub struct GatherOutcome {
 /// assert!(!outcome.rejected);
 /// # Ok::<(), congest_sim::SimError>(())
 /// ```
-pub fn gather_and_decide(g: &Graph, cycle_len: usize, seed: u64) -> Result<GatherOutcome, SimError> {
+pub fn gather_and_decide(
+    g: &Graph,
+    cycle_len: usize,
+    seed: u64,
+) -> Result<GatherOutcome, SimError> {
+    gather_and_decide_bw(g, cycle_len, seed, 1)
+}
+
+/// [`gather_and_decide`] at per-edge bandwidth `B` (words per round).
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`gather_and_decide`].
+pub fn gather_and_decide_bw(
+    g: &Graph,
+    cycle_len: usize,
+    seed: u64,
+    bandwidth: u64,
+) -> Result<GatherOutcome, SimError> {
     let mut exec = Executor::new(g, seed);
+    exec.set_bandwidth(bandwidth);
     let limit = 4 * (g.edge_count() as u64 + g.node_count() as u64) + 64;
     let report = exec.run(
         |_, _| GatherProgram {
@@ -163,6 +185,84 @@ pub fn gather_and_decide(g: &Graph, cycle_len: usize, seed: u64) -> Result<Gathe
         witness,
         report,
     })
+}
+
+/// The gather-and-decide baseline as a [`Detector`]: decides a single
+/// cycle length `ℓ` exactly (no error at all), at `Θ(m + D)` rounds.
+///
+/// This is the one detector whose simulation can genuinely fail (the
+/// flooding step count depends on the input); [`Detector::detect`]
+/// surfaces that as the shared fallible path instead of a panic.
+#[derive(Debug, Clone)]
+pub struct GatherDetector {
+    cycle_len: usize,
+}
+
+impl GatherDetector {
+    /// Creates the detector for `C_ℓ` (`ℓ ≥ 3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_len < 3`.
+    pub fn new(cycle_len: usize) -> Self {
+        assert!(cycle_len >= 3, "cycles start at C3");
+        GatherDetector { cycle_len }
+    }
+
+    /// The decided cycle length.
+    pub fn cycle_length(&self) -> usize {
+        self.cycle_len
+    }
+}
+
+impl Detector for GatherDetector {
+    fn descriptor(&self) -> Descriptor {
+        // Table 1's [15,30] deterministic row is specifically the odd
+        // family; the even-length gather has no Table 1 row of its own.
+        let (target, table1) = if self.cycle_len.is_multiple_of(2) {
+            (
+                Target::Even {
+                    k: self.cycle_len / 2,
+                },
+                None,
+            )
+        } else {
+            (
+                Target::Odd {
+                    k: (self.cycle_len - 1) / 2,
+                },
+                Some(even_cycle::theory::Table1Row::KorhonenRybickiOdd),
+            )
+        };
+        Descriptor {
+            name: "deterministic gather",
+            reference: "[15,30]",
+            model: Model::Classical,
+            target,
+            exponent: 1.0,
+            table1,
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        // Deterministic and exact: the repetition override has nothing
+        // to repeat, so only the bandwidth applies.
+        let o = gather_and_decide_bw(g, self.cycle_len, seed, budget.bandwidth)?;
+        let verdict = if o.rejected {
+            let cycle_length = o.witness.as_ref().map(|w| w.len());
+            Verdict::Reject {
+                witness: o.witness,
+                cycle_length,
+            }
+        } else {
+            Verdict::Accept
+        };
+        Ok(Detection {
+            algorithm: self.descriptor(),
+            verdict,
+            cost: RunCost::from_report(&o.report, 1),
+        })
+    }
 }
 
 #[cfg(test)]

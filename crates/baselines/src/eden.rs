@@ -17,7 +17,10 @@
 
 use congest_graph::{CycleWitness, Graph};
 use congest_sim::{derive_seed, RunReport};
-use even_cycle::{extract_even_witness, random_coloring, run_color_bfs};
+use even_cycle::{
+    extract_even_witness, random_coloring, run_color_bfs_bw, Budget, Descriptor, DetectResult,
+    Detection, Detector, Model, RunCost, Target, Verdict,
+};
 
 /// The outcome of an [`EdenModel`] run.
 #[derive(Debug, Clone)]
@@ -26,6 +29,8 @@ pub struct EdenOutcome {
     pub rejected: bool,
     /// The verified witness.
     pub witness: Option<CycleWitness>,
+    /// Coloring repetitions executed (stops at the first rejection).
+    pub iterations: u64,
     /// Accumulated CONGEST costs.
     pub report: RunReport,
 }
@@ -63,7 +68,7 @@ impl EdenModel {
     /// `1 - 2/(k²-2k+4)` for even `k`, `1 - 2/(k²-k+2)` for odd `k`.
     pub fn exponent(&self) -> f64 {
         let kf = self.k as f64;
-        if self.k % 2 == 0 {
+        if self.k.is_multiple_of(2) {
             1.0 - 2.0 / (kf * kf - 2.0 * kf + 4.0)
         } else {
             1.0 - 2.0 / (kf * kf - kf + 2.0)
@@ -84,21 +89,25 @@ impl EdenModel {
     /// Runs the model detector: light-cycle color-BFS below `d_max`,
     /// plus a full-graph color-BFS thresholded at `τ = n^{exponent}`.
     pub fn run(&self, g: &Graph, seed: u64) -> EdenOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`EdenModel::run`] at per-edge bandwidth `B`.
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> EdenOutcome {
         let n = g.node_count();
         let k = self.k;
         let d_max = self.degree_threshold(n);
         let tau = self.round_bound(n).ceil() as u64;
-        let light: Vec<bool> = g
-            .nodes()
-            .map(|v| (g.degree(v) as f64) <= d_max)
-            .collect();
+        let light: Vec<bool> = g.nodes().map(|v| (g.degree(v) as f64) <= d_max).collect();
         let all = vec![true; n];
         let mut total = RunReport::empty();
+        let mut iterations = 0u64;
         for r in 0..self.repetitions as u64 {
+            iterations = r + 1;
             let colors = random_coloring(n, 2 * k, derive_seed(seed, 0xED0 + r));
             let calls: [(&[bool], &[bool]); 2] = [(&light, &light), (&all, &all)];
             for (ci, (h_mask, x_mask)) in calls.into_iter().enumerate() {
-                let result = run_color_bfs(
+                let result = run_color_bfs_bw(
                     g,
                     k,
                     &colors,
@@ -106,6 +115,7 @@ impl EdenModel {
                     x_mask,
                     None,
                     tau,
+                    bandwidth,
                     derive_seed(seed, 0xED00 + r * 2 + ci as u64),
                 );
                 total.absorb(&result.report);
@@ -115,6 +125,7 @@ impl EdenModel {
                     return EdenOutcome {
                         rejected: true,
                         witness: Some(witness),
+                        iterations,
                         report: total,
                     };
                 }
@@ -123,8 +134,49 @@ impl EdenModel {
         EdenOutcome {
             rejected: false,
             witness: None,
+            iterations,
             report: total,
         }
+    }
+}
+
+impl Detector for EdenModel {
+    fn descriptor(&self) -> Descriptor {
+        let row = if self.k.is_multiple_of(2) {
+            even_cycle::theory::Table1Row::EdenEvenK
+        } else {
+            even_cycle::theory::Table1Row::EdenOddK
+        };
+        Descriptor {
+            name: "two-level threshold model",
+            reference: "[16]",
+            model: Model::Classical,
+            target: Target::Even { k: self.k },
+            exponent: self.exponent(),
+            table1: Some(row),
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let o = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        let verdict = if o.rejected {
+            let cycle_length = o.witness.as_ref().map(|w| w.len());
+            Verdict::Reject {
+                witness: o.witness,
+                cycle_length,
+            }
+        } else {
+            Verdict::Accept
+        };
+        Ok(Detection {
+            algorithm: self.descriptor(),
+            verdict,
+            cost: RunCost::from_report(&o.report, o.iterations),
+        })
     }
 }
 

@@ -1,14 +1,10 @@
-//! Criterion bench for E7: Theorem 3 amplification across success
-//! probabilities (the quadratic `1/√ε` law's cost in simulation).
+//! Bench for E7: Theorem 3 amplification across success probabilities
+//! (the quadratic `1/√ε` law's cost in simulation).
 
-use congest_quantum::{FnAlgorithm, GroverMode, McOutcome, MonteCarloAmplifier};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use congest_quantum::{FnAlgorithm, GroverMode, McOutcome, MonteCarloAmplifier, StateVector};
+use even_cycle_bench::timing::bench_case;
 
-fn bench_amplification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monte_carlo_amplification");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     for exp in [8u32, 10, 12] {
         let inv_eps = 1u64 << exp;
         let alg = FnAlgorithm::new(
@@ -19,43 +15,20 @@ fn bench_amplification(c: &mut Criterion) {
             1,
             1.0 / inv_eps as f64,
         );
-        group.bench_with_input(
-            BenchmarkId::new("analytic", inv_eps),
-            &alg,
-            |b, alg| {
-                let amp = MonteCarloAmplifier::new(0.1);
-                b.iter(|| amp.amplify(alg, 3));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sampled", inv_eps),
-            &alg,
-            |b, alg| {
-                let amp = MonteCarloAmplifier::new(0.1)
-                    .with_mode(GroverMode::Sampled { samples: 32 });
-                b.iter(|| amp.amplify(alg, 3));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_statevector(c: &mut Criterion) {
-    use congest_quantum::StateVector;
-    let mut group = c.benchmark_group("statevector_grover_iteration");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    for dim in [1usize << 8, 1 << 12, 1 << 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
-            let mut psi = StateVector::uniform(dim);
-            b.iter(|| {
-                psi.grover_iteration(|x| x == 0);
-                psi.probability_of(|x| x == 0)
-            });
+        bench_case("amplification/analytic", &inv_eps.to_string(), 20, || {
+            MonteCarloAmplifier::new(0.1).amplify(&alg, 3)
+        });
+        bench_case("amplification/sampled", &inv_eps.to_string(), 20, || {
+            MonteCarloAmplifier::new(0.1)
+                .with_mode(GroverMode::Sampled { samples: 32 })
+                .amplify(&alg, 3)
         });
     }
-    group.finish();
+    for dim in [1usize << 8, 1 << 12, 1 << 16] {
+        let mut psi = StateVector::uniform(dim);
+        bench_case("statevector_grover_iteration", &dim.to_string(), 10, || {
+            psi.grover_iteration(|x| x == 0);
+            psi.probability_of(|x| x == 0)
+        });
+    }
 }
-
-criterion_group!(benches, bench_amplification, bench_statevector);
-criterion_main!(benches);

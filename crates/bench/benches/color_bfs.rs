@@ -1,40 +1,30 @@
-//! Criterion bench for the core primitive: one `color-BFS` call
-//! (Algorithm 1's inner loop) and its randomized variant (Algorithm 2).
+//! Bench for the core primitive: one `color-BFS` call (Algorithm 1's
+//! inner loop) and its randomized variant (Algorithm 2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use even_cycle::{random_coloring, run_color_bfs, Params};
+use even_cycle_bench::timing::bench_case;
 
-fn bench_color_bfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("color_bfs_single_call");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     for q in [11u64, 17, 23] {
         let g = congest_graph::generators::polarity_graph(q);
         let n = g.node_count();
         let inst = Params::practical(2).instantiate(n);
         let colors = random_coloring(n, 4, 5);
         let all = vec![true; n];
-        group.bench_with_input(BenchmarkId::new("threshold_tau", n), &g, |b, g| {
-            b.iter(|| run_color_bfs(g, 2, &colors, &all, &all, None, inst.tau, 9));
+        bench_case("color_bfs/threshold_tau", &n.to_string(), 20, || {
+            run_color_bfs(&g, 2, &colors, &all, &all, None, inst.tau, 9)
         });
-        group.bench_with_input(BenchmarkId::new("randomized_t4", n), &g, |b, g| {
-            b.iter(|| {
-                run_color_bfs(
-                    g,
-                    2,
-                    &colors,
-                    &all,
-                    &all,
-                    Some(1.0 / inst.tau as f64),
-                    4,
-                    9,
-                )
-            });
+        bench_case("color_bfs/randomized_t4", &n.to_string(), 20, || {
+            run_color_bfs(
+                &g,
+                2,
+                &colors,
+                &all,
+                &all,
+                Some(1.0 / inst.tau as f64),
+                4,
+                9,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_color_bfs);
-criterion_main!(benches);

@@ -1,59 +1,45 @@
-//! Criterion bench for E8: gadget construction and the metered
-//! reduction run.
+//! Bench for E8: gadget construction and the metered reduction run.
 
 use congest_lowerbounds::disjointness::Disjointness;
 use congest_lowerbounds::gadgets::{C4Gadget, EvenCycleGadget, OddCycleGadget};
 use congest_lowerbounds::reduction::measure_even_detection;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use even_cycle::Params;
+use even_cycle_bench::timing::bench_case;
 
-fn bench_gadget_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gadget_construction");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
     for q in [7u64, 13, 19] {
-        group.bench_with_input(BenchmarkId::new("c4_polarity", q), &q, |b, &q| {
-            let gadget = C4Gadget::new(q);
-            let inst = Disjointness::random(gadget.universe(), 0.3, 1);
-            b.iter(|| gadget.build(&inst));
-        });
+        let gadget = C4Gadget::new(q);
+        let inst = Disjointness::random(gadget.universe(), 0.3, 1);
+        bench_case(
+            "gadget_construction/c4_polarity",
+            &q.to_string(),
+            20,
+            || gadget.build(&inst),
+        );
     }
     for s in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("even_k3", s), &s, |b, &s| {
-            let gadget = EvenCycleGadget::new(3, s);
-            let inst = Disjointness::random(s * s, 0.3, 1);
-            b.iter(|| gadget.build(&inst));
+        let even = EvenCycleGadget::new(3, s);
+        let inst = Disjointness::random(s * s, 0.3, 1);
+        bench_case("gadget_construction/even_k3", &s.to_string(), 20, || {
+            even.build(&inst)
         });
-        group.bench_with_input(BenchmarkId::new("odd_k2", s), &s, |b, &s| {
-            let gadget = OddCycleGadget::new(2, s);
-            let inst = Disjointness::random(s * s, 0.3, 1);
-            b.iter(|| gadget.build(&inst));
+        let odd = OddCycleGadget::new(2, s);
+        bench_case("gadget_construction/odd_k2", &s.to_string(), 20, || {
+            odd.build(&inst)
         });
     }
-    group.finish();
-}
-
-fn bench_metered_reduction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metered_reduction_run");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     for q in [7u64, 11] {
         let gadget = C4Gadget::new(q);
-        let (inst, _) =
-            Disjointness::random_with_planted_intersection(gadget.universe(), 2);
+        let (inst, _) = Disjointness::random_with_planted_intersection(gadget.universe(), 2);
         let built = gadget.build(&inst);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(built.graph.node_count()),
-            &built,
-            |b, built| {
+        bench_case(
+            "metered_reduction_run",
+            &built.graph.node_count().to_string(),
+            10,
+            || {
                 let params = Params::practical(2).with_repetitions(4);
-                b.iter(|| measure_even_detection(built, &params, 4, 5));
+                measure_even_detection(&built, &params, 4, 5)
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gadget_construction, bench_metered_reduction);
-criterion_main!(benches);

@@ -1,44 +1,25 @@
-//! Criterion bench for E1: Algorithm 1's per-iteration wall cost and
-//! round cost across sizes (the Table 1 classical rows).
+//! Bench for E1: Algorithm 1's per-iteration wall cost across sizes
+//! (the Table 1 classical rows). Plain timing harness; see
+//! `even_cycle_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use even_cycle_bench::timing::bench_case;
 use even_cycle_bench::{c4_free_hosts, k3_hosts, measure_classical_per_iteration};
 
-fn bench_classical_k2(c: &mut Criterion) {
-    let hosts = c4_free_hosts(&[11, 17, 23]);
-    let mut group = c.benchmark_group("algorithm1_k2_per_iteration");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
-    for g in &hosts {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g.node_count()),
-            g,
-            |b, g| {
-                b.iter(|| measure_classical_per_iteration(g, 2, 2, 7));
-            },
+fn main() {
+    for g in &c4_free_hosts(&[11, 17, 23]) {
+        bench_case(
+            "algorithm1_k2_per_iteration",
+            &g.node_count().to_string(),
+            10,
+            || measure_classical_per_iteration(g, 2, 2, 7),
         );
     }
-    group.finish();
-}
-
-fn bench_classical_k3(c: &mut Criterion) {
-    let hosts = k3_hosts(&[128, 256], 5);
-    let mut group = c.benchmark_group("algorithm1_k3_per_iteration");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
-    for g in &hosts {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g.node_count()),
-            g,
-            |b, g| {
-                b.iter(|| measure_classical_per_iteration(g, 3, 2, 7));
-            },
+    for g in &k3_hosts(&[128, 256], 5) {
+        bench_case(
+            "algorithm1_k3_per_iteration",
+            &g.node_count().to_string(),
+            10,
+            || measure_classical_per_iteration(g, 3, 2, 7),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_classical_k2, bench_classical_k3);
-criterion_main!(benches);

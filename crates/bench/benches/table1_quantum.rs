@@ -1,36 +1,22 @@
-//! Criterion bench for E3/E9: the quantum pipeline's simulated cost
-//! across sizes (the Table 1 quantum rows).
+//! Bench for E3/E9: the quantum pipeline's simulated cost across sizes
+//! (the Table 1 quantum rows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use even_cycle_bench::timing::bench_case;
 use even_cycle_bench::{measure_quantum_odd_rounds, measure_quantum_rounds, sparse_hosts};
 
-fn bench_quantum_even(c: &mut Criterion) {
-    let hosts = sparse_hosts(&[128, 256, 512], 3);
-    let mut group = c.benchmark_group("quantum_pipeline_k2");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
-    for g in &hosts {
-        group.bench_with_input(BenchmarkId::from_parameter(g.node_count()), g, |b, g| {
-            b.iter(|| measure_quantum_rounds(g, 2, 11));
-        });
+fn main() {
+    for g in &sparse_hosts(&[128, 256, 512], 3) {
+        bench_case(
+            "quantum_pipeline_k2",
+            &g.node_count().to_string(),
+            10,
+            || measure_quantum_rounds(g, 2, 11),
+        );
     }
-    group.finish();
-}
-
-fn bench_quantum_odd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantum_odd_k2");
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(10);
     for n in [128usize, 256, 512] {
         let g = congest_graph::generators::random_bipartite(n / 2, n / 2, 0.05, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| measure_quantum_odd_rounds(g, 2, 13));
+        bench_case("quantum_odd_k2", &n.to_string(), 10, || {
+            measure_quantum_odd_rounds(&g, 2, 13)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_quantum_even, bench_quantum_odd);
-criterion_main!(benches);

@@ -19,7 +19,7 @@
 //!   completeness argument (Lemma 3 / Fact 3), not safety.
 
 use congest_graph::generators;
-use even_cycle::{run_color_bfs, random_coloring, CycleDetector, Params, RunOptions};
+use even_cycle::{random_coloring, run_color_bfs, CycleDetector, Params, RunOptions};
 use even_cycle_bench::render_table;
 
 fn main() {
@@ -132,8 +132,7 @@ fn main() {
     // the W-threshold shrinks (completeness degrades gracefully on easy
     // instances, but the k² constant is what the Density Lemma's
     // counting needs in the worst case).
-    let (g, planted) =
-        generators::plant_cycle_on_heavy_hub(&generators::empty(24), 4, 80, 3);
+    let (g, planted) = generators::plant_cycle_on_heavy_hub(&generators::empty(24), 4, 80, 3);
     let n = g.node_count();
     let mut rows = Vec::new();
     for w_threshold in [1usize, 2, 4] {
@@ -143,9 +142,7 @@ fn main() {
             // Force S to a fixed half of the hub's leaves, then define W
             // with the ablated threshold.
             let mut s_mask = vec![false; n];
-            for v in 24..24 + 40 {
-                s_mask[v] = true;
-            }
+            s_mask[24..24 + 40].fill(true);
             let w_mask: Vec<bool> = (0..n)
                 .map(|v| {
                     !s_mask[v]

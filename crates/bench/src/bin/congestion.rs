@@ -7,11 +7,12 @@
 //! Algorithm 1's `color-BFS` tolerates per-edge loads up to
 //! `τ = Θ(n^{1-1/k})`; `randomized-color-BFS` (Algorithm 2) caps them at
 //! the constant 4 while the success probability drops to `1/(3τ)` —
-//! the trade quantum amplification then wins back quadratically.
+//! the trade quantum amplification then wins back quadratically. Both
+//! detectors are driven through the unified `Detector` surface.
 
 use congest_graph::generators;
-use even_cycle::{LowProbDetector, Params, RunOptions};
-use even_cycle_bench::{measure_classical_congestion, render_table, Sample, Series};
+use even_cycle::{Budget, CycleDetector, Detector, LowProbDetector, Params};
+use even_cycle_bench::{render_table, Sample, Series};
 
 fn main() {
     let primes = [11u64, 17, 23, 31];
@@ -21,30 +22,35 @@ fn main() {
         .collect();
 
     // Congestion of Algorithm 1 (threshold τ) vs Algorithm 2 (threshold
-    // 4) on the same hosts.
+    // 4) on the same hosts, both through Detector::detect.
+    let classical_det = CycleDetector::new(Params::practical(2));
+    let low_det = LowProbDetector::new(Params::practical(2));
+    let budget = Budget::classical().with_repetitions(4);
     let mut rows = Vec::new();
     let mut cong_samples = Vec::new();
     for g in &hosts {
         let n = g.node_count();
-        let classical = measure_classical_congestion(g, 2, 4, 3);
-        let low = LowProbDetector::new(Params::practical(2).with_repetitions(4));
-        let opts = RunOptions {
-            continue_after_reject: true,
-            ..Default::default()
-        };
-        let outcome = low.run_with(g, 3, &opts);
-        let randomized = outcome.report.congestion.max_words_per_edge_step;
+        let classical = classical_det
+            .detect(g, 3, &budget)
+            .expect("color-BFS simulation cannot fail")
+            .cost
+            .max_congestion;
+        let randomized = low_det
+            .detect(g, 3, &budget)
+            .expect("randomized color-BFS simulation cannot fail")
+            .cost
+            .max_congestion;
         let tau = Params::practical(2).instantiate(n).tau;
         rows.push(vec![
             format!("{n}"),
             format!("{tau}"),
-            format!("{classical:.0}"),
+            format!("{classical}"),
             format!("{randomized}"),
         ]);
         assert!(randomized <= 4, "Lemma 12 congestion bound violated");
         cong_samples.push(Sample {
             n,
-            value: classical.max(1.0),
+            value: (classical as f64).max(1.0),
         });
     }
     println!(
@@ -63,9 +69,16 @@ fn main() {
     let host = generators::polarity_graph(11);
     let (g, _) = generators::plant_cycle(&host, 4, 5);
     let n = g.node_count();
-    let low = LowProbDetector::new(Params::practical(2).with_repetitions(1));
+    let low = LowProbDetector::new(Params::practical(2));
+    let single = Budget::classical().with_repetitions(1);
     let trials = 3000u64;
-    let hits = (0..trials).filter(|&s| low.run(&g, s).rejected()).count();
+    let hits = (0..trials)
+        .filter(|&s| {
+            low.detect(&g, s, &single)
+                .expect("randomized color-BFS simulation cannot fail")
+                .rejected()
+        })
+        .count();
     let declared = low.success_probability(n);
     println!(
         "single-repetition success on a planted C4 at n = {n}: {}/{} = {:.5}",

@@ -1,4 +1,5 @@
-//! E5: empirical validation of Theorem 1's one-sided error guarantee.
+//! E5: empirical validation of Theorem 1's one-sided error guarantee,
+//! driven through the unified `Detector` surface.
 //!
 //! ```text
 //! cargo run --release -p even-cycle-bench --bin error_prob
@@ -9,22 +10,35 @@
 //! * On planted-cycle inputs at the paper's `K = ⌈ln(3/ε)(2k)^{2k}⌉`,
 //!   the rejection rate must be at least `1 - ε`.
 
-use even_cycle::{CycleDetector, Params};
+use even_cycle::{Budget, CycleDetector, Detector, Params};
 use even_cycle_bench::render_table;
 
 fn main() {
     let trials = 30u64;
+    let budget = Budget::classical();
 
     // Soundness: free inputs.
     let mut rows = Vec::new();
     let free_inputs: Vec<(&str, congest_graph::Graph)> = vec![
-        ("random tree (n=96)", congest_graph::generators::random_tree(96, 2)),
-        ("polarity ER_11 (C4-free)", congest_graph::generators::polarity_graph(11)),
+        (
+            "random tree (n=96)",
+            congest_graph::generators::random_tree(96, 2),
+        ),
+        (
+            "polarity ER_11 (C4-free)",
+            congest_graph::generators::polarity_graph(11),
+        ),
         ("C9 (girth 9)", congest_graph::generators::cycle(9)),
     ];
     let det = CycleDetector::new(Params::practical(2).with_repetitions(64));
     for (name, g) in &free_inputs {
-        let rejections = (0..trials).filter(|&s| det.run(g, s).rejected()).count();
+        let rejections = (0..trials)
+            .filter(|&s| {
+                det.detect(g, s, &budget)
+                    .expect("color-BFS simulation cannot fail")
+                    .rejected()
+            })
+            .count();
         rows.push(vec![
             name.to_string(),
             format!("{trials}"),
@@ -49,7 +63,13 @@ fn main() {
         let det = CycleDetector::new(params.clone());
         let host = congest_graph::generators::random_tree(128, 7);
         let (g, _) = congest_graph::generators::plant_cycle(&host, 4, 7);
-        let detected = (0..trials).filter(|&s| det.run(&g, s).rejected()).count();
+        let detected = (0..trials)
+            .filter(|&s| {
+                det.detect(&g, s, &budget)
+                    .expect("color-BFS simulation cannot fail")
+                    .rejected()
+            })
+            .count();
         let rate = detected as f64 / trials as f64;
         rows.push(vec![
             format!("eps = {eps:.3}"),
@@ -67,7 +87,13 @@ fn main() {
         "{}",
         render_table(
             "E5b — completeness on planted C4 (n = 128, paper constants)",
-            &["target", "repetitions", "detected", "rate", "Theorem 1 bound"],
+            &[
+                "target",
+                "repetitions",
+                "detected",
+                "rate",
+                "Theorem 1 bound"
+            ],
             &rows
         )
     );
@@ -75,8 +101,16 @@ fn main() {
     // The per-iteration detection probability underlying Fact 1.
     let host = congest_graph::generators::random_tree(128, 7);
     let (g, _) = congest_graph::generators::plant_cycle(&host, 4, 7);
-    let single = CycleDetector::new(Params::practical(2).with_repetitions(1));
-    let hits = (0..400u64).filter(|&s| single.run(&g, s).rejected()).count();
+    let single = CycleDetector::new(Params::practical(2));
+    let one_rep = Budget::classical().with_repetitions(1);
+    let hits = (0..400u64)
+        .filter(|&s| {
+            single
+                .detect(&g, s, &one_rep)
+                .expect("color-BFS simulation cannot fail")
+                .rejected()
+        })
+        .count();
     println!(
         "single-iteration detection rate: {}/400 = {:.4} (Fact 1 floor: (1/2k)^2k = {:.5} per well-colored orientation; planted C4 admits 8 favorable colorings -> {:.4})",
         hits,

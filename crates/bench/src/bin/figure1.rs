@@ -108,15 +108,8 @@ fn main() {
     let sub_cycle: Vec<congest_graph::NodeId> = witness
         .nodes()
         .iter()
-        .map(|v| {
-            congest_graph::NodeId::new(
-                back.iter().position(|u| u == v).expect("kept") as u32
-            )
-        })
+        .map(|v| congest_graph::NodeId::new(back.iter().position(|u| u == v).expect("kept") as u32))
         .collect();
     println!("\nGraphViz (cycle neighborhood; highlighted = the 10-cycle):\n");
-    println!(
-        "{}",
-        congest_graph::serialize::to_dot(&sub, &sub_cycle)
-    );
+    println!("{}", congest_graph::serialize::to_dot(&sub, &sub_cycle));
 }

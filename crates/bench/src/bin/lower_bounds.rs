@@ -122,7 +122,13 @@ fn main() {
         "{}",
         render_table(
             "E8d — implied quantum round lower bounds vs the C4 upper bound",
-            &["n", "C4 lower", "C2k lower", "C2k+1 lower", "C4 upper n^1/4"],
+            &[
+                "n",
+                "C4 lower",
+                "C2k lower",
+                "C2k+1 lower",
+                "C4 upper n^1/4"
+            ],
             &rows
         )
     );

@@ -6,193 +6,188 @@
 //! ```
 //!
 //! Prints (a) the full 16-row Table 1 with theory exponents and each
-//! row's status in this reproduction, and (b) measured scaling series
-//! with fitted exponents for every row we execute.
+//! row's implementation status *derived from the detector registry*
+//! (a row is "measured" iff some registered detector claims it), and
+//! (b) measured scaling series for every row we execute, all driven
+//! through the unified `Detector` trait and the scenario runner — no
+//! per-algorithm wiring.
 
+use congest_baselines::censor_hillel::LocalThresholdDetector;
 use even_cycle::theory::Table1Row;
-use even_cycle_bench::{
-    c4_free_hosts, k3_hosts, measure_classical_per_iteration, measure_quantum_odd_rounds,
-    measure_quantum_rounds, render_table, sparse_hosts, Sample, Series,
-};
+use even_cycle::{Budget, CycleDetector, Params, QuantumOddCycleDetector};
+use even_cycle_bench::render_table;
+use even_cycle_congest::registry::DetectorRegistry;
+use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+
+/// Polarity-graph family: for a requested size `n`, uses the largest
+/// prime `q` with `q² + q + 1 ≤ n` (the extremal C4-free hosts).
+fn polarity_family() -> GraphFamily {
+    GraphFamily::new("polarity ER_q (C4-free)", |n, _| {
+        let mut best = 3u64;
+        let mut q = 3u64;
+        while (q * q + q + 1) as usize <= n {
+            if congest_graph::generators::is_prime(q) {
+                best = q;
+            }
+            q += 1;
+        }
+        congest_graph::generators::polarity_graph(best)
+    })
+}
 
 fn main() {
-    // ---------- Part 1: the 16 rows with theory exponents ----------
+    // ---------- Part 1: the 16 rows, annotated from the registry ----------
+    let registries: Vec<DetectorRegistry> = [2usize, 3]
+        .into_iter()
+        .map(DetectorRegistry::standard)
+        .collect();
+    let implemented = |row: Table1Row| {
+        registries
+            .iter()
+            .flat_map(|r| r.iter())
+            .find(|e| e.descriptor.table1 == Some(row))
+            .map(|e| e.id.clone())
+    };
     let mut rows = Vec::new();
     for row in Table1Row::ALL {
         let k_shown = 3usize;
         rows.push(vec![
             row.label().to_string(),
-            if row.is_quantum() { "quantum" } else { "classical" }.to_string(),
-            if row.is_upper_bound() { "upper" } else { "lower" }.to_string(),
+            if row.is_quantum() {
+                "quantum"
+            } else {
+                "classical"
+            }
+            .to_string(),
+            if row.is_upper_bound() {
+                "upper"
+            } else {
+                "lower"
+            }
+            .to_string(),
             format!("n^{:.3} (k=3)", row.exponent(k_shown)),
+            implemented(row).unwrap_or_else(|| "theory only".to_string()),
         ]);
     }
     println!(
         "{}",
         render_table(
             "Table 1 — deciding C_k-freeness in CONGEST (exponents at k = 3)",
-            &["row", "model", "bound", "complexity"],
+            &["row", "model", "bound", "complexity", "registry entry"],
             &rows
         )
     );
 
-    // ---------- Part 2: measured scaling ----------
+    // ---------- Part 2: measured scaling, scenario-driven ----------
     println!("Measured scaling (per-coloring-iteration rounds; the paper's K is n-independent):\n");
 
     // E1: this paper, k = 2, on extremal C4-free hosts.
-    let hosts = c4_free_hosts(&[11, 17, 23, 31]);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| Sample {
-            n: g.node_count(),
-            value: measure_classical_per_iteration(g, 2, 4, 11),
-        })
-        .collect();
-    let s = Series::fit("this paper, C4 (k=2), polarity hosts — theory n^0.5", samples);
-    println!("{}", s.render());
+    let ours_k2 = CycleDetector::new(Params::practical(2));
+    let report = Scenario::new("this paper, C4 (k=2)", polarity_family())
+        .sizes(&[150, 330, 560, 1000])
+        .seeds(11..12)
+        .budget(Budget::classical().with_repetitions(4).exhaustive())
+        .metric(Metric::RoundsPerIteration)
+        .run(&[&ours_k2]);
+    println!("{}", report.render());
 
     // E1-adversarial: funnel hosts drive the per-edge load of the second
     // color-BFS to Θ(n·p) = Θ(n^{1-1/k}) — the worst case the threshold
-    // τ is sized for — so the measured rounds realize the Table 1
-    // exponent, not just bound it. The constant-scaled profile (see
+    // τ is sized for — so the measured congestion realizes the Table 1
+    // exponent, not just bounds it. The constant-scaled profile (see
     // Params::with_probability_scale) moves the p = min(1, ·) clamp
     // below the simulated sizes; exponents are unaffected.
     for (k, sizes) in [
         (2usize, [1024usize, 2048, 4096, 8192, 16384]),
         (3, [4096, 8192, 16384, 32768, 65536]),
     ] {
-        let samples: Vec<Sample> = sizes
-            .iter()
-            .map(|&n| {
-                let g = congest_graph::generators::funnel(n, 4, k);
-                let params = even_cycle::Params::practical(k)
-                    .with_repetitions(6)
-                    .with_probability_scale(0.3);
-                let det = even_cycle::CycleDetector::new(params);
-                let opts = even_cycle::RunOptions {
-                    continue_after_reject: true,
-                    ..Default::default()
-                };
-                let outcome = det.run_with(&g, 3, &opts);
-                // Congestion (max words on any edge in a round) is the
-                // floor-free proxy: the per-superstep round charge is
-                // exactly the max load, and the constant superstep floor
-                // washes out of the congestion statistic.
-                Sample {
-                    n,
-                    value: outcome.report.congestion.max_words_per_edge_step as f64,
-                }
-            })
-            .collect();
-        let s = Series::fit(
-            format!(
-                "this paper, C{} (k={k}), funnel-host peak congestion — theory n^{:.3}",
-                2 * k,
-                1.0 - 1.0 / k as f64
-            ),
-            samples,
+        let det = CycleDetector::new(
+            Params::practical(k)
+                .with_repetitions(6)
+                .with_probability_scale(0.3),
         );
-        println!("{}", s.render());
+        let report = Scenario::new(
+            format!(
+                "this paper, C{} (k={k}), funnel-host peak congestion",
+                2 * k
+            ),
+            GraphFamily::funnel(4, k),
+        )
+        .sizes(&sizes)
+        .seeds(3..4)
+        .metric(Metric::MaxCongestion)
+        .run(&[&det]);
+        println!("{}", report.render());
     }
 
     // E1: this paper, k = 3, on degree-n^{1/3} hosts.
-    let hosts = k3_hosts(&[128, 256, 512, 1024], 5);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| Sample {
-            n: g.node_count(),
-            value: measure_classical_per_iteration(g, 3, 4, 13),
-        })
-        .collect();
-    let s = Series::fit(
-        "this paper, C6 (k=3), n^{1/3}-regular hosts — theory n^0.667",
-        samples,
-    );
-    println!("{}", s.render());
+    let ours_k3 = CycleDetector::new(Params::practical(3));
+    let report = Scenario::new("this paper, C6 (k=3)", GraphFamily::regularish_boundary(3))
+        .sizes(&[128, 256, 512, 1024])
+        .seeds(13..14)
+        .budget(Budget::classical().with_repetitions(4).exhaustive())
+        .metric(Metric::RoundsPerIteration)
+        .run(&[&ours_k3]);
+    println!("{}", report.render());
 
     // E2: the [10] local-threshold baseline at k = 2 (attempt count is
     // the n-dependent factor; per-attempt cost is constant).
-    let hosts = c4_free_hosts(&[11, 17, 23, 31]);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| {
-            let det = congest_baselines::censor_hillel::LocalThresholdDetector::new(2)
-                .with_attempts(1.0, 1 << 20);
-            let o = det.run(g, 3);
-            Sample {
-                n: g.node_count(),
-                value: o.report.rounds as f64,
-            }
-        })
-        .collect();
-    let s = Series::fit("[10] local threshold, C4 — theory n^0.5", samples);
-    println!("{}", s.render());
+    let local = LocalThresholdDetector::new(2).with_attempts(1.0, 1 << 20);
+    let report = Scenario::new("[10] local threshold, C4", polarity_family())
+        .sizes(&[150, 330, 560, 1000])
+        .seeds(3..4)
+        .metric(Metric::Rounds)
+        .run(&[&local]);
+    println!("{}", report.render());
 
     // E2: deterministic gathering baseline (odd rows' Θ̃(n) on sparse
-    // hosts).
-    let hosts = sparse_hosts(&[64, 128, 256, 512], 9);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| {
-            let o = congest_baselines::deterministic::gather_and_decide(g, 5, 0)
-                .expect("gather cannot fail");
-            Sample {
-                n: g.node_count(),
-                value: o.report.rounds as f64,
-            }
-        })
-        .collect();
-    let s = Series::fit("[15,30] deterministic gather (sparse) — theory n^1", samples);
-    println!("{}", s.render());
+    // hosts). The gather simulation is the one genuinely fallible
+    // detector; the scenario runner surfaces failures in its `errors`
+    // column instead of unwrapping.
+    let gather = congest_baselines::deterministic::GatherDetector::new(5);
+    let report = Scenario::new("[15,30] deterministic gather", GraphFamily::random_trees())
+        .sizes(&[64, 128, 256, 512])
+        .seeds(9..10)
+        .metric(Metric::Rounds)
+        .run(&[&gather]);
+    println!("{}", report.render());
 
-    // E3: quantum pipeline, k = 2 — theory n^{1/4} (+ polylog).
-    let hosts = sparse_hosts(&[128, 256, 512, 1024, 2048], 21);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| Sample {
-            n: g.node_count(),
-            value: measure_quantum_rounds(g, 2, 17),
-        })
-        .collect();
-    let s = Series::fit("this paper quantum, C4 (k=2) — theory n^0.25·polylog", samples);
-    println!("{}", s.render());
-
-    // E3: quantum pipeline, k = 3 — theory n^{1/3} (+ polylog).
-    let hosts = sparse_hosts(&[128, 256, 512, 1024, 2048], 23);
-    let samples: Vec<Sample> = hosts
-        .iter()
-        .map(|g| Sample {
-            n: g.node_count(),
-            value: measure_quantum_rounds(g, 3, 19),
-        })
-        .collect();
-    let s = Series::fit(
-        "this paper quantum, C6 (k=3) — theory n^0.333·polylog",
-        samples,
-    );
-    println!("{}", s.render());
+    // E3: the quantum pipelines, k = 2 and k = 3 — theory n^{1/4} and
+    // n^{1/3} (+ polylog).
+    for (k, label) in [(2usize, "C4 (k=2)"), (3, "C6 (k=3)")] {
+        let det =
+            even_cycle::QuantumCycleDetector::new(Params::practical(k).with_repetitions(8), 0.1)
+                .with_mode(congest_quantum::GroverMode::Sampled { samples: 16 });
+        let report = Scenario::new(
+            format!("this paper quantum, {label}"),
+            GraphFamily::random_trees(),
+        )
+        .sizes(&[128, 256, 512, 1024, 2048])
+        .seeds(17..18)
+        .metric(Metric::Rounds)
+        .run(&[&det]);
+        println!("{}", report.render());
+    }
 
     // E9: quantum odd cycles — theory √n.
-    let sizes = [64usize, 128, 256, 512, 1024];
-    let samples: Vec<Sample> = sizes
-        .iter()
-        .map(|&n| {
-            let g = congest_graph::generators::random_bipartite(n / 2, n / 2, 0.05, 31);
-            Sample {
-                n,
-                value: measure_quantum_odd_rounds(&g, 2, 29),
-            }
-        })
-        .collect();
-    let s = Series::fit("this paper quantum, C5 (k=2 odd) — theory n^0.5·polylog", samples);
-    println!("{}", s.render());
+    let qodd = QuantumOddCycleDetector::new(2, 8, 0.1)
+        .with_mode(congest_quantum::GroverMode::Sampled { samples: 16 });
+    let report = Scenario::new(
+        "this paper quantum, C5 (k=2 odd)",
+        GraphFamily::random_bipartite(0.05),
+    )
+    .sizes(&[64, 128, 256, 512, 1024])
+    .seeds(29..30)
+    .metric(Metric::Rounds)
+    .run(&[&qodd]);
+    println!("{}", report.render());
 
     // E10: our quantum F2k exponent vs [33] (model comparison).
     println!("Quantum F_2k model comparison (rounds at n = 2^20):");
     for k in [2usize, 3, 4, 5] {
         let ours = Table1Row::ThisPaperQuantumF2k.rounds(1 << 20, k);
-        let theirs = congest_baselines::apeldoorn_devos::ApeldoornDeVosModel::new(k)
-            .round_bound(1 << 20);
+        let theirs =
+            congest_baselines::apeldoorn_devos::ApeldoornDeVosModel::new(k).round_bound(1 << 20);
         println!(
             "  k = {k}: ours n^{:.3} = {ours:>10.0}   [33] n^{:.3} = {theirs:>10.0}   ({:.2}x)",
             Table1Row::ThisPaperQuantumF2k.exponent(k),
@@ -210,7 +205,11 @@ fn main() {
         } else {
             Table1Row::EdenOddK.exponent(k)
         };
-        let status = if k <= 5 { "[10] already matched" } else { "this paper improves" };
+        let status = if k <= 5 {
+            "[10] already matched"
+        } else {
+            "this paper improves"
+        };
         println!("  k = {k:>2}: ours n^{ours:.4}   [16] n^{eden:.4}   {status}");
     }
 }

@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use congest_graph::{generators, Graph};
-use congest_quantum::{GroverMode, MonteCarloAmplifier, WithSuccess};
-use even_cycle::{CycleDetector, LowProbDetector, OddCycleDetector, Params, RunOptions};
+use congest_quantum::GroverMode;
+use even_cycle::{
+    Budget, CycleDetector, Detector, Params, QuantumCycleDetector, QuantumOddCycleDetector,
+};
 
 pub use even_cycle::theory::fit_exponent;
 
@@ -97,77 +101,89 @@ pub fn k3_hosts(sizes: &[usize], seed: u64) -> Vec<Graph> {
         .collect()
 }
 
-/// Measures Algorithm 1's *per-coloring-iteration* round cost on a host
-/// (running `reps` iterations without early stopping and averaging).
-/// The full-algorithm cost is `K ×` this, with `K` independent of `n` —
-/// so the fitted exponent of this series is the Table 1 exponent.
+/// Measures a detector's rounds through the unified [`Detector`]
+/// surface, averaging the metric over nothing (single run).
+///
+/// # Errors
+///
+/// Propagates the simulator error of a failed run.
+pub fn measure_rounds(
+    det: &dyn Detector,
+    g: &Graph,
+    seed: u64,
+    budget: &Budget,
+) -> Result<f64, congest_sim::SimError> {
+    Ok(det.detect(g, seed, budget)?.cost.rounds as f64)
+}
+
+/// Measures a detector's per-iteration rounds (total rounds divided by
+/// outer-loop iterations) — the quantity whose `n`-scaling Table 1
+/// reports for the color-BFS family, since the repetition count `K` is
+/// `n`-independent.
+///
+/// # Errors
+///
+/// Propagates the simulator error of a failed run.
+pub fn measure_per_iteration(
+    det: &dyn Detector,
+    g: &Graph,
+    seed: u64,
+    budget: &Budget,
+) -> Result<f64, congest_sim::SimError> {
+    let d = det.detect(g, seed, budget)?;
+    Ok(d.cost.rounds as f64 / d.cost.iterations.max(1) as f64)
+}
+
+/// Measures a detector's peak per-edge congestion.
+///
+/// # Errors
+///
+/// Propagates the simulator error of a failed run.
+pub fn measure_congestion(
+    det: &dyn Detector,
+    g: &Graph,
+    seed: u64,
+    budget: &Budget,
+) -> Result<f64, congest_sim::SimError> {
+    Ok(det.detect(g, seed, budget)?.cost.max_congestion as f64)
+}
+
+/// Algorithm 1's per-coloring-iteration round cost on a host, through
+/// the [`Detector`] surface (`reps` iterations, averaged). The
+/// full-algorithm cost is `K ×` this with `K` independent of `n`, so
+/// the fitted exponent of this series is the Table 1 exponent.
 pub fn measure_classical_per_iteration(g: &Graph, k: usize, reps: usize, seed: u64) -> f64 {
-    let det = CycleDetector::new(Params::practical(k).with_repetitions(reps));
-    let opts = RunOptions {
-        continue_after_reject: true,
-        ..Default::default()
-    };
-    let outcome = det.run_with(g, seed, &opts);
-    outcome.report.rounds as f64 / reps as f64
+    let det = CycleDetector::new(Params::practical(k));
+    measure_per_iteration(&det, g, seed, &Budget::classical().with_repetitions(reps))
+        .expect("color-BFS simulation cannot fail within its step bound")
 }
 
-/// Measures the congestion (max words per edge per round) of
-/// Algorithm 1 over `reps` iterations.
+/// The congestion (max words per edge per round) of Algorithm 1 over
+/// `reps` iterations, through the [`Detector`] surface.
 pub fn measure_classical_congestion(g: &Graph, k: usize, reps: usize, seed: u64) -> f64 {
-    let det = CycleDetector::new(Params::practical(k).with_repetitions(reps));
-    let opts = RunOptions {
-        continue_after_reject: true,
-        ..Default::default()
-    };
-    let outcome = det.run_with(g, seed, &opts);
-    outcome.report.congestion.max_words_per_edge_step as f64
+    let det = CycleDetector::new(Params::practical(k));
+    measure_congestion(&det, g, seed, &Budget::classical().with_repetitions(reps))
+        .expect("color-BFS simulation cannot fail within its step bound")
 }
 
-/// Measures the quantum pipeline cost on a host: Lemma 12 base detector
-/// (fixed small repetition count — its cost is `n`-independent), Theorem 3
-/// amplification at the Lemma 12 success bound `ε = 1/(3τ)`, sampled
-/// Grover (an exhaustive seed-space scan would cost `Θ(1/ε)` classical
-/// work). Diameter reduction is exercised by the full pipeline driver;
-/// here the host's own diameter is charged, which is the conservative
-/// choice for the scaling fit.
+/// The quantum `C_{2k}` pipeline cost (Theorem 2: decomposition +
+/// per-component Theorem 3 amplification of the Lemma 12 detector),
+/// through the [`Detector`] surface. Sampled Grover keeps the simulation
+/// cost bounded; the round accounting is unaffected.
 pub fn measure_quantum_rounds(g: &Graph, k: usize, seed: u64) -> f64 {
-    let det = LowProbDetector::new(Params::practical(k).with_repetitions(8));
-    let mc = det.as_monte_carlo(g);
-    let diameter = congest_graph::analysis::diameter(g).unwrap_or(1) as u64;
-    let amp = MonteCarloAmplifier::new(0.1)
-        .with_diameter(diameter)
+    let det = QuantumCycleDetector::new(Params::practical(k).with_repetitions(8), 0.1)
         .with_mode(GroverMode::Sampled { samples: 16 });
-    amp.amplify(&mc, seed).quantum_rounds as f64
+    measure_rounds(&det, g, seed, &Budget::classical())
+        .expect("quantum pipeline simulation cannot fail")
 }
 
-/// Measures the amplified odd-cycle detector cost (§3.4 → `Õ(√n)`).
+/// The amplified odd-cycle pipeline cost (§3.4 → `Õ(√n)`), through the
+/// [`Detector`] surface.
 pub fn measure_quantum_odd_rounds(g: &Graph, k: usize, seed: u64) -> f64 {
-    let det = OddCycleDetector::new(k, 8);
-    let mc = det.as_monte_carlo(g);
-    let amp =
-        MonteCarloAmplifier::new(0.1).with_mode(GroverMode::Sampled { samples: 16 });
-    amp.amplify(&mc, seed).quantum_rounds as f64
-}
-
-/// Measures the classical-amplification baseline for the same detector
-/// (`Θ(1/ε)` repetitions) — the other side of the quadratic gap.
-pub fn measure_classical_amplification_rounds(g: &Graph, k: usize, seed: u64) -> f64 {
-    let det = LowProbDetector::new(Params::practical(k).with_repetitions(8));
-    let mc = det.as_monte_carlo(g);
-    let diameter = congest_graph::analysis::diameter(g).unwrap_or(1) as u64;
-    let amp = MonteCarloAmplifier::new(0.1)
-        .with_diameter(diameter)
-        .with_mode(GroverMode::Sampled { samples: 16 });
-    amp.amplify(&mc, seed).classical_rounds_baseline as f64
-}
-
-/// Wraps a detector with a declared success probability (re-exported for
-/// the binaries).
-pub fn with_declared<A: congest_quantum::MonteCarloAlgorithm>(
-    alg: A,
-    eps: f64,
-) -> WithSuccess<A> {
-    WithSuccess::new(alg, eps)
+    let det =
+        QuantumOddCycleDetector::new(k, 8, 0.1).with_mode(GroverMode::Sampled { samples: 16 });
+    measure_rounds(&det, g, seed, &Budget::classical())
+        .expect("quantum pipeline simulation cannot fail")
 }
 
 /// Renders an aligned text table.

@@ -1,0 +1,74 @@
+//! A minimal wall-clock benchmarking harness (std-only).
+//!
+//! The build environment has no access to crates.io, so the bench
+//! targets use this instead of criterion: warm-up, a fixed sample
+//! count, and median/min/mean reporting. Bench targets are plain
+//! `harness = false` binaries run by `cargo bench`.
+
+use std::time::Instant;
+
+/// Runs `f` `samples` times after `warmup` unmeasured runs and prints
+/// one aligned result line. Returns the median per-run nanoseconds.
+pub fn bench_case<R>(group: &str, id: &str, samples: u32, mut f: impl FnMut() -> R) -> u128 {
+    assert!(samples > 0, "need at least one sample");
+    let warmup = samples.div_ceil(4);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let mean = times.iter().sum::<u128>() / times.len() as u128;
+    println!(
+        "{group:<32} {id:<24} median {:>12}  min {:>12}  mean {:>12}  ({samples} samples)",
+        format_ns(median),
+        format_ns(min),
+        format_ns(mean),
+    );
+    median
+}
+
+/// Formats nanoseconds with a readable unit.
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_case_runs_and_reports() {
+        let mut calls = 0u32;
+        let median = bench_case("test", "noop", 5, || {
+            calls += 1;
+            calls
+        });
+        // 5 samples + 2 warm-up runs.
+        assert_eq!(calls, 7);
+        assert!(median < 1_000_000_000);
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12).ends_with("ns"));
+        assert!(format_ns(12_000).ends_with("us"));
+        assert!(format_ns(12_000_000).ends_with("ms"));
+        assert!(format_ns(12_000_000_000).ends_with(" s"));
+    }
+}

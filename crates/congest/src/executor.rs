@@ -83,9 +83,7 @@ impl<'g, P: Program> Executor<'g, P> {
         F: FnMut(NodeId, usize) -> P,
     {
         let n = self.graph.node_count();
-        self.nodes = (0..n as u32)
-            .map(|v| factory(NodeId::new(v), n))
-            .collect();
+        self.nodes = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
         let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
             .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
             .collect();
@@ -102,13 +100,13 @@ impl<'g, P: Program> Executor<'g, P> {
 
         // Init phase: superstep-0 sends.
         let mut pending: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
-        for v in 0..n {
+        for (v, rng) in rngs.iter_mut().enumerate() {
             let mut out = Outbox::new();
             let mut ctx = Ctx {
                 node: NodeId::new(v as u32),
                 n,
                 neighbors: self.graph.neighbors(NodeId::new(v as u32)),
-                rng: &mut rngs[v],
+                rng,
             };
             self.nodes[v].init(&mut ctx, &mut out);
             pending.push(out);
@@ -295,9 +293,7 @@ mod tests {
     fn hello_exchanges_with_all_neighbors() {
         let g = generators::cycle(5);
         let mut exec = Executor::new(&g, 1);
-        let report = exec
-            .run(|_, _| HelloOnce { heard: vec![] }, 10)
-            .unwrap();
+        let report = exec.run(|_, _| HelloOnce { heard: vec![] }, 10).unwrap();
         assert_eq!(report.supersteps, 1);
         assert_eq!(report.rounds, 2, "init round + one silent step round");
         assert_eq!(report.congestion.max_words_per_edge_step, 1);

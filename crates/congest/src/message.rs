@@ -79,7 +79,11 @@ mod tests {
     #[test]
     fn vector_sizes() {
         assert_eq!(vec![1u32, 2, 3].words(), 3);
-        assert_eq!(Vec::<u32>::new().words(), 1, "empty message still costs a word");
+        assert_eq!(
+            Vec::<u32>::new().words(),
+            1,
+            "empty message still costs a word"
+        );
     }
 
     #[test]

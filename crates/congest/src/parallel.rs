@@ -86,9 +86,7 @@ where
         F: FnMut(NodeId, usize) -> P,
     {
         let n = self.graph.node_count();
-        self.nodes = (0..n as u32)
-            .map(|v| factory(NodeId::new(v), n))
-            .collect();
+        self.nodes = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
         let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
             .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
             .collect();
@@ -170,7 +168,7 @@ where
         let inbox_chunks = inboxes.chunks_mut(chunk);
         let out_chunks = outboxes.chunks_mut(chunk);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in node_chunks
                 .zip(rng_chunks)
                 .zip(halted_chunks)
@@ -179,7 +177,7 @@ where
                 .enumerate()
             {
                 let base = chunk_idx * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, node) in nodes.iter_mut().enumerate() {
                         let v = base + off;
                         let id = NodeId::new(v as u32);
@@ -197,9 +195,7 @@ where
                                     continue;
                                 }
                                 let inbox = std::mem::take(&mut inboxes[off]);
-                                if node.step(&mut ctx, s, &inbox, &mut outs[off])
-                                    == Control::Halt
-                                {
+                                if node.step(&mut ctx, s, &inbox, &mut outs[off]) == Control::Halt {
                                     halted[off] = true;
                                 }
                             }
@@ -207,8 +203,7 @@ where
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         Ok(outboxes)
     }
 

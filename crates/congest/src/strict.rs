@@ -72,9 +72,7 @@ impl<'g, P: Program> StrictExecutor<'g, P> {
         F: FnMut(NodeId, usize) -> P,
     {
         let n = self.graph.node_count();
-        self.nodes = (0..n as u32)
-            .map(|v| factory(NodeId::new(v), n))
-            .collect();
+        self.nodes = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
         let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
             .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
             .collect();
@@ -86,13 +84,13 @@ impl<'g, P: Program> StrictExecutor<'g, P> {
         let mut supersteps: u64 = 0;
 
         let mut pending: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
-        for v in 0..n {
+        for (v, rng) in rngs.iter_mut().enumerate() {
             let mut out = Outbox::new();
             let mut ctx = Ctx {
                 node: NodeId::new(v as u32),
                 n,
                 neighbors: self.graph.neighbors(NodeId::new(v as u32)),
-                rng: &mut rngs[v],
+                rng,
             };
             self.nodes[v].init(&mut ctx, &mut out);
             pending.push(out);

@@ -7,13 +7,83 @@
 //! identifier). Tests across the workspace use
 //! [`assert_accounting_consistent`] to pin the abstraction to reality.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use congest_graph::NodeId;
 
 use crate::message::MessageSize;
 
 /// Bytes per CONGEST word (a 32-bit identifier).
 pub const WORD_BYTES: usize = 4;
+
+/// A growable write buffer (std-only stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Freezes into a readable [`Bytes`] view.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// A readable byte view with a cursor (std-only stand-in for
+/// `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Total length of the underlying buffer (ignores the cursor).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads a little-endian `u32` and advances the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain (mirrors `bytes::Buf`).
+    pub fn get_u32_le(&mut self) -> u32 {
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(word)
+    }
+
+    /// A fresh view over `range` of the underlying buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
 
 /// A message type with a concrete wire format.
 pub trait WireEncode: MessageSize + Sized {
@@ -96,9 +166,7 @@ impl<T: WireEncode> WireEncode for Vec<T> {
 ///
 /// Panics if the encoding exceeds `(words + 1) · WORD_BYTES` or the
 /// round-trip changes the value.
-pub fn assert_accounting_consistent<T: WireEncode + PartialEq + std::fmt::Debug>(
-    msg: &T,
-) -> usize {
+pub fn assert_accounting_consistent<T: WireEncode + PartialEq + std::fmt::Debug>(msg: &T) -> usize {
     let encoded = msg.to_bytes();
     let budget = (msg.words() + 1) * WORD_BYTES;
     assert!(

@@ -1,0 +1,435 @@
+//! The unified detection API: one polymorphic surface over every cycle
+//! detector in the workspace — the paper's algorithms and the Table 1
+//! comparators alike.
+//!
+//! Table 1 of the paper is a *comparison*: the new randomized
+//! `O(n^{1-1/k})` and quantum `Õ(n^{1/2-1/2k})` detectors against five
+//! prior baselines. This module gives that comparison a common type:
+//!
+//! * [`Detector`] — `detect(&graph, seed, &budget) → Result<Detection>`;
+//! * [`Detection`] — a [`Verdict`] (accept / reject with a validated
+//!   [`CycleWitness`]), a [`RunCost`] (rounds, messages, congestion,
+//!   iterations), and the algorithm's [`Descriptor`];
+//! * [`Budget`] — the resource envelope of a run: per-edge
+//!   [`bandwidth`](Budget::bandwidth) in words per round (`B = 1` is
+//!   classical CONGEST) and an optional repetition override for
+//!   experiment sweeps.
+//!
+//! Every implementation routes through the same fallible surface
+//! (`Result<Detection, SimError>`): simulator-level failures (step-limit
+//! overruns, model violations) surface as errors instead of panics,
+//! matching what was previously only true of the deterministic
+//! gathering baseline.
+//!
+//! The `DetectorRegistry` enumerating boxed implementations by
+//! `(model, target, k)` lives in the facade crate (`even-cycle-congest`),
+//! which can see the baselines as well; the trait and outcome types live
+//! here so every algorithm crate can implement them.
+
+use congest_graph::{CycleWitness, Graph};
+use congest_sim::{RunReport, SimError};
+
+use crate::theory::Table1Row;
+
+/// Which CONGEST model an algorithm runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Classical (randomized or deterministic) CONGEST.
+    Classical,
+    /// Quantum CONGEST (qubit messages, Grover-amplified subroutines).
+    Quantum,
+}
+
+impl Model {
+    /// A short lowercase label (`"classical"` / `"quantum"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::Classical => "classical",
+            Model::Quantum => "quantum",
+        }
+    }
+}
+
+/// The cycle family whose freeness a detector decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// `C_{2k}`-freeness (the paper's headline problem).
+    Even {
+        /// Half the cycle length.
+        k: usize,
+    },
+    /// `C_{2k+1}`-freeness (§3.4).
+    Odd {
+        /// The cycle length is `2k + 1`.
+        k: usize,
+    },
+    /// `{C_ℓ | 3 ≤ ℓ ≤ 2k}`-freeness (§3.5).
+    F2k {
+        /// Half the maximum cycle length.
+        k: usize,
+    },
+}
+
+impl Target {
+    /// The family parameter `k`.
+    pub fn k(self) -> usize {
+        match self {
+            Target::Even { k } | Target::Odd { k } | Target::F2k { k } => k,
+        }
+    }
+
+    /// Whether a cycle of length `len` belongs to the target family.
+    pub fn matches_length(self, len: usize) -> bool {
+        match self {
+            Target::Even { k } => len == 2 * k,
+            Target::Odd { k } => len == 2 * k + 1,
+            Target::F2k { k } => (3..=2 * k).contains(&len),
+        }
+    }
+
+    /// A compact label: `C4`, `C5`, `F6` (the latter meaning all lengths
+    /// `3..=6`).
+    pub fn label(self) -> String {
+        match self {
+            Target::Even { k } => format!("C{}", 2 * k),
+            Target::Odd { k } => format!("C{}", 2 * k + 1),
+            Target::F2k { k } => format!("F{}", 2 * k),
+        }
+    }
+}
+
+/// The resource envelope of one detection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Per-edge bandwidth in words per round. `1` is classical CONGEST;
+    /// larger values model CONGEST(B·log n). Classical detectors charge
+    /// `⌈load/B⌉` rounds per superstep; the quantum pipelines apply the
+    /// bandwidth to their amplified base detector (the dominant term)
+    /// and keep the decomposition cost at `B = 1`, which is
+    /// conservative.
+    pub bandwidth: u64,
+    /// Overrides the algorithm's repetition/attempt budget when `Some`
+    /// (coloring iterations for the color-BFS family, attempts for the
+    /// local-threshold baseline, base repetitions for the quantum
+    /// pipelines). `None` keeps each algorithm's configured default.
+    pub repetitions: Option<usize>,
+    /// Keep iterating after the first rejection, spending the whole
+    /// repetition budget (cost-scaling studies want every iteration's
+    /// cost, not a run truncated at the first lucky coloring).
+    /// Honored by the color-BFS family; detectors whose outer loop has
+    /// no early exit ignore it.
+    pub run_to_budget: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            bandwidth: 1,
+            repetitions: None,
+            run_to_budget: false,
+        }
+    }
+}
+
+impl Budget {
+    /// The classical CONGEST budget (`B = 1`, algorithm defaults).
+    pub fn classical() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the per-edge bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    pub fn with_bandwidth(mut self, bandwidth: u64) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Overrides the repetition budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions > 0, "at least one repetition");
+        self.repetitions = Some(repetitions);
+        self
+    }
+
+    /// Keeps iterating after the first rejection (see
+    /// [`Budget::run_to_budget`]).
+    pub fn exhaustive(mut self) -> Self {
+        self.run_to_budget = true;
+        self
+    }
+}
+
+/// Unified cost accounting — the fields every algorithm can report,
+/// whatever its model (previously scattered across `RunReport`, ad-hoc
+/// round counters, and the quantum outcome types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCost {
+    /// Rounds charged in the algorithm's own cost model (classical
+    /// CONGEST rounds, or quantum rounds for the amplified pipelines).
+    pub rounds: u64,
+    /// Synchronous supersteps executed (0 where the cost model is
+    /// analytic rather than simulated step by step).
+    pub supersteps: u64,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// Total words sent over all edges and supersteps.
+    pub words: u64,
+    /// Maximum words carried by any directed edge in any superstep —
+    /// the congestion statistic the paper's threshold `τ` bounds.
+    pub max_congestion: u64,
+    /// Iterations of the algorithm's outer loop: coloring repetitions,
+    /// attempts, or Grover iterations, per the algorithm's docs.
+    pub iterations: u64,
+}
+
+impl RunCost {
+    /// Converts a simulator [`RunReport`] plus an iteration count.
+    pub fn from_report(report: &RunReport, iterations: u64) -> RunCost {
+        RunCost {
+            rounds: report.rounds,
+            supersteps: report.supersteps,
+            messages: report.congestion.total_messages,
+            words: report.congestion.total_words,
+            max_congestion: report.congestion.max_words_per_edge_step,
+            iterations,
+        }
+    }
+}
+
+/// The decision of one run, with its certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No target cycle found (for one-sided detectors this is the only
+    /// possible answer on target-free inputs).
+    Accept,
+    /// A target cycle was found.
+    Reject {
+        /// The certified cycle, validated against the input graph before
+        /// being reported. `None` only for cost-model comparators that
+        /// cannot reconstruct one.
+        witness: Option<CycleWitness>,
+        /// The detected cycle's length, when known.
+        cycle_length: Option<usize>,
+    },
+}
+
+impl Verdict {
+    /// Whether the run found a cycle.
+    pub fn rejected(&self) -> bool {
+        matches!(self, Verdict::Reject { .. })
+    }
+
+    /// The witness, if any.
+    pub fn witness(&self) -> Option<&CycleWitness> {
+        match self {
+            Verdict::Accept => None,
+            Verdict::Reject { witness, .. } => witness.as_ref(),
+        }
+    }
+}
+
+/// Static metadata describing an algorithm — the information a Table 1
+/// row carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Descriptor {
+    /// Human-readable algorithm name.
+    pub name: &'static str,
+    /// Citation tag (`"this paper"`, `"[10]"`, …).
+    pub reference: &'static str,
+    /// Classical or quantum CONGEST.
+    pub model: Model,
+    /// The cycle family decided.
+    pub target: Target,
+    /// The theoretical exponent `α` of the `n^α` round complexity
+    /// (polylogs normalized), for plotting measured fits against.
+    pub exponent: f64,
+    /// The corresponding row of the paper's Table 1, when one exists.
+    pub table1: Option<Table1Row>,
+}
+
+impl Descriptor {
+    /// A stable registry identifier, e.g. `classical/C4/this-paper`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.model.label(),
+            self.target.label(),
+            self.name.replace(' ', "-").to_lowercase()
+        )
+    }
+}
+
+/// The result of running a [`Detector`] — verdict, cost, and the
+/// algorithm's metadata, in one comparable value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Which algorithm produced this result.
+    pub algorithm: Descriptor,
+    /// The decision with its certificate.
+    pub verdict: Verdict,
+    /// What the run cost.
+    pub cost: RunCost,
+}
+
+impl Detection {
+    /// Whether the run found a cycle.
+    pub fn rejected(&self) -> bool {
+        self.verdict.rejected()
+    }
+
+    /// The witness, if any.
+    pub fn witness(&self) -> Option<&CycleWitness> {
+        self.verdict.witness()
+    }
+
+    /// Rounds charged in the algorithm's cost model.
+    pub fn rounds(&self) -> u64 {
+        self.cost.rounds
+    }
+}
+
+/// The outcome type of [`Detector::detect`]: simulator failures
+/// (step-limit overruns, model violations) surface as values, not
+/// panics.
+pub type DetectResult = Result<Detection, SimError>;
+
+/// A cycle detector in the CONGEST model — the one polymorphic entry
+/// point every algorithm in the workspace implements.
+///
+/// Contract:
+///
+/// * **Determinism**: all randomness derives from `seed`; equal
+///   `(graph, seed, budget)` yields equal [`Detection`]s.
+/// * **One-sidedness**: on inputs free of the target family, every
+///   implementation accepts with probability 1 (rejecting such an input
+///   is a bug, not bad luck).
+/// * **Certification**: rejections carry a witness validated against the
+///   input graph whenever the algorithm can reconstruct one, and the
+///   witness's length belongs to the target family.
+///
+/// ```
+/// use congest_graph::generators;
+/// use even_cycle::{Budget, CycleDetector, Detector, Params};
+///
+/// let host = generators::random_tree(48, 3);
+/// let (g, _) = generators::plant_cycle(&host, 4, 3);
+/// let det = CycleDetector::new(Params::practical(2));
+/// let detection = det.detect(&g, 1, &Budget::classical()).unwrap();
+/// assert!(detection.rejected());
+/// assert!(detection.witness().unwrap().is_valid(&g));
+/// assert_eq!(det.descriptor().target.label(), "C4");
+/// ```
+pub trait Detector {
+    /// The algorithm's static metadata.
+    fn descriptor(&self) -> Descriptor;
+
+    /// Runs the detector on `g` with all randomness derived from `seed`,
+    /// under the given resource budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SimError`] if the CONGEST simulation
+    /// fails (step-limit exceeded, model violation) instead of
+    /// panicking.
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult;
+}
+
+impl<D: Detector + ?Sized> Detector for &D {
+    fn descriptor(&self) -> Descriptor {
+        (**self).descriptor()
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        (**self).detect(g, seed, budget)
+    }
+}
+
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn descriptor(&self) -> Descriptor {
+        (**self).descriptor()
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        (**self).detect(g, seed, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_labels_and_membership() {
+        assert_eq!(Target::Even { k: 2 }.label(), "C4");
+        assert_eq!(Target::Odd { k: 2 }.label(), "C5");
+        assert_eq!(Target::F2k { k: 3 }.label(), "F6");
+        assert!(Target::Even { k: 3 }.matches_length(6));
+        assert!(!Target::Even { k: 3 }.matches_length(5));
+        assert!(Target::F2k { k: 3 }.matches_length(3));
+        assert!(Target::F2k { k: 3 }.matches_length(6));
+        assert!(!Target::F2k { k: 3 }.matches_length(7));
+        assert_eq!(Target::Odd { k: 4 }.k(), 4);
+    }
+
+    #[test]
+    fn budget_builders() {
+        let b = Budget::classical().with_bandwidth(4).with_repetitions(9);
+        assert_eq!(b.bandwidth, 4);
+        assert_eq!(b.repetitions, Some(9));
+        assert_eq!(Budget::default().bandwidth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = Budget::classical().with_bandwidth(0);
+    }
+
+    #[test]
+    fn run_cost_from_report() {
+        let mut report = RunReport::empty();
+        report.rounds = 10;
+        report.supersteps = 4;
+        report.congestion.total_words = 30;
+        report.congestion.total_messages = 12;
+        report.congestion.max_words_per_edge_step = 5;
+        let cost = RunCost::from_report(&report, 3);
+        assert_eq!(cost.rounds, 10);
+        assert_eq!(cost.words, 30);
+        assert_eq!(cost.messages, 12);
+        assert_eq!(cost.max_congestion, 5);
+        assert_eq!(cost.iterations, 3);
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(!Verdict::Accept.rejected());
+        let r = Verdict::Reject {
+            witness: None,
+            cycle_length: Some(4),
+        };
+        assert!(r.rejected());
+        assert!(r.witness().is_none());
+    }
+
+    #[test]
+    fn descriptor_id_is_stable() {
+        let d = Descriptor {
+            name: "color-BFS detector",
+            reference: "this paper",
+            model: Model::Classical,
+            target: Target::Even { k: 2 },
+            exponent: 0.5,
+            table1: Some(Table1Row::ThisPaperClassical),
+        };
+        assert_eq!(d.id(), "classical/C4/color-bfs-detector");
+    }
+}

@@ -108,8 +108,8 @@ impl ColorBfs {
         let k = self.k;
         match c {
             0 => 0,
-            c if c <= k => c,          // 1..k-1 forward; k checks at step k
-            c => 2 * k - c,            // k+1..2k-1 forward at 2k-c
+            c if c <= k => c, // 1..k-1 forward; k checks at step k
+            c => 2 * k - c,   // k+1..2k-1 forward at 2k-c
         }
     }
 
@@ -294,7 +294,11 @@ mod tests {
         let colors = vec![0u8, 1, 2, 3];
         let (report, nodes) = run_plain(&g, &colors, 2, 100);
         assert!(report.rejected());
-        assert_eq!(report.rejecting_nodes, vec![2], "the k-colored node rejects");
+        assert_eq!(
+            report.rejecting_nodes,
+            vec![2],
+            "the k-colored node rejects"
+        );
         assert_eq!(nodes[2].evidence().unwrap().origin, 0);
     }
 
@@ -353,7 +357,7 @@ mod tests {
     fn h_restriction_blocks_paths_through_non_h_nodes() {
         // C4 where node 1 is outside H: the up-branch is severed.
         let g = generators::cycle(4);
-        let colors = vec![0u8, 1, 2, 3];
+        let colors = [0u8, 1, 2, 3];
         let mut exec = Executor::new(&g, 7);
         let report = exec
             .run(
@@ -371,7 +375,7 @@ mod tests {
     fn x_restriction_limits_sources() {
         // Only node 0 in X vs node 0 not in X.
         let g = generators::cycle(4);
-        let colors = vec![0u8, 1, 2, 3];
+        let colors = [0u8, 1, 2, 3];
         let run_with_x = |x_mask: [bool; 4]| {
             let mut exec = Executor::new(&g, 7);
             exec.run(
@@ -388,7 +392,7 @@ mod tests {
     #[test]
     fn inactive_sources_do_not_launch() {
         let g = generators::cycle(4);
-        let colors = vec![0u8, 1, 2, 3];
+        let colors = [0u8, 1, 2, 3];
         let mut exec = Executor::new(&g, 7);
         let report = exec
             .run(
@@ -430,7 +434,14 @@ mod tests {
 
     #[test]
     fn message_sizes() {
-        assert_eq!(CbMsg::Hello { color: 3, in_h: true }.words(), 1);
+        assert_eq!(
+            CbMsg::Hello {
+                color: 3,
+                in_h: true
+            }
+            .words(),
+            1
+        );
         assert_eq!(CbMsg::Ids(vec![1, 2, 3]).words(), 3);
         assert_eq!(CbMsg::Ids(vec![]).words(), 1);
     }

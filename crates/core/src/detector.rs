@@ -10,7 +10,7 @@ use crate::params::{Instance, Params};
 use crate::witness::{extract_even_witness, DetectionOutcome, Phase, SetsSummary};
 
 /// Test and experiment hooks for [`CycleDetector::run_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Use this coloring in every iteration instead of fresh random ones
     /// (lets unit tests pin the "well colored cycle" event).
@@ -20,6 +20,20 @@ pub struct RunOptions {
     /// Keep iterating after the first rejection (for error-probability
     /// studies that want every iteration's cost).
     pub continue_after_reject: bool,
+    /// Per-edge bandwidth in words per round (`1` = classical CONGEST);
+    /// see [`crate::Budget::bandwidth`].
+    pub bandwidth: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            forced_coloring: None,
+            forced_selection: None,
+            continue_after_reject: false,
+            bandwidth: 1,
+        }
+    }
 }
 
 /// The membership sets of Algorithm 1 (Instructions 1–5).
@@ -119,6 +133,7 @@ impl CycleDetector {
             .collect();
 
         let mut exec = Executor::new(g, derive_seed(seed, 0x5E7));
+        exec.set_bandwidth(options.bandwidth);
         let forced = options.forced_selection.clone();
         let setup_report = exec
             .run(
@@ -179,7 +194,7 @@ impl CycleDetector {
                 (Phase::Heavy, &not_s_mask, &sets.w_mask),
             ];
             for (idx, (phase, h_mask, x_mask)) in phases.into_iter().enumerate() {
-                let result = run_color_bfs(
+                let result = run_color_bfs_bw(
                     g,
                     k,
                     &colors,
@@ -187,6 +202,7 @@ impl CycleDetector {
                     x_mask,
                     None,
                     inst.tau,
+                    options.bandwidth,
                     derive_seed(seed, 0xF000 + r * 3 + idx as u64),
                 );
                 total.absorb(&result.report);
@@ -215,6 +231,34 @@ impl CycleDetector {
     }
 }
 
+impl crate::Detector for CycleDetector {
+    fn descriptor(&self) -> crate::Descriptor {
+        crate::Descriptor {
+            name: "global-threshold color-BFS",
+            reference: "this paper",
+            model: crate::Model::Classical,
+            target: crate::Target::Even { k: self.params.k },
+            exponent: crate::theory::Table1Row::ThisPaperClassical.exponent(self.params.k),
+            table1: Some(crate::theory::Table1Row::ThisPaperClassical),
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &crate::Budget) -> crate::DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => CycleDetector::new(self.params.clone().with_repetitions(r)),
+            None => self.clone(),
+        };
+        let opts = RunOptions {
+            bandwidth: budget.bandwidth,
+            continue_after_reject: budget.run_to_budget,
+            ..Default::default()
+        };
+        Ok(det
+            .run_with(g, seed, &opts)
+            .into_detection(self.descriptor()))
+    }
+}
+
 /// A uniformly random coloring with `colors` colors.
 pub fn random_coloring(n: usize, colors: usize, seed: u64) -> Vec<u8> {
     use rand::SeedableRng;
@@ -237,7 +281,7 @@ pub struct ColorBfsResult {
 
 /// Runs a single `color-BFS(k, H, c, X, τ)` (or, with
 /// `activation = Some(q)`, `randomized-color-BFS`) and gathers the
-/// result.
+/// result, at classical CONGEST bandwidth (`B = 1`).
 #[allow(clippy::too_many_arguments)]
 pub fn run_color_bfs(
     g: &Graph,
@@ -247,6 +291,24 @@ pub fn run_color_bfs(
     x_mask: &[bool],
     activation: Option<f64>,
     tau: u64,
+    seed: u64,
+) -> ColorBfsResult {
+    run_color_bfs_bw(g, k, colors, h_mask, x_mask, activation, tau, 1, seed)
+}
+
+/// [`run_color_bfs`] with an explicit per-edge bandwidth in words per
+/// round (the `B` of CONGEST(B·log n); supersteps are charged
+/// `⌈load/B⌉` rounds).
+#[allow(clippy::too_many_arguments)]
+pub fn run_color_bfs_bw(
+    g: &Graph,
+    k: usize,
+    colors: &[u8],
+    h_mask: &[bool],
+    x_mask: &[bool],
+    activation: Option<f64>,
+    tau: u64,
+    bandwidth: u64,
     seed: u64,
 ) -> ColorBfsResult {
     // Activation coins are per-node, derived from the seed (equivalent to
@@ -260,6 +322,7 @@ pub fn run_color_bfs(
         }
     };
     let mut exec = Executor::new(g, seed);
+    exec.set_bandwidth(bandwidth);
     let report = exec
         .run(
             |v, _| {
@@ -400,9 +463,9 @@ mod tests {
         // Force S = all leaves (ids 12.. are leaves), keeping the cycle
         // S-free; hub then has ≥ k² selected neighbors.
         let mut s = vec![false; n];
-        for v in 12..n {
+        for (v, flag) in s.iter_mut().enumerate().skip(12) {
             if !planted.nodes().contains(&NodeId::new(v as u32)) {
-                s[v] = true;
+                *flag = true;
             }
         }
         let colors = consecutive_coloring(&g, &planted, 4);
@@ -452,7 +515,11 @@ mod tests {
         // 1, so S = V and the third phase's host G[V∖S] is empty (its
         // call ends after one superstep); the first two phases run the
         // full k+1 supersteps each.
-        assert!(outcome.report.supersteps >= 35, "got {}", outcome.report.supersteps);
+        assert!(
+            outcome.report.supersteps >= 35,
+            "got {}",
+            outcome.report.supersteps
+        );
     }
 
     #[test]

@@ -230,6 +230,9 @@ pub struct F2kOutcome {
     pub witness: Option<CycleWitness>,
     /// Which pair `ℓ` (detecting `C_{2ℓ-1}`/`C_{2ℓ}`) fired.
     pub pair: Option<usize>,
+    /// Total coloring repetitions executed across all pairs (stops at
+    /// the first rejection).
+    pub iterations: u64,
     /// Accumulated CONGEST costs.
     pub report: RunReport,
 }
@@ -348,7 +351,11 @@ impl F2kDetector {
             self.randomized,
             "amplification needs the randomized (constant-congestion) variant"
         );
-        F2kMc { det: self, g }
+        F2kMc {
+            det: self,
+            g,
+            bandwidth: 1,
+        }
     }
 
     /// Overrides the per-pair repetition count.
@@ -365,8 +372,14 @@ impl F2kDetector {
 
     /// Runs the detector; randomness derives from `seed`.
     pub fn run(&self, g: &Graph, seed: u64) -> F2kOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`F2kDetector::run`] at per-edge bandwidth `B` (words per round).
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> F2kOutcome {
         let n = g.node_count();
         let mut total = RunReport::empty();
+        let mut iterations = 0u64;
         for l in 2..=self.k {
             // Pair parameters (§3.5): p = ε̂·2ℓ²/n^{1/ℓ}, τ = 2np,
             // U = degree ≤ n^{1/ℓ}, W = N(S) ∖ S.
@@ -381,10 +394,7 @@ impl F2kDetector {
             };
             let w_mask: Vec<bool> = g
                 .nodes()
-                .map(|v| {
-                    !s_mask[v.index()]
-                        && g.neighbors(v).iter().any(|u| s_mask[u.index()])
-                })
+                .map(|v| !s_mask[v.index()] && g.neighbors(v).iter().any(|u| s_mask[u.index()]))
                 .collect();
             let u_mask: Vec<bool> = g
                 .nodes()
@@ -393,12 +403,11 @@ impl F2kDetector {
             let all = vec![true; n];
 
             for r in 0..self.repetitions_per_pair as u64 {
-                let colors =
-                    random_coloring(n, 2 * l, derive_seed(pair_seed, 0xC0 + r));
+                iterations += 1;
+                let colors = random_coloring(n, 2 * l, derive_seed(pair_seed, 0xC0 + r));
                 // Two calls: light (G[U], X = U) and merged heavy
                 // (G, X = W).
-                let calls: [(&[bool], &[bool]); 2] =
-                    [(&u_mask, &u_mask), (&all, &w_mask)];
+                let calls: [(&[bool], &[bool]); 2] = [(&u_mask, &u_mask), (&all, &w_mask)];
                 for (ci, (h_mask, x_mask)) in calls.into_iter().enumerate() {
                     let call_seed = derive_seed(pair_seed, 0xF00 + r * 2 + ci as u64);
                     let (activation, call_tau) = if self.randomized {
@@ -407,7 +416,7 @@ impl F2kDetector {
                         (None, tau)
                     };
                     let (report, rejection) = run_pair_call(
-                        g, l, &colors, h_mask, x_mask, activation, call_tau, call_seed,
+                        g, l, &colors, h_mask, x_mask, activation, call_tau, bandwidth, call_seed,
                     );
                     total.absorb(&report);
                     if let Some((v, evidence)) = rejection {
@@ -443,6 +452,7 @@ impl F2kDetector {
                             cycle_length: Some(len),
                             witness: Some(witness),
                             pair: Some(l),
+                            iterations,
                             report: total,
                         };
                     }
@@ -454,6 +464,7 @@ impl F2kDetector {
             cycle_length: None,
             witness: None,
             pair: None,
+            iterations,
             report: total,
         }
     }
@@ -469,18 +480,19 @@ fn run_pair_call(
     x_mask: &[bool],
     activation: Option<f64>,
     tau: u64,
+    bandwidth: u64,
     seed: u64,
 ) -> (RunReport, Option<(NodeId, PairEvidence)>) {
     let active: Vec<bool> = match activation {
         None => vec![true; g.node_count()],
         Some(q) => {
             use rand::SeedableRng;
-            let mut rng =
-                rand_chacha::ChaCha8Rng::seed_from_u64(derive_seed(seed, 0xAC7));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(derive_seed(seed, 0xAC7));
             (0..g.node_count()).map(|_| rng.gen_bool(q)).collect()
         }
     };
     let mut exec = Executor::new(g, seed);
+    exec.set_bandwidth(bandwidth);
     let report = exec
         .run(
             |v, _| PairColorBfs {
@@ -536,11 +548,21 @@ fn extract_pair_odd_witness(
 pub struct F2kMc<'a> {
     det: &'a F2kDetector,
     g: &'a Graph,
+    bandwidth: u64,
+}
+
+impl F2kMc<'_> {
+    /// Sets the per-edge bandwidth charged to the base runs.
+    pub fn with_bandwidth(mut self, bandwidth: u64) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
 }
 
 impl congest_quantum::MonteCarloAlgorithm for F2kMc<'_> {
     fn run(&self, seed: u64) -> congest_quantum::McOutcome {
-        let o = self.det.run(self.g, seed);
+        let o = self.det.run_with_bandwidth(self.g, seed, self.bandwidth);
         congest_quantum::McOutcome {
             rejected: o.rejected,
             rounds: o.report.rounds,
@@ -553,6 +575,40 @@ impl congest_quantum::MonteCarloAlgorithm for F2kMc<'_> {
 
     fn success_probability(&self) -> f64 {
         self.det.success_probability(self.g.node_count())
+    }
+}
+
+impl crate::Detector for F2kDetector {
+    fn descriptor(&self) -> crate::Descriptor {
+        crate::Descriptor {
+            name: "pairwise color-BFS sweep",
+            reference: "this paper §3.5",
+            model: crate::Model::Classical,
+            target: crate::Target::F2k { k: self.k },
+            exponent: 1.0 - 1.0 / self.k as f64,
+            table1: Some(crate::theory::Table1Row::CensorHillelF2k),
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &crate::Budget) -> crate::DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let o = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        let verdict = if o.rejected {
+            crate::Verdict::Reject {
+                cycle_length: o.cycle_length,
+                witness: o.witness,
+            }
+        } else {
+            crate::Verdict::Accept
+        };
+        Ok(crate::Detection {
+            algorithm: self.descriptor(),
+            verdict,
+            cost: crate::RunCost::from_report(&o.report, o.iterations),
+        })
     }
 }
 
@@ -616,13 +672,21 @@ mod tests {
 
     #[test]
     fn detects_triangle() {
-        let host = generators::random_tree(30, 4);
-        let (g, _) = generators::plant_cycle(&host, 3, 4);
+        // A triangle farm has girth 3 and no C4 at all, so the detected
+        // length is unambiguous. (A planted C3 on a random tree can
+        // close an incidental C4 through a tree path, making the
+        // reported length coloring-dependent.)
+        let g = cycle_farm(3, 8);
         let det = F2kDetector::new(2);
-        let outcome = det.run(&g, 2);
-        assert!(outcome.rejected());
-        assert_eq!(outcome.cycle_length, Some(3));
-        assert_eq!(outcome.witness.as_ref().unwrap().len(), 3);
+        let found = (0..6).any(|seed| {
+            let outcome = det.run(&g, seed);
+            if outcome.rejected() {
+                assert_eq!(outcome.cycle_length, Some(3));
+                assert_eq!(outcome.witness.as_ref().unwrap().len(), 3);
+            }
+            outcome.rejected()
+        });
+        assert!(found, "triangle farm never detected");
     }
 
     /// `copies` disjoint copies of `C_len` plus a path, so that `n` is

@@ -10,8 +10,8 @@
 //!   `randomized-color-BFS` (Algorithm 2), running in `k^{O(k)}` rounds
 //!   with constant congestion and success probability `1/(3τ)`.
 //! * [`QuantumCycleDetector`] — Theorem 2 / Lemma 13: diameter reduction
-//!   + quantum Monte-Carlo amplification of the low-probability detector,
-//!   in `k^{O(k)}·polylog(n)·n^{1/2-1/2k}` rounds.
+//!   and quantum Monte-Carlo amplification of the low-probability
+//!   detector, in `k^{O(k)}·polylog(n)·n^{1/2-1/2k}` rounds.
 //! * [`OddCycleDetector`] — §3.4: `C_{2k+1}`-freeness with success
 //!   `Ω(1/n)` in constant rounds; amplified to `Õ(√n)`.
 //! * [`F2kDetector`] — §3.5: `{C_ℓ | 3 ≤ ℓ ≤ 2k}`-freeness.
@@ -22,10 +22,17 @@
 //!
 //! Every rejection is *certified*: the library extracts an explicit cycle
 //! witness and validates it against the input graph before reporting.
+//!
+//! All detectors also implement the unified [`Detector`] trait
+//! (`detect(&graph, seed, &budget) → Result<Detection>`), the one
+//! polymorphic entry point shared with the Table 1 baseline comparators;
+//! see [`api`](crate::Detection) for the outcome types and the facade
+//! crate for the registry and scenario runner built on top.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 pub mod color_bfs;
 mod detector;
 mod f2k;
@@ -37,8 +44,12 @@ pub mod sparsify;
 pub mod theory;
 mod witness;
 
+pub use api::{
+    Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target, Verdict,
+};
 pub use detector::{
-    random_coloring, run_color_bfs, ColorBfsResult, CycleDetector, Memberships, RunOptions,
+    random_coloring, run_color_bfs, run_color_bfs_bw, ColorBfsResult, CycleDetector, Memberships,
+    RunOptions,
 };
 pub use f2k::{F2kDetector, F2kMc, F2kOutcome};
 pub use odd::OddCycleDetector;
@@ -48,6 +59,6 @@ pub use quantum_detector::{
 };
 pub use randomized::{LowProbDetector, LowProbMc, RANDOMIZED_THRESHOLD};
 pub use witness::{
-    certify, extract_even_witness, extract_odd_witness, find_colored_path, DetectionOutcome,
-    Phase, SetsSummary,
+    certify, extract_even_witness, extract_odd_witness, find_colored_path, DetectionOutcome, Phase,
+    SetsSummary,
 };

@@ -212,8 +212,26 @@ impl OddCycleDetector {
         2 * self.k + 1
     }
 
+    /// Overrides the repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition");
+        self.repetitions = repetitions;
+        self
+    }
+
     /// Runs the detector; all randomness derives from `seed`.
     pub fn run(&self, g: &Graph, seed: u64) -> DetectionOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`OddCycleDetector::run`] at per-edge bandwidth `B` (words per
+    /// round); the protocol is unchanged, supersteps are charged
+    /// `⌈load/B⌉` rounds.
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> DetectionOutcome {
         let k = self.k;
         let n = g.node_count();
         let colors_count = 2 * k + 1;
@@ -230,11 +248,11 @@ impl OddCycleDetector {
             let call_seed = derive_seed(seed, 0xE000 + r);
             let active: Vec<bool> = {
                 use rand::SeedableRng;
-                let mut rng =
-                    rand_chacha::ChaCha8Rng::seed_from_u64(derive_seed(call_seed, 0xAC7));
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(derive_seed(call_seed, 0xAC7));
                 (0..n).map(|_| rng.gen_bool(activation)).collect()
             };
             let mut exec = Executor::new(g, call_seed);
+            exec.set_bandwidth(bandwidth);
             let report = exec
                 .run(
                     |v, _| OddColorBfs {
@@ -253,15 +271,9 @@ impl OddCycleDetector {
             if let Some(&v) = report.rejecting_nodes.first() {
                 decision = Decision::Reject;
                 let origin = exec.nodes()[v as usize].reject.expect("evidence");
-                let w = extract_odd_witness(
-                    g,
-                    &all,
-                    &colors,
-                    k,
-                    NodeId::new(origin),
-                    NodeId::new(v),
-                )
-                .expect("rejection must be certifiable");
+                let w =
+                    extract_odd_witness(g, &all, &colors, k, NodeId::new(origin), NodeId::new(v))
+                        .expect("rejection must be certifiable");
                 witness = Some(w);
                 break;
             }
@@ -302,7 +314,36 @@ impl OddCycleDetector {
 
     /// Wraps the detector as a Monte-Carlo algorithm over a fixed graph.
     pub fn as_monte_carlo<'a>(&'a self, g: &'a Graph) -> OddMc<'a> {
-        OddMc { det: self, g }
+        OddMc {
+            det: self,
+            g,
+            bandwidth: 1,
+        }
+    }
+}
+
+impl crate::Detector for OddCycleDetector {
+    fn descriptor(&self) -> crate::Descriptor {
+        crate::Descriptor {
+            name: "constant-round odd color-BFS",
+            reference: "this paper §3.4",
+            model: crate::Model::Classical,
+            // Success Ω(1/n) per constant-round repetition: classical
+            // amplification to constant success costs Θ̃(n), the [15,30]
+            // row's shape.
+            target: crate::Target::Odd { k: self.k },
+            exponent: 1.0,
+            table1: Some(crate::theory::Table1Row::KorhonenRybickiOdd),
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &crate::Budget) -> crate::DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        Ok(outcome.into_detection(self.descriptor()))
     }
 }
 
@@ -311,11 +352,21 @@ impl OddCycleDetector {
 pub struct OddMc<'a> {
     det: &'a OddCycleDetector,
     g: &'a Graph,
+    bandwidth: u64,
+}
+
+impl OddMc<'_> {
+    /// Sets the per-edge bandwidth charged to the base runs.
+    pub fn with_bandwidth(mut self, bandwidth: u64) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
 }
 
 impl MonteCarloAlgorithm for OddMc<'_> {
     fn run(&self, seed: u64) -> McOutcome {
-        let o = self.det.run(self.g, seed);
+        let o = self.det.run_with_bandwidth(self.g, seed, self.bandwidth);
         McOutcome {
             rejected: o.rejected(),
             rounds: o.report.rounds,

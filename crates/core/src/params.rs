@@ -35,7 +35,7 @@ pub struct Params {
     /// Number of repetitions `K` of the coloring loop (Instruction 7).
     pub repetitions: usize,
     /// Multiplier on the selection probability (and hence `τ`), default
-    /// 1. The paper's constant `ε̂·2k²` keeps `p` clamped at 1 until
+    /// one. The paper's constant `ε̂·2k²` keeps `p` clamped at 1 until
     /// `n^{1/k} > ε̂·2k²` (`n ≈ 6·10⁴` already for `k = 3`); scaling
     /// experiments shrink the constant to reach the asymptotic regime at
     /// simulation sizes — the `n`-exponents of `p` and `τ` are
@@ -228,6 +228,10 @@ mod tests {
             .instantiate(1 << 24);
         // τ ~ n^{1-1/k}: 2^12 → 2^24 is ×2^12 in n, ×2^8 in τ.
         let ratio = b.tau as f64 / a.tau as f64;
-        assert!((ratio.log2() - 8.0).abs() < 0.2, "τ ratio 2^{}", ratio.log2());
+        assert!(
+            (ratio.log2() - 8.0).abs() < 0.2,
+            "τ ratio 2^{}",
+            ratio.log2()
+        );
     }
 }

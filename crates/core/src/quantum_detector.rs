@@ -1,27 +1,30 @@
-//! The quantum `C_{2k}`-freeness detector (Theorem 2 / Lemma 13).
+//! The quantum `C_{2k}`-freeness detector (Theorem 2 / Lemma 13) and its
+//! odd-cycle / `F_{2k}` siblings.
 //!
-//! Pipeline: (1) reduce the success probability and congestion with the
-//! Lemma 12 detector (`k^{O(k)}` rounds, success `1/(3τ)`); (2) amplify
+//! Pipeline (shared by all three, factored into [`run_pipeline`]):
+//! (1) reduce the success probability and congestion with a
+//! constant-congestion classical base detector; (2) amplify
 //! quadratically with distributed quantum Monte-Carlo amplification
 //! (Theorem 3); (3) remove the diameter dependence with the Lemma 9
 //! network decomposition, running the amplified detector on each
-//! diameter-`O(k log n)` component. Total:
-//! `k^{O(k)}·polylog(n)·n^{1/2-1/2k}` rounds, one-sided error
-//! `1/poly(n)`.
+//! diameter-`O(k log n)` component. Totals:
+//! `k^{O(k)}·polylog(n)·n^{1/2-1/2k}` rounds for `C_{2k}` and `F_{2k}`,
+//! `Õ(√n)` for `C_{2k+1}`, all with one-sided error.
 
 use congest_graph::{CycleWitness, Graph};
 use congest_quantum::decomposition::{decompose, reduced_components};
-use congest_quantum::{GroverMode, MonteCarloAmplifier, WithSuccess};
+use congest_quantum::{GroverMode, McOutcome, MonteCarloAlgorithm, MonteCarloAmplifier};
 use congest_sim::derive_seed;
 
 use crate::params::Params;
 use crate::randomized::LowProbDetector;
+use crate::{Budget, Descriptor, DetectResult, Detection, Detector, RunCost, Verdict};
 
 /// The result of the quantum pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantumOutcome {
-    /// Whether a `C_{2k}` was found (one-sided: never true on a
-    /// `C_{2k}`-free graph).
+    /// Whether a target cycle was found (one-sided: never true on a
+    /// target-free graph).
     pub rejected: bool,
     /// The verified witness, mapped back to the input graph's ids.
     pub witness: Option<CycleWitness>,
@@ -46,6 +49,244 @@ pub struct QuantumOutcome {
     pub classical_evals: u64,
 }
 
+impl QuantumOutcome {
+    /// Converts into the unified [`Detection`] surface: `rounds` are the
+    /// pipeline's quantum rounds, `iterations` the Grover iterations.
+    /// Message/word/congestion statistics are not part of the quantum
+    /// cost model and report 0.
+    pub fn into_detection(self, algorithm: Descriptor) -> Detection {
+        let cycle_length = self.witness.as_ref().map(|w| w.len());
+        let verdict = if self.rejected {
+            Verdict::Reject {
+                witness: self.witness,
+                cycle_length,
+            }
+        } else {
+            Verdict::Accept
+        };
+        Detection {
+            algorithm,
+            verdict,
+            cost: RunCost {
+                rounds: self.quantum_rounds,
+                supersteps: 0,
+                messages: 0,
+                words: 0,
+                max_congestion: 0,
+                iterations: self.iterations,
+            },
+        }
+    }
+}
+
+/// A constant-congestion classical base detector the quantum pipeline
+/// can amplify over a decomposition component.
+trait PipelineBase {
+    /// One run on `g`: `(rejected, rounds)` at the given bandwidth.
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64);
+
+    /// Re-runs the witness seed and extracts the certified cycle.
+    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness>;
+
+    /// Round upper bound of one run at the given bandwidth.
+    fn round_bound(&self, g: &Graph, bandwidth: u64) -> u64;
+
+    /// The declared one-sided success probability on an `n`-vertex
+    /// component.
+    fn default_success(&self, n: usize) -> f64;
+}
+
+impl PipelineBase for LowProbDetector {
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
+        let opts = crate::RunOptions {
+            bandwidth,
+            ..Default::default()
+        };
+        let o = self.run_with(g, seed, &opts);
+        (o.rejected(), o.report.rounds)
+    }
+
+    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
+        self.run(g, seed).witness
+    }
+
+    fn round_bound(&self, g: &Graph, bandwidth: u64) -> u64 {
+        self.round_bound_bw(g.node_count(), bandwidth)
+    }
+
+    fn default_success(&self, n: usize) -> f64 {
+        self.success_probability(n)
+    }
+}
+
+impl PipelineBase for crate::OddCycleDetector {
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
+        let o = self.run_with_bandwidth(g, seed, bandwidth);
+        (o.rejected(), o.report.rounds)
+    }
+
+    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
+        self.run(g, seed).witness
+    }
+
+    fn round_bound(&self, _g: &Graph, _bandwidth: u64) -> u64 {
+        // Constant threshold 4; the B = 1 bound stays valid for B ≥ 1.
+        self.round_bound()
+    }
+
+    fn default_success(&self, n: usize) -> f64 {
+        self.success_probability(n)
+    }
+}
+
+impl PipelineBase for crate::F2kDetector {
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
+        let o = self.run_with_bandwidth(g, seed, bandwidth);
+        (o.rejected, o.report.rounds)
+    }
+
+    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
+        self.run(g, seed).witness
+    }
+
+    fn round_bound(&self, _g: &Graph, _bandwidth: u64) -> u64 {
+        self.round_bound()
+    }
+
+    fn default_success(&self, n: usize) -> f64 {
+        self.success_probability(n)
+    }
+}
+
+/// A [`PipelineBase`] restricted to one decomposition component, as the
+/// [`MonteCarloAlgorithm`] Theorem 3 amplifies.
+struct ComponentMc<'a, B: PipelineBase> {
+    base: &'a B,
+    g: &'a Graph,
+    declared: f64,
+    bandwidth: u64,
+}
+
+impl<B: PipelineBase> MonteCarloAlgorithm for ComponentMc<'_, B> {
+    fn run(&self, seed: u64) -> McOutcome {
+        let (rejected, rounds) = self.base.run_once(self.g, seed, self.bandwidth);
+        McOutcome { rejected, rounds }
+    }
+
+    fn round_bound(&self) -> u64 {
+        self.base.round_bound(self.g, self.bandwidth)
+    }
+
+    fn success_probability(&self) -> f64 {
+        self.declared
+    }
+}
+
+/// Shared parameters of one pipeline run.
+struct PipelineSpec {
+    /// Decomposition separation parameter (`2k+1` for even/F2k targets,
+    /// `2k+2` for odd).
+    separation: u32,
+    /// Component enlargement radius (covers any target cycle around any
+    /// of its vertices).
+    radius: u32,
+    /// Components smaller than this cannot contain a target cycle.
+    min_nodes: usize,
+    /// Seed stream labels for the decomposition and the per-component
+    /// amplifications.
+    dec_stream: u64,
+    comp_stream: u64,
+    /// Target one-sided error.
+    delta: f64,
+    /// Grover simulation mode.
+    mode: GroverMode,
+    /// Declared success-probability override (shrinks the seed space;
+    /// one-sidedness unaffected).
+    declared_success: Option<f64>,
+    /// Per-edge bandwidth charged to the classical base runs.
+    bandwidth: u64,
+}
+
+/// The Lemma 13 pipeline: decomposition, per-component amplification,
+/// per-color cost maxima, witness recovery — the code previously
+/// triplicated across the three quantum detectors.
+fn run_pipeline<B: PipelineBase>(
+    g: &Graph,
+    seed: u64,
+    base: &B,
+    spec: &PipelineSpec,
+) -> QuantumOutcome {
+    let decomposition = decompose(g, spec.separation, derive_seed(seed, spec.dec_stream));
+    let components = reduced_components(g, &decomposition, spec.radius);
+
+    let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
+        std::collections::BTreeMap::new();
+    let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
+        std::collections::BTreeMap::new();
+    let mut iterations = 0u64;
+    let mut classical_evals = 0u64;
+    let mut rejected = false;
+    let mut witness: Option<CycleWitness> = None;
+
+    for (ci, comp) in components.iter().enumerate() {
+        if comp.graph.node_count() < spec.min_nodes {
+            continue; // cannot contain a target cycle
+        }
+        let declared = spec
+            .declared_success
+            .unwrap_or_else(|| base.default_success(comp.graph.node_count()));
+        let mc = ComponentMc {
+            base,
+            g: &comp.graph,
+            declared,
+            bandwidth: spec.bandwidth,
+        };
+        let diameter = congest_graph::analysis::diameter(&comp.graph)
+            .expect("components are connected") as u64;
+        let amplifier = MonteCarloAmplifier::new(spec.delta)
+            .with_diameter(diameter)
+            .with_mode(spec.mode);
+        let report = amplifier.amplify(&mc, derive_seed(seed, spec.comp_stream + ci as u64));
+        iterations += report.iterations;
+        classical_evals += report.classical_evals;
+        let qc = per_color_quantum.entry(comp.color).or_insert(0);
+        *qc = (*qc).max(report.quantum_rounds);
+        let cc = per_color_classical.entry(comp.color).or_insert(0);
+        *cc = (*cc).max(report.classical_rounds_baseline);
+
+        if report.rejected && !rejected {
+            rejected = true;
+            // Re-run the base detector with the witness seed and map the
+            // witness back to the original ids.
+            let ws = report.witness_seed.expect("rejected implies witness seed");
+            let local_witness = base
+                .witness_of(&comp.graph, ws)
+                .expect("witness seed reproduces the rejection");
+            let mapped = CycleWitness::new(
+                local_witness
+                    .nodes()
+                    .iter()
+                    .map(|v| comp.original_ids[v.index()])
+                    .collect(),
+            );
+            assert!(mapped.is_valid(g), "mapped witness must stay valid");
+            witness = Some(mapped);
+        }
+    }
+
+    QuantumOutcome {
+        rejected,
+        witness,
+        quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
+        classical_rounds: decomposition.round_cost + per_color_classical.values().sum::<u64>(),
+        decomposition_rounds: decomposition.round_cost,
+        iterations,
+        components: components.len(),
+        colors: decomposition.colors,
+        classical_evals,
+    }
+}
+
 /// Theorem 2's quantum `C_{2k}`-freeness algorithm.
 ///
 /// ```
@@ -56,9 +297,14 @@ pub struct QuantumOutcome {
 /// let (g, _) = generators::plant_cycle(&host, 4, 5);
 /// let det = QuantumCycleDetector::new(Params::practical(2).with_repetitions(24), 0.1)
 ///     .with_declared_success(1.0 / 256.0);
-/// let outcome = det.run(&g, 3);
-/// assert!(outcome.rejected);
-/// assert!(outcome.witness.unwrap().is_valid(&g));
+/// let found = (0..4).any(|seed| {
+///     let outcome = det.run(&g, seed);
+///     if outcome.rejected {
+///         assert!(outcome.witness.as_ref().unwrap().is_valid(&g));
+///     }
+///     outcome.rejected
+/// });
+/// assert!(found);
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantumCycleDetector {
@@ -104,80 +350,59 @@ impl QuantumCycleDetector {
         self
     }
 
+    /// Overrides the base detector's repetition count.
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        self.params = self.params.with_repetitions(repetitions);
+        self
+    }
+
     /// Runs the full pipeline on `g`.
     pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`QuantumCycleDetector::run`] with the classical base runs
+    /// charged at per-edge bandwidth `B` (the decomposition cost stays
+    /// at `B = 1`, which is conservative).
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
         let k = self.params.k;
+        let base = LowProbDetector::new(self.params.clone());
         // Lemma 9 uses the decomposition with separation parameter
         // 2k + 1 and enlargement radius k.
-        let decomposition = decompose(g, 2 * k as u32 + 1, derive_seed(seed, 0xDEC));
-        let components = reduced_components(g, &decomposition, k as u32);
+        let spec = PipelineSpec {
+            separation: 2 * k as u32 + 1,
+            radius: k as u32,
+            min_nodes: 2 * k,
+            dec_stream: 0xDEC,
+            comp_stream: 0xA0_00,
+            delta: self.delta,
+            mode: self.mode,
+            declared_success: self.declared_success,
+            bandwidth,
+        };
+        run_pipeline(g, seed, &base, &spec)
+    }
+}
 
-        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut iterations = 0u64;
-        let mut classical_evals = 0u64;
-        let mut rejected = false;
-        let mut witness: Option<CycleWitness> = None;
-
-        for (ci, comp) in components.iter().enumerate() {
-            if comp.graph.node_count() < 2 * k {
-                continue; // cannot contain a 2k-cycle
-            }
-            let detector = LowProbDetector::new(self.params.clone());
-            let base = detector.as_monte_carlo(&comp.graph);
-            let declared = self
-                .declared_success
-                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
-            let mc = WithSuccess::new(base, declared);
-            let diameter = congest_graph::analysis::diameter(&comp.graph)
-                .expect("components are connected") as u64;
-            let amplifier = MonteCarloAmplifier::new(self.delta)
-                .with_diameter(diameter)
-                .with_mode(self.mode);
-            let report = amplifier.amplify(&mc, derive_seed(seed, 0xA0_00 + ci as u64));
-            iterations += report.iterations;
-            classical_evals += report.classical_evals;
-            let qc = per_color_quantum.entry(comp.color).or_insert(0);
-            *qc = (*qc).max(report.quantum_rounds);
-            let cc = per_color_classical.entry(comp.color).or_insert(0);
-            *cc = (*cc).max(report.classical_rounds_baseline);
-
-            if report.rejected && !rejected {
-                rejected = true;
-                // Re-run the base detector with the witness seed and map
-                // the witness back to the original ids.
-                let ws = report.witness_seed.expect("rejected implies witness seed");
-                let local = detector.run(&comp.graph, ws);
-                let local_witness = local
-                    .witness
-                    .expect("witness seed reproduces the rejection");
-                let mapped = CycleWitness::new(
-                    local_witness
-                        .nodes()
-                        .iter()
-                        .map(|v| comp.original_ids[v.index()])
-                        .collect(),
-                );
-                assert!(mapped.is_valid(g), "mapped witness must stay valid");
-                witness = Some(mapped);
-            }
+impl Detector for QuantumCycleDetector {
+    fn descriptor(&self) -> Descriptor {
+        Descriptor {
+            name: "amplified color-BFS pipeline",
+            reference: "this paper Thm 2",
+            model: crate::Model::Quantum,
+            target: crate::Target::Even { k: self.params.k },
+            exponent: crate::theory::Table1Row::ThisPaperQuantum.exponent(self.params.k),
+            table1: Some(crate::theory::Table1Row::ThisPaperQuantum),
         }
+    }
 
-        QuantumOutcome {
-            rejected,
-            witness,
-            quantum_rounds: decomposition.round_cost
-                + per_color_quantum.values().sum::<u64>(),
-            classical_rounds: decomposition.round_cost
-                + per_color_classical.values().sum::<u64>(),
-            decomposition_rounds: decomposition.round_cost,
-            iterations,
-            components: components.len(),
-            colors: decomposition.colors,
-            classical_evals,
-        }
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        Ok(outcome.into_detection(self.descriptor()))
     }
 }
 
@@ -229,77 +454,63 @@ impl QuantumOddCycleDetector {
         self
     }
 
+    /// Overrides the base detector's repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition");
+        self.repetitions = repetitions;
+        self
+    }
+
     /// Runs the full pipeline on `g`.
     pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`QuantumOddCycleDetector::run`] with the classical base runs
+    /// charged at per-edge bandwidth `B`.
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
         let k = self.k;
         let l = 2 * k + 1;
-        let decomposition = decompose(g, l as u32 + 1, derive_seed(seed, 0x0DDD));
+        let base = crate::OddCycleDetector::new(k, self.repetitions);
         // Radius k+1 covers any C_{2k+1} around any of its vertices.
-        let components = reduced_components(g, &decomposition, k as u32 + 1);
+        let spec = PipelineSpec {
+            separation: l as u32 + 1,
+            radius: k as u32 + 1,
+            min_nodes: l,
+            dec_stream: 0x0DDD,
+            comp_stream: 0x0D_00,
+            delta: self.delta,
+            mode: self.mode,
+            declared_success: self.declared_success,
+            bandwidth,
+        };
+        run_pipeline(g, seed, &base, &spec)
+    }
+}
 
-        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut iterations = 0u64;
-        let mut classical_evals = 0u64;
-        let mut rejected = false;
-        let mut witness: Option<CycleWitness> = None;
-
-        for (ci, comp) in components.iter().enumerate() {
-            if comp.graph.node_count() < l {
-                continue;
-            }
-            let detector = crate::OddCycleDetector::new(k, self.repetitions);
-            let base = detector.as_monte_carlo(&comp.graph);
-            let declared = self
-                .declared_success
-                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
-            let mc = WithSuccess::new(base, declared);
-            let diameter = congest_graph::analysis::diameter(&comp.graph)
-                .expect("components are connected") as u64;
-            let amplifier = MonteCarloAmplifier::new(self.delta)
-                .with_diameter(diameter)
-                .with_mode(self.mode);
-            let report = amplifier.amplify(&mc, derive_seed(seed, 0x0D_00 + ci as u64));
-            iterations += report.iterations;
-            classical_evals += report.classical_evals;
-            let qc = per_color_quantum.entry(comp.color).or_insert(0);
-            *qc = (*qc).max(report.quantum_rounds);
-            let cc = per_color_classical.entry(comp.color).or_insert(0);
-            *cc = (*cc).max(report.classical_rounds_baseline);
-
-            if report.rejected && !rejected {
-                rejected = true;
-                let ws = report.witness_seed.expect("rejected implies witness seed");
-                let local = detector.run(&comp.graph, ws);
-                let local_witness = local
-                    .witness
-                    .expect("witness seed reproduces the rejection");
-                let mapped = CycleWitness::new(
-                    local_witness
-                        .nodes()
-                        .iter()
-                        .map(|v| comp.original_ids[v.index()])
-                        .collect(),
-                );
-                assert!(mapped.is_valid(g), "mapped witness must stay valid");
-                witness = Some(mapped);
-            }
+impl Detector for QuantumOddCycleDetector {
+    fn descriptor(&self) -> Descriptor {
+        Descriptor {
+            name: "amplified odd color-BFS pipeline",
+            reference: "this paper §3.4",
+            model: crate::Model::Quantum,
+            target: crate::Target::Odd { k: self.k },
+            exponent: crate::theory::Table1Row::ThisPaperQuantumOdd.exponent(self.k),
+            table1: Some(crate::theory::Table1Row::ThisPaperQuantumOdd),
         }
+    }
 
-        QuantumOutcome {
-            rejected,
-            witness,
-            quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
-            classical_rounds: decomposition.round_cost
-                + per_color_classical.values().sum::<u64>(),
-            decomposition_rounds: decomposition.round_cost,
-            iterations,
-            components: components.len(),
-            colors: decomposition.colors,
-            classical_evals,
-        }
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        Ok(outcome.into_detection(self.descriptor()))
     }
 }
 
@@ -348,77 +559,63 @@ impl QuantumF2kDetector {
         self
     }
 
+    /// Overrides the base detector's per-pair repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition");
+        self.repetitions = repetitions;
+        self
+    }
+
     /// Runs the full pipeline on `g`.
     pub fn run(&self, g: &Graph, seed: u64) -> QuantumOutcome {
+        self.run_with_bandwidth(g, seed, 1)
+    }
+
+    /// [`QuantumF2kDetector::run`] with the classical base runs charged
+    /// at per-edge bandwidth `B`.
+    pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
         let k = self.k;
-        let decomposition = decompose(g, 2 * k as u32 + 1, derive_seed(seed, 0xF2D));
-        let components = reduced_components(g, &decomposition, k as u32);
+        let base = crate::F2kDetector::new(k)
+            .with_repetitions(self.repetitions)
+            .randomized();
+        let spec = PipelineSpec {
+            separation: 2 * k as u32 + 1,
+            radius: k as u32,
+            min_nodes: 3,
+            dec_stream: 0xF2D,
+            comp_stream: 0xF2_00,
+            delta: self.delta,
+            mode: self.mode,
+            declared_success: self.declared_success,
+            bandwidth,
+        };
+        run_pipeline(g, seed, &base, &spec)
+    }
+}
 
-        let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut per_color_classical: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
-        let mut iterations = 0u64;
-        let mut classical_evals = 0u64;
-        let mut rejected = false;
-        let mut witness: Option<CycleWitness> = None;
-
-        for (ci, comp) in components.iter().enumerate() {
-            if comp.graph.node_count() < 3 {
-                continue; // cannot contain any cycle
-            }
-            let detector = crate::F2kDetector::new(k)
-                .with_repetitions(self.repetitions)
-                .randomized();
-            let base = detector.as_monte_carlo(&comp.graph);
-            let declared = self
-                .declared_success
-                .unwrap_or_else(|| detector.success_probability(comp.graph.node_count()));
-            let mc = WithSuccess::new(base, declared);
-            let diameter = congest_graph::analysis::diameter(&comp.graph)
-                .expect("components are connected") as u64;
-            let amplifier = MonteCarloAmplifier::new(self.delta)
-                .with_diameter(diameter)
-                .with_mode(self.mode);
-            let report = amplifier.amplify(&mc, derive_seed(seed, 0xF2_00 + ci as u64));
-            iterations += report.iterations;
-            classical_evals += report.classical_evals;
-            let qc = per_color_quantum.entry(comp.color).or_insert(0);
-            *qc = (*qc).max(report.quantum_rounds);
-            let cc = per_color_classical.entry(comp.color).or_insert(0);
-            *cc = (*cc).max(report.classical_rounds_baseline);
-
-            if report.rejected && !rejected {
-                rejected = true;
-                let ws = report.witness_seed.expect("rejected implies witness seed");
-                let local = detector.run(&comp.graph, ws);
-                let local_witness = local
-                    .witness
-                    .expect("witness seed reproduces the rejection");
-                let mapped = CycleWitness::new(
-                    local_witness
-                        .nodes()
-                        .iter()
-                        .map(|v| comp.original_ids[v.index()])
-                        .collect(),
-                );
-                assert!(mapped.is_valid(g), "mapped witness must stay valid");
-                witness = Some(mapped);
-            }
+impl Detector for QuantumF2kDetector {
+    fn descriptor(&self) -> Descriptor {
+        Descriptor {
+            name: "amplified pairwise sweep pipeline",
+            reference: "this paper §3.5",
+            model: crate::Model::Quantum,
+            target: crate::Target::F2k { k: self.k },
+            exponent: crate::theory::Table1Row::ThisPaperQuantumF2k.exponent(self.k),
+            table1: Some(crate::theory::Table1Row::ThisPaperQuantumF2k),
         }
+    }
 
-        QuantumOutcome {
-            rejected,
-            witness,
-            quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
-            classical_rounds: decomposition.round_cost
-                + per_color_classical.values().sum::<u64>(),
-            decomposition_rounds: decomposition.round_cost,
-            iterations,
-            components: components.len(),
-            colors: decomposition.colors,
-            classical_evals,
-        }
+    fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => self.clone().with_repetitions(r),
+            None => self.clone(),
+        };
+        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        Ok(outcome.into_detection(self.descriptor()))
     }
 }
 
@@ -445,12 +642,18 @@ mod tests {
     fn finds_planted_c4() {
         let host = generators::random_tree(32, 5);
         let (g, _) = generators::plant_cycle(&host, 4, 5);
-        let outcome = small_detector().run(&g, 3);
-        assert!(outcome.rejected);
-        let w = outcome.witness.unwrap();
-        assert_eq!(w.len(), 4);
-        assert!(w.is_valid(&g));
-        assert!(outcome.iterations > 0);
+        let det = small_detector();
+        let found = (0..6).any(|seed| {
+            let outcome = det.run(&g, seed);
+            if outcome.rejected {
+                let w = outcome.witness.as_ref().unwrap();
+                assert_eq!(w.len(), 4);
+                assert!(w.is_valid(&g));
+                assert!(outcome.iterations > 0);
+            }
+            outcome.rejected
+        });
+        assert!(found, "planted C4 never found across seeds");
     }
 
     #[test]
@@ -502,9 +705,8 @@ mod tests {
             g = generators::disjoint_union(&g, &generators::cycle(5));
         }
         let g = generators::disjoint_union(&g, &generators::path(10));
-        let det = QuantumOddCycleDetector::new(2, 60, 0.1)
-            .with_declared_success(1.0 / 64.0);
-        let found = (0..4).any(|seed| {
+        let det = QuantumOddCycleDetector::new(2, 60, 0.1).with_declared_success(1.0 / 64.0);
+        let found = (0..6).any(|seed| {
             let o = det.run(&g, seed);
             if o.rejected {
                 let w = o.witness.as_ref().unwrap();
@@ -533,7 +735,7 @@ mod tests {
         let host = generators::random_tree(36, 6);
         let (g, _) = generators::plant_cycle(&host, 4, 6);
         let det = QuantumF2kDetector::new(2, 40, 0.1).with_declared_success(1.0 / 128.0);
-        let found = (0..4).any(|seed| {
+        let found = (0..6).any(|seed| {
             let o = det.run(&g, seed);
             if o.rejected {
                 let w = o.witness.as_ref().unwrap();
@@ -554,5 +756,26 @@ mod tests {
             let g = generators::high_girth(48, 6, 8, seed);
             assert!(!det.run(&g, seed).rejected, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn detect_matches_run_and_honors_budget() {
+        use crate::Detector;
+        let host = generators::random_tree(30, 8);
+        let (g, _) = generators::plant_cycle(&host, 4, 8);
+        let det = small_detector();
+        for seed in 0..3 {
+            let via_run = det.run(&g, seed);
+            let via_detect = det.detect(&g, seed, &Budget::classical()).unwrap();
+            assert_eq!(via_run.rejected, via_detect.rejected());
+            assert_eq!(via_run.quantum_rounds, via_detect.rounds());
+        }
+        // A repetition override must actually reconfigure the base
+        // detector (fewer repetitions => no more rounds than the
+        // default's bound).
+        let d = det
+            .detect(&g, 0, &Budget::classical().with_repetitions(2))
+            .unwrap();
+        assert!(d.cost.rounds > 0);
     }
 }

@@ -14,7 +14,7 @@ use congest_graph::{CycleWitness, Graph};
 use congest_quantum::{McOutcome, MonteCarloAlgorithm};
 use congest_sim::{derive_seed, Decision};
 
-use crate::detector::{random_coloring, run_color_bfs, CycleDetector, RunOptions};
+use crate::detector::{random_coloring, run_color_bfs_bw, CycleDetector, RunOptions};
 use crate::params::Params;
 use crate::witness::{extract_even_witness, DetectionOutcome, Phase, SetsSummary};
 
@@ -91,7 +91,7 @@ impl LowProbDetector {
                 (Phase::Heavy, &not_s_mask, &sets.w_mask),
             ];
             for (idx, (phase, h_mask, x_mask)) in phases.into_iter().enumerate() {
-                let result = run_color_bfs(
+                let result = run_color_bfs_bw(
                     g,
                     k,
                     &colors,
@@ -99,6 +99,7 @@ impl LowProbDetector {
                     x_mask,
                     Some(activation),
                     RANDOMIZED_THRESHOLD,
+                    options.bandwidth,
                     derive_seed(seed, 0xF000 + r * 3 + idx as u64),
                 );
                 total.absorb(&result.report);
@@ -129,8 +130,15 @@ impl LowProbDetector {
     /// three `(k+2)`-superstep calls, each superstep carrying at most
     /// [`RANDOMIZED_THRESHOLD`] words per edge.
     pub fn round_bound(&self, n: usize) -> u64 {
+        self.round_bound_bw(n, 1)
+    }
+
+    /// [`LowProbDetector::round_bound`] at per-edge bandwidth `B`: each
+    /// superstep is charged `⌈threshold/B⌉` rounds instead of the full
+    /// threshold.
+    pub fn round_bound_bw(&self, n: usize, bandwidth: u64) -> u64 {
         let k = self.params.k as u64;
-        let per_call = 1 + (k + 1) * RANDOMIZED_THRESHOLD;
+        let per_call = 1 + (k + 1) * RANDOMIZED_THRESHOLD.div_ceil(bandwidth.max(1));
         2 + self.params.repetitions as u64 * 3 * per_call + (n == 0) as u64
     }
 
@@ -143,7 +151,41 @@ impl LowProbDetector {
     /// Wraps the detector as a [`MonteCarloAlgorithm`] over a fixed
     /// graph, for quantum amplification.
     pub fn as_monte_carlo<'a>(&'a self, g: &'a Graph) -> LowProbMc<'a> {
-        LowProbMc { det: self, g }
+        LowProbMc {
+            det: self,
+            g,
+            bandwidth: 1,
+        }
+    }
+}
+
+impl crate::Detector for LowProbDetector {
+    fn descriptor(&self) -> crate::Descriptor {
+        crate::Descriptor {
+            name: "randomized color-BFS (Lemma 12)",
+            reference: "this paper §3.2",
+            model: crate::Model::Classical,
+            target: crate::Target::Even { k: self.params.k },
+            // k^{O(k)} rounds — constant in n (the success probability,
+            // not the round count, carries the n-dependence).
+            exponent: 0.0,
+            table1: None,
+        }
+    }
+
+    fn detect(&self, g: &Graph, seed: u64, budget: &crate::Budget) -> crate::DetectResult {
+        let det = match budget.repetitions {
+            Some(r) => LowProbDetector::new(self.params.clone().with_repetitions(r)),
+            None => self.clone(),
+        };
+        let opts = RunOptions {
+            bandwidth: budget.bandwidth,
+            continue_after_reject: budget.run_to_budget,
+            ..Default::default()
+        };
+        Ok(det
+            .run_with(g, seed, &opts)
+            .into_detection(self.descriptor()))
     }
 }
 
@@ -153,11 +195,25 @@ impl LowProbDetector {
 pub struct LowProbMc<'a> {
     det: &'a LowProbDetector,
     g: &'a Graph,
+    bandwidth: u64,
+}
+
+impl LowProbMc<'_> {
+    /// Sets the per-edge bandwidth charged to the base runs.
+    pub fn with_bandwidth(mut self, bandwidth: u64) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.bandwidth = bandwidth;
+        self
+    }
 }
 
 impl MonteCarloAlgorithm for LowProbMc<'_> {
     fn run(&self, seed: u64) -> McOutcome {
-        let outcome = self.det.run(self.g, seed);
+        let opts = RunOptions {
+            bandwidth: self.bandwidth,
+            ..Default::default()
+        };
+        let outcome = self.det.run_with(self.g, seed, &opts);
         McOutcome {
             rejected: outcome.rejected(),
             rounds: outcome.report.rounds,
@@ -165,7 +221,7 @@ impl MonteCarloAlgorithm for LowProbMc<'_> {
     }
 
     fn round_bound(&self) -> u64 {
-        self.det.round_bound(self.g.node_count())
+        self.det.round_bound_bw(self.g.node_count(), self.bandwidth)
     }
 
     fn success_probability(&self) -> f64 {

@@ -208,9 +208,7 @@ impl<'a> Sparsification<'a> {
             .nodes()
             .filter(|v| {
                 self.input.layer[v.index()].is_some()
-                    && !self.nested[v.index()]
-                        .first()
-                        .map_or(true, Vec::is_empty)
+                    && !self.nested[v.index()].first().is_none_or(Vec::is_empty)
             })
             .collect();
         out.sort_by_key(|v| self.input.layer[v.index()]);
@@ -299,9 +297,9 @@ impl<'a> Sparsification<'a> {
     /// invariant fails.
     pub fn construct_cycle(&self, v: NodeId) -> Result<CycleWitness, DensityError> {
         let k = self.input.k;
-        let i = self.input.layer[v.index()].ok_or_else(|| {
-            DensityError::Construction(format!("{v} is not a layered vertex"))
-        })? as usize;
+        let i = self.input.layer[v.index()]
+            .ok_or_else(|| DensityError::Construction(format!("{v} is not a layered vertex")))?
+            as usize;
         let q = (k - i) / 2;
         let nested = &self.nested[v.index()];
         let in0 = nested
@@ -320,12 +318,7 @@ impl<'a> Sparsification<'a> {
         for gamma in 0..q {
             // Extend both ends with fresh W₀ vertices via IN(v, 2γ+1).
             for front in [true, false] {
-                let s_end = *if front {
-                    deque.front()
-                } else {
-                    deque.back()
-                }
-                .expect("non-empty");
+                let s_end = *if front { deque.front() } else { deque.back() }.expect("non-empty");
                 let w_new = self
                     .pick_partner(&nested[2 * gamma + 1], s_end, true, &used_w)
                     .ok_or_else(|| {
@@ -342,12 +335,7 @@ impl<'a> Sparsification<'a> {
             }
             // Extend both ends with fresh S vertices via IN(v, 2γ+2).
             for front in [true, false] {
-                let w_end = *if front {
-                    deque.front()
-                } else {
-                    deque.back()
-                }
-                .expect("non-empty");
+                let w_end = *if front { deque.front() } else { deque.back() }.expect("non-empty");
                 let s_new = self
                     .pick_partner(&nested[2 * gamma + 2], w_end, false, &used_s)
                     .ok_or_else(|| {
@@ -365,7 +353,7 @@ impl<'a> Sparsification<'a> {
         }
         debug_assert_eq!(deque.len(), 4 * q + 1);
 
-        if (k - i) % 2 == 0 {
+        if (k - i).is_multiple_of(2) {
             // 4q+1 = 2(k-i)+1: drop one S endpoint.
             deque.pop_back();
         } else {
@@ -442,11 +430,7 @@ impl<'a> Sparsification<'a> {
                 "assembled object is not a valid 2k-cycle: {witness:?}"
             )));
         }
-        if !witness
-            .nodes()
-            .iter()
-            .any(|u| self.input.s_mask[u.index()])
-        {
+        if !witness.nodes().iter().any(|u| self.input.s_mask[u.index()]) {
             return Err(DensityError::Construction(
                 "assembled cycle avoids S".into(),
             ));
@@ -647,14 +631,8 @@ pub fn layered_density_instance(
     assert!(sigma >= k * k, "need σ ≥ k² for the W₀ premise");
     assert!(hubs_top >= 3, "need ≥ 3 top hubs to clear the threshold");
     // Hub counts per layer j = 1..=i-1: hubs_top · 2^{i-1-j}.
-    let hub_counts: Vec<usize> = (1..i)
-        .map(|j| hubs_top << (i - 1 - j))
-        .collect();
-    let groups = if i == 1 {
-        hubs_top
-    } else {
-        hub_counts[0]
-    };
+    let hub_counts: Vec<usize> = (1..i).map(|j| hubs_top << (i - 1 - j)).collect();
+    let groups = if i == 1 { hubs_top } else { hub_counts[0] };
     let omega = (k - 1) * groups;
     let total_hubs: usize = hub_counts.iter().sum();
     let n = sigma + omega + total_hubs + 1; // +1 apex
@@ -666,8 +644,7 @@ pub fn layered_density_instance(
     for j in 2..i {
         hub_base[j] = hub_base[j - 1] + hub_counts[j - 2];
     }
-    let hub_id =
-        |j: usize, m: usize| NodeId::new((sigma + omega + hub_base[j] + m) as u32);
+    let hub_id = |j: usize, m: usize| NodeId::new((sigma + omega + hub_base[j] + m) as u32);
     let apex = NodeId::new((n - 1) as u32);
 
     // Complete join S × W₀.
@@ -704,9 +681,7 @@ pub fn layered_density_instance(
     let mut s_mask = vec![false; n];
     let mut w0_mask = vec![false; n];
     let mut layer = vec![None; n];
-    for s in 0..sigma {
-        s_mask[s] = true;
-    }
+    s_mask[..sigma].fill(true);
     for w in 0..omega {
         w0_mask[sigma + w] = true;
     }
@@ -802,7 +777,7 @@ mod tests {
         let sp = Sparsification::new(&g, input).unwrap();
         assert_eq!(sp.q_of(apex), Some(1));
         assert_eq!(sp.nested_sets(apex).len(), 3); // IN(v,0), IN(v,1), IN(v,2)
-        // Nesting is monotone.
+                                                   // Nesting is monotone.
         let sets = sp.nested_sets(apex);
         for g2 in 0..sets.len() - 1 {
             for e in &sets[g2] {
@@ -839,12 +814,8 @@ mod tests {
         let mut s_mask = vec![false; n];
         let mut w0_mask = vec![false; n];
         let mut layer = vec![None; n];
-        for s in 0..sigma {
-            s_mask[s] = true;
-        }
-        for w in sigma..sigma + omega {
-            w0_mask[w] = true;
-        }
+        s_mask[..sigma].fill(true);
+        w0_mask[sigma..sigma + omega].fill(true);
         layer[n - 1] = Some(1);
         let sp = Sparsification::new(
             &g,

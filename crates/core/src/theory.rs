@@ -88,9 +88,7 @@ impl Table1Row {
             Table1Row::QuantumC3 => 0.2,
             Table1Row::QuantumC4 => 0.25,
             Table1Row::ApeldoornDeVosF2k => 0.5 - 1.0 / (4.0 * kf + 2.0),
-            Table1Row::ThisPaperQuantum | Table1Row::ThisPaperQuantumF2k => {
-                0.5 - 1.0 / (2.0 * kf)
-            }
+            Table1Row::ThisPaperQuantum | Table1Row::ThisPaperQuantumF2k => 0.5 - 1.0 / (2.0 * kf),
             Table1Row::ThisPaperQuantumLowerBound => 0.25,
             Table1Row::ThisPaperQuantumOdd => 0.5,
         }

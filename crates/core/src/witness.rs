@@ -66,6 +66,26 @@ impl DetectionOutcome {
     pub fn rounds(&self) -> u64 {
         self.report.rounds
     }
+
+    /// Converts into the unified [`Detection`](crate::Detection) surface
+    /// under the given algorithm metadata.
+    pub fn into_detection(self, algorithm: crate::Descriptor) -> crate::Detection {
+        let cost = crate::RunCost::from_report(&self.report, self.iterations);
+        let verdict = if self.rejected() {
+            let cycle_length = self.witness.as_ref().map(|w| w.len());
+            crate::Verdict::Reject {
+                witness: self.witness,
+                cycle_length,
+            }
+        } else {
+            crate::Verdict::Accept
+        };
+        crate::Detection {
+            algorithm,
+            verdict,
+            cost,
+        }
+    }
 }
 
 /// Finds a path `x → v` whose internal vertices have exactly the colors
@@ -204,18 +224,16 @@ mod tests {
         let g = generators::cycle(6);
         let colors = vec![0u8, 1, 2, 3, 4, 5];
         let mask = vec![true; 6];
-        let path = find_colored_path(
-            &g,
-            &mask,
-            &colors,
-            &[1, 2],
-            NodeId::new(0),
-            NodeId::new(3),
-        )
-        .expect("path exists");
+        let path = find_colored_path(&g, &mask, &colors, &[1, 2], NodeId::new(0), NodeId::new(3))
+            .expect("path exists");
         assert_eq!(
             path,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -238,15 +256,10 @@ mod tests {
         let colors = vec![0u8, 1, 2, 3, 4, 5];
         let mut mask = vec![true; 6];
         mask[1] = false;
-        assert!(find_colored_path(
-            &g,
-            &mask,
-            &colors,
-            &[1, 2],
-            NodeId::new(0),
-            NodeId::new(3)
-        )
-        .is_none());
+        assert!(
+            find_colored_path(&g, &mask, &colors, &[1, 2], NodeId::new(0), NodeId::new(3))
+                .is_none()
+        );
     }
 
     #[test]

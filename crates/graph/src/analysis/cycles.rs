@@ -12,7 +12,6 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-
 use super::girth::girth;
 use crate::{CycleWitness, Graph, NodeId};
 
@@ -153,7 +152,16 @@ pub fn count_cycles_exact(g: &Graph, l: usize, budget: Option<u64>) -> u64 {
         let dist = restricted_bounded_distances(g, v, (l - 1) as u32);
         path.push(v);
         in_path[v.index()] = true;
-        count_extend(g, v, l, &dist, &mut path, &mut in_path, &mut steps_left, &mut closures);
+        count_extend(
+            g,
+            v,
+            l,
+            &dist,
+            &mut path,
+            &mut in_path,
+            &mut steps_left,
+            &mut closures,
+        );
         in_path[v.index()] = false;
         path.clear();
     }
@@ -256,15 +264,12 @@ fn colored_cycle_search(g: &Graph, l: usize, colors: &[u8]) -> Option<CycleWitne
         // 0, 1, ..., i (v has color i).
         let mut parents: Vec<Vec<Option<NodeId>>> = vec![vec![None; g.node_count()]; l];
         let mut frontier = vec![root];
-        for i in 1..l {
+        for (i, layer) in parents.iter_mut().enumerate().skip(1) {
             let mut next = Vec::new();
             for &u in &frontier {
                 for &v in g.neighbors(u) {
-                    if colors[v.index()] == i as u8
-                        && v != root
-                        && parents[i][v.index()].is_none()
-                    {
-                        parents[i][v.index()] = Some(u);
+                    if colors[v.index()] == i as u8 && v != root && layer[v.index()].is_none() {
+                        layer[v.index()] = Some(u);
                         next.push(v);
                     }
                 }
@@ -319,7 +324,10 @@ mod tests {
         // Θ(2,2): one C4 (two internally-disjoint 2-paths).
         assert_eq!(count_cycles_exact(&generators::theta(2, 2), 4, None), 1);
         // Trees: nothing.
-        assert_eq!(count_cycles_exact(&generators::random_tree(20, 1), 4, None), 0);
+        assert_eq!(
+            count_cycles_exact(&generators::random_tree(20, 1), 4, None),
+            0
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
                 .iter()
                 .filter(|w| pos[w.index()] > pos[v.index()])
                 .count();
-            assert!(later <= d, "vertex {v} has {later} later neighbors, d = {d}");
+            assert!(
+                later <= d,
+                "vertex {v} has {later} later neighbors, d = {d}"
+            );
         }
     }
 

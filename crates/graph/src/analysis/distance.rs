@@ -41,11 +41,7 @@ pub fn bfs_distances_bounded(g: &Graph, source: NodeId, bound: u32) -> Vec<Optio
 /// `v` itself is isolated in a larger graph — the eccentricity is taken
 /// over the reachable set.
 pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
-    bfs_distances(g, v)
-        .into_iter()
-        .flatten()
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
 }
 
 /// Exact diameter: the maximum eccentricity over all vertices, or `None`

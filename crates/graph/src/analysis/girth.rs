@@ -48,7 +48,7 @@ pub fn girth(g: &Graph) -> Option<usize> {
                     // dist[u] + dist[v] + 1, which contains a cycle at
                     // most that long.
                     let cand = (du + dist[v.index()] + 1) as usize;
-                    if best.map_or(true, |b| cand < b) {
+                    if best.is_none_or(|b| cand < b) {
                         best = Some(cand);
                     }
                 }
@@ -128,8 +128,7 @@ mod tests {
         let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
         let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 5)).collect();
         let inner: Vec<(u32, u32)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
-        let edges: Vec<(u32, u32)> =
-            outer.into_iter().chain(spokes).chain(inner).collect();
+        let edges: Vec<(u32, u32)> = outer.into_iter().chain(spokes).chain(inner).collect();
         let g = Graph::from_edges(10, edges).unwrap();
         assert_eq!(girth(&g), Some(5));
     }

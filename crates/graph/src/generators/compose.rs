@@ -11,10 +11,7 @@ pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
         builder.add_edge(u, v);
     }
     for (u, v) in b.edges() {
-        builder.add_edge(
-            NodeId::new(u.raw() + shift),
-            NodeId::new(v.raw() + shift),
-        );
+        builder.add_edge(NodeId::new(u.raw() + shift), NodeId::new(v.raw() + shift));
     }
     builder.build()
 }
@@ -30,12 +27,7 @@ pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
 ///
 /// Panics if the port lists have different lengths or contain out-of-range
 /// vertices.
-pub fn join_with_matching(
-    a: &Graph,
-    b: &Graph,
-    ports_a: &[NodeId],
-    ports_b: &[NodeId],
-) -> Graph {
+pub fn join_with_matching(a: &Graph, b: &Graph, ports_a: &[NodeId], ports_b: &[NodeId]) -> Graph {
     assert_eq!(
         ports_a.len(),
         ports_b.len(),

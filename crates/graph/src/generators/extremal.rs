@@ -17,12 +17,12 @@ pub fn is_prime(q: u64) -> bool {
     if q < 2 {
         return false;
     }
-    if q % 2 == 0 {
+    if q.is_multiple_of(2) {
         return q == 2;
     }
     let mut d = 3;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             return false;
         }
         d += 2;

@@ -14,9 +14,7 @@ mod extremal;
 mod planted;
 mod random;
 
-pub use basic::{
-    complete, complete_bipartite, cycle, empty, grid, hypercube, path, star, theta,
-};
+pub use basic::{complete, complete_bipartite, cycle, empty, grid, hypercube, path, star, theta};
 pub use compose::{disjoint_union, join_with_matching};
 pub use extremal::{is_prime, polarity_graph, smallest_prime_at_least};
 pub use planted::{cycle_with_chords, funnel, plant_cycle, plant_cycle_on_heavy_hub};

@@ -45,10 +45,7 @@ pub fn plant_cycle_on_heavy_hub(
     seed: u64,
 ) -> (Graph, CycleWitness) {
     assert!(l >= 3, "cycle length must be at least 3");
-    assert!(
-        host.node_count() >= l,
-        "host too small for planted cycle"
-    );
+    assert!(host.node_count() >= l, "host too small for planted cycle");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids: Vec<u32> = (1..host.node_count() as u32).collect();
     ids.shuffle(&mut rng);
@@ -111,7 +108,10 @@ pub fn cycle_with_chords(n: usize, chords: usize, seed: u64) -> Graph {
 pub fn funnel(n: usize, branches: usize, chain: usize) -> Graph {
     assert!(branches > 0 && chain > 0, "need branches and a chain");
     let overhead = branches * chain;
-    assert!(n > overhead, "n too small for {branches} branches of {chain}");
+    assert!(
+        n > overhead,
+        "n too small for {branches} branches of {chain}"
+    );
     let sources = n - overhead;
     let per_branch = sources / branches;
     assert!(per_branch > 0, "each branch needs a source");
@@ -119,7 +119,11 @@ pub fn funnel(n: usize, branches: usize, chain: usize) -> Graph {
     for br in 0..branches {
         let head = NodeId::new((sources + br * chain) as u32);
         let lo = br * per_branch;
-        let hi = if br + 1 == branches { sources } else { lo + per_branch };
+        let hi = if br + 1 == branches {
+            sources
+        } else {
+            lo + per_branch
+        };
         for s in lo..hi {
             b.add_edge(NodeId::new(s as u32), head);
         }

@@ -136,7 +136,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular_ish(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     let mut rng = rng_from(seed);
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
@@ -188,10 +188,7 @@ pub fn high_girth(n: usize, min_girth: usize, extra: usize, seed: u64) -> Graph 
         return tree;
     }
     let mut rng = rng_from(seed ^ 0x6127);
-    let mut edges: Vec<(u32, u32)> = tree
-        .edges()
-        .map(|(u, v)| (u.raw(), v.raw()))
-        .collect();
+    let mut edges: Vec<(u32, u32)> = tree.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
     let mut current = tree;
     let mut added = 0;
     let mut attempts = 0;

@@ -230,12 +230,7 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Graph(n={}, m={})",
-            self.node_count(),
-            self.edge_count()
-        )
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
     }
 }
 
@@ -304,7 +299,10 @@ mod tests {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.degree(NodeId::new(1)), 2);
-        assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub fn from_text(text: &str) -> Result<Graph, GraphError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("n ") {
-            let parsed = rest.trim().parse::<usize>().map_err(|e| GraphError::Parse {
-                line: lineno,
-                message: format!("bad vertex count: {e}"),
-            })?;
+            let parsed = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    message: format!("bad vertex count: {e}"),
+                })?;
             n = Some(parsed);
             continue;
         }
@@ -101,7 +104,11 @@ pub fn to_dot(g: &Graph, highlight: &[NodeId]) -> String {
         .collect();
     for (u, v) in g.edges() {
         if !highlight.is_empty() && hl_edges.contains(&(u, v)) {
-            out.push_str(&format!("  {} -- {} [penwidth=3, color=red];\n", u.raw(), v.raw()));
+            out.push_str(&format!(
+                "  {} -- {} [penwidth=3, color=red];\n",
+                u.raw(),
+                v.raw()
+            ));
         } else {
             out.push_str(&format!("  {} -- {};\n", u.raw(), v.raw()));
         }
@@ -163,7 +170,15 @@ mod tests {
     #[test]
     fn dot_output_mentions_highlight() {
         let g = generators::cycle(4);
-        let dot = to_dot(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let dot = to_dot(
+            &g,
+            &[
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3),
+            ],
+        );
         assert!(dot.contains("fillcolor=gold"));
         assert!(dot.contains("color=red"));
         assert!(dot.starts_with("graph G {"));

@@ -62,7 +62,7 @@ impl CycleWitness {
         if sorted.len() != l {
             return false; // repeated vertex
         }
-        if sorted.last().map_or(false, |v| v.index() >= g.node_count()) {
+        if sorted.last().is_some_and(|v| v.index() >= g.node_count()) {
             return false;
         }
         for i in 0..l {
@@ -91,9 +91,7 @@ impl CycleWitness {
             .min_by_key(|(_, v)| **v)
             .expect("non-empty");
         let fwd: Vec<NodeId> = (0..l).map(|i| self.nodes[(min_pos + i) % l]).collect();
-        let bwd: Vec<NodeId> = (0..l)
-            .map(|i| self.nodes[(min_pos + l - i) % l])
-            .collect();
+        let bwd: Vec<NodeId> = (0..l).map(|i| self.nodes[(min_pos + l - i) % l]).collect();
         if fwd[1.min(l - 1)] <= bwd[1.min(l - 1)] {
             CycleWitness::new(fwd)
         } else {

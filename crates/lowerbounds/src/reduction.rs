@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn cut_traffic_measured_and_bounded() {
         let gadget = C4Gadget::new(3);
-        let (inst, _) =
-            Disjointness::random_with_planted_intersection(gadget.universe(), 3);
+        let (inst, _) = Disjointness::random_with_planted_intersection(gadget.universe(), 3);
         let built = gadget.build(&inst);
         let params = Params::practical(2).with_repetitions(64);
         let m = measure_even_detection(&built, &params, 64, 7);
@@ -155,8 +154,7 @@ mod tests {
     #[test]
     fn detection_on_intersecting_gadget() {
         let gadget = C4Gadget::new(3);
-        let (inst, _) =
-            Disjointness::random_with_planted_intersection(gadget.universe(), 5);
+        let (inst, _) = Disjointness::random_with_planted_intersection(gadget.universe(), 5);
         let built = gadget.build(&inst);
         let params = Params::practical(2).with_repetitions(256);
         let mut any = false;

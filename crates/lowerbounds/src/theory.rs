@@ -66,11 +66,7 @@ mod tests {
     fn implied_bounds_consistent() {
         let n = 1 << 16;
         // C4: N = n^{3/2}, cut = n.
-        let c4 = implied_quantum_round_bound(
-            (f64::powf(n as f64, 1.5)) as usize,
-            n,
-            n,
-        );
+        let c4 = implied_quantum_round_bound((f64::powf(n as f64, 1.5)) as usize, n, n);
         assert!((c4 - c4_quantum_lower_bound(n)).abs() / c4 < 0.05);
         // C_{2k}: N = n, cut = √n.
         let c2k = implied_quantum_round_bound(n, (n as f64).sqrt() as usize, n);

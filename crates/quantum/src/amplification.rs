@@ -126,7 +126,11 @@ impl MonteCarloAmplifier {
     }
 
     /// Amplifies `alg`, deriving all randomness from `master_seed`.
-    pub fn amplify<A: MonteCarloAlgorithm>(&self, alg: &A, master_seed: u64) -> AmplificationReport {
+    pub fn amplify<A: MonteCarloAlgorithm>(
+        &self,
+        alg: &A,
+        master_seed: u64,
+    ) -> AmplificationReport {
         let epsilon = alg.success_probability();
         assert!(
             epsilon > 0.0 && epsilon <= 1.0,

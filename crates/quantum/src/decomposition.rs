@@ -125,9 +125,9 @@ pub fn decompose(g: &Graph, sep: u32, seed: u64) -> Decomposition {
     }
 
     let mut heap = std::collections::BinaryHeap::new();
-    for v in 0..n {
+    for (v, &shift) in shifts.iter().enumerate() {
         heap.push(Item {
-            key: -shifts[v],
+            key: -shift,
             node: v as u32,
             center: v as u32,
         });
@@ -155,8 +155,8 @@ pub fn decompose(g: &Graph, sep: u32, seed: u64) -> Decomposition {
     // Compact clusters (centers that won at least one vertex).
     let mut center_to_cluster = vec![u32::MAX; n];
     let mut clusters: Vec<Cluster> = Vec::new();
-    for v in 0..n {
-        let c = assignment[v] as usize;
+    for (v, &a) in assignment.iter().enumerate() {
+        let c = a as usize;
         if center_to_cluster[c] == u32::MAX {
             center_to_cluster[c] = clusters.len() as u32;
             clusters.push(Cluster {
@@ -260,18 +260,18 @@ pub struct ReducedComponent {
 /// diameter `O(k log n)`, and (b) every connected `≤(k+1)`-vertex subgraph
 /// of `g` — in particular every cycle `C_ℓ`, `ℓ ≤ 2k`, which has radius
 /// `≤ k` — appears entirely inside at least one component.
-pub fn reduced_components(g: &Graph, decomposition: &Decomposition, radius: u32) -> Vec<ReducedComponent> {
+pub fn reduced_components(
+    g: &Graph,
+    decomposition: &Decomposition,
+    radius: u32,
+) -> Vec<ReducedComponent> {
     let n = g.node_count();
     let mut out = Vec::new();
     for color in 0..decomposition.colors {
         // Mask: nodes within `radius` of any cluster of this color.
         let mut dist = vec![u32::MAX; n];
         let mut queue = std::collections::VecDeque::new();
-        for cluster in decomposition
-            .clusters
-            .iter()
-            .filter(|c| c.color == color)
-        {
+        for cluster in decomposition.clusters.iter().filter(|c| c.color == color) {
             for &v in &cluster.members {
                 dist[v.index()] = 0;
                 queue.push_back(v);
@@ -302,8 +302,7 @@ pub fn reduced_components(g: &Graph, decomposition: &Decomposition, radius: u32)
                 mask[v.index()] = true;
             }
             let (comp_graph, comp_back) = sub.induced_subgraph(&mask);
-            let original_ids: Vec<NodeId> =
-                comp_back.iter().map(|&v| back[v.index()]).collect();
+            let original_ids: Vec<NodeId> = comp_back.iter().map(|&v| back[v.index()]).collect();
             out.push(ReducedComponent {
                 color,
                 graph: comp_graph,
@@ -411,11 +410,9 @@ mod tests {
         let (g, w) = generators::plant_cycle(&host, 6, 9);
         let d = decompose(&g, 7, 5);
         let comps = reduced_components(&g, &d, 3);
-        let cycle_set: std::collections::HashSet<NodeId> =
-            w.nodes().iter().copied().collect();
+        let cycle_set: std::collections::HashSet<NodeId> = w.nodes().iter().copied().collect();
         let covered = comps.iter().any(|c| {
-            let ids: std::collections::HashSet<NodeId> =
-                c.original_ids.iter().copied().collect();
+            let ids: std::collections::HashSet<NodeId> = c.original_ids.iter().copied().collect();
             cycle_set.is_subset(&ids)
         });
         assert!(covered, "no component contains the planted C6");

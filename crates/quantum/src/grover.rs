@@ -339,8 +339,8 @@ mod tests {
         // m = 1: optimal ≈ (π/4)√M.
         let j_256 = optimal_iterations(256, 1);
         let j_4096 = optimal_iterations(4096, 1);
-        assert!(j_256 >= 11 && j_256 <= 13, "{j_256}");
-        assert!(j_4096 >= 49 && j_4096 <= 51, "{j_4096}");
+        assert!((11..=13).contains(&j_256), "{j_256}");
+        assert!((49..=51).contains(&j_4096), "{j_4096}");
         // Quadrupling M doubles iterations (16x here → 4x).
         assert!((j_4096 as f64 / j_256 as f64 - 4.0).abs() < 0.5);
         assert_eq!(optimal_iterations(100, 0), 0);
@@ -352,7 +352,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let report = search.search(64, |x| x == 37, &mut rng);
         assert_eq!(report.result, Some(37));
-        assert!(report.iterations <= 64, "should be ~√M, got {}", report.iterations);
+        assert!(
+            report.iterations <= 64,
+            "should be ~√M, got {}",
+            report.iterations
+        );
     }
 
     #[test]
@@ -374,7 +378,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let report = search.search(256, |_| false, &mut rng);
         assert_eq!(report.result, None);
-        assert!(report.iterations >= (6.0 * 16.0) as u64, "ran out the budget");
+        assert!(
+            report.iterations >= (6.0 * 16.0) as u64,
+            "ran out the budget"
+        );
     }
 
     #[test]

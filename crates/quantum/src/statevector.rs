@@ -34,9 +34,7 @@ impl StateVector {
     pub fn uniform(dim: usize) -> Self {
         assert!(dim > 0, "state space must be non-empty");
         let a = Complex::real(1.0 / (dim as f64).sqrt());
-        StateVector {
-            amps: vec![a; dim],
-        }
+        StateVector { amps: vec![a; dim] }
     }
 
     /// A computational basis state `|x⟩`.
@@ -162,7 +160,7 @@ mod tests {
         // M = 64, m = 4: θ = asin(√(1/16)); after j iterations the marked
         // probability is sin²((2j+1)θ).
         let m_space = 64usize;
-        let marked = |x: usize| x % 16 == 0; // 4 marked
+        let marked = |x: usize| x.is_multiple_of(16); // 4 marked
         let theta = (4.0f64 / 64.0).sqrt().asin();
         let mut psi = StateVector::uniform(m_space);
         for j in 1..=6u32 {

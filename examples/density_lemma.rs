@@ -37,16 +37,19 @@ fn main() {
         sp.density_bound(apex).unwrap()
     );
 
-    match sp.verdict().expect("construction never fails on valid input") {
+    match sp
+        .verdict()
+        .expect("construction never fails on valid input")
+    {
         DensityVerdict::CycleFound(w) => {
             println!();
             println!("Lemma 6 construction succeeded: {w}");
-            println!("  length = {} (= 2k), valid = {}", w.len(), w.is_valid(&graph));
-            let s_hits: Vec<_> = w
-                .nodes()
-                .iter()
-                .filter(|u| u.index() < 30)
-                .collect();
+            println!(
+                "  length = {} (= 2k), valid = {}",
+                w.len(),
+                w.is_valid(&graph)
+            );
+            let s_hits: Vec<_> = w.nodes().iter().filter(|u| u.index() < 30).collect();
             println!("  vertices in S: {s_hits:?} (the cycle provably meets S)");
         }
         DensityVerdict::BoundHolds { max_ratio } => {

@@ -30,8 +30,7 @@ fn main() {
         "disjoint sets  -> C4 present: {}",
         analysis::has_cycle_exact(&built.graph, 4, None)
     );
-    let (intersecting, elem) =
-        Disjointness::random_with_planted_intersection(gadget.universe(), 3);
+    let (intersecting, elem) = Disjointness::random_with_planted_intersection(gadget.universe(), 3);
     let built_yes = gadget.build(&intersecting);
     println!(
         "common element {elem} -> C4 present: {}",

@@ -3,15 +3,17 @@
 //! A microservice mesh is a network where each service only talks to its
 //! direct dependencies — exactly the CONGEST setting. Short *even*
 //! dependency loops (mutual fallbacks, A→B→C→D→A) are a classic outage
-//! amplifier; this example monitors a synthetic mesh for 4- and 6-loops
-//! using the paper's detector, entirely via node-local message passing.
+//! amplifier; this example monitors a synthetic mesh for short loops by
+//! sweeping *every* registered detector through the unified `Detector`
+//! trait — no per-algorithm wiring.
 //!
 //! ```text
 //! cargo run --release --example network_monitoring
 //! ```
 
-use even_cycle_congest::cycle::{CycleDetector, F2kDetector, Params};
+use even_cycle_congest::cycle::Budget;
 use even_cycle_congest::graph::{analysis, Graph, GraphBuilder, NodeId};
+use even_cycle_congest::registry::DetectorRegistry;
 
 /// A layered service mesh: `layers × width` services. The skeleton is a
 /// tree (an API-gateway star over layer 0, then per-service chains down
@@ -53,35 +55,41 @@ fn main() {
     let bad = service_mesh(layers, width, &[(8, 17), (9, 16)]);
     // Loop: 8 - 16 (chain), 16 - 9 (legacy), 9 - 17 (chain), 17 - 8
     // (legacy) — a 4-cycle across layers 1 and 2.
-    println!(
-        "after legacy edges: girth = {:?}",
-        analysis::girth(&bad)
-    );
+    println!("after legacy edges: girth = {:?}\n", analysis::girth(&bad));
 
-    let detector = CycleDetector::new(Params::practical(2));
+    // Sweep the whole registry over both meshes. One-sidedness means the
+    // clean mesh never alarms; on the patched mesh any detector that
+    // fires hands back a certified loop.
+    let registry = DetectorRegistry::standard(2);
+    let budget = Budget::classical();
     for (name, mesh) in [("clean", &clean), ("patched", &bad)] {
-        let outcome = detector.run(mesh, 2024);
-        match outcome.witness() {
-            Some(w) => println!(
-                "[{name}] ALERT: dependency 4-loop {w} (found in {} rounds)",
-                outcome.report.rounds
-            ),
-            None => println!(
-                "[{name}] ok: no 4-loop (checked in {} rounds)",
-                outcome.report.rounds
-            ),
+        println!("--- {name} mesh ---");
+        for entry in registry.iter() {
+            // A few seeds: the randomized detectors are one-sided, so
+            // retries only ever help on yes-instances.
+            let mut verdict = None;
+            for seed in 0..4 {
+                match entry.detector.detect(mesh, seed, &budget) {
+                    Ok(d) if d.rejected() => {
+                        verdict = Some(d);
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        println!("{:<44} simulation error: {e}", entry.id);
+                        verdict = None;
+                        break;
+                    }
+                }
+            }
+            match verdict.as_ref().and_then(|d| d.witness()) {
+                Some(w) => {
+                    assert!(w.is_valid(mesh), "witnesses must validate");
+                    println!("{:<44} ALERT: dependency loop {w}", entry.id);
+                }
+                None => println!("{:<44} ok (no loop found)", entry.id),
+            }
         }
-    }
-
-    // Sweep all loop lengths up to 6 with the F_{2k} detector (§3.5).
-    let sweep = F2kDetector::new(3).with_repetitions(1500);
-    let outcome = sweep.run(&bad, 9);
-    match outcome.witness {
-        Some(w) => println!(
-            "loop sweep (lengths 3..=6): found C{} = {w} via pair l = {}",
-            w.len(),
-            outcome.pair.expect("pair recorded")
-        ),
-        None => println!("loop sweep (lengths 3..=6): nothing found"),
+        println!();
     }
 }

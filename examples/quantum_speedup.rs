@@ -58,10 +58,7 @@ fn main() {
     println!("== Lemma 13: the full quantum C4 pipeline ==");
     let host = generators::random_tree(96, 11);
     let (graph, planted) = generators::plant_cycle(&host, 4, 11);
-    println!(
-        "input: n = {}, planted {planted}",
-        graph.node_count()
-    );
+    println!("input: n = {}, planted {planted}", graph.node_count());
     let detector = QuantumCycleDetector::new(Params::practical(2).with_repetitions(64), 0.1)
         .with_declared_success(1.0 / 400.0);
     let outcome = detector.run(&graph, 5);

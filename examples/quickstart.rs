@@ -1,10 +1,11 @@
-//! Quickstart: detect a planted 4-cycle with Algorithm 1.
+//! Quickstart: detect a planted 4-cycle through the unified `Detector`
+//! API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use even_cycle_congest::cycle::{CycleDetector, Params};
+use even_cycle_congest::cycle::{Budget, CycleDetector, Detector, Params};
 use even_cycle_congest::graph::{analysis, generators};
 
 fn main() {
@@ -22,35 +23,39 @@ fn main() {
         analysis::girth(&graph).expect("a cycle was planted")
     );
 
-    // Algorithm 1 for C4-freeness (k = 2), practical profile.
-    let params = Params::practical(2);
+    // Algorithm 1 for C4-freeness (k = 2), practical profile, driven
+    // through the one interface every detector shares.
+    let detector = CycleDetector::new(Params::practical(2));
+    let about = detector.descriptor();
     println!(
-        "parameters: k = {}, eps = {:.3}, K = {} repetitions",
-        params.k, params.eps, params.repetitions
+        "algorithm: {} ({}), target {}, theory exponent n^{:.3}",
+        about.name,
+        about.reference,
+        about.target.label(),
+        about.exponent
     );
-    let detector = CycleDetector::new(params);
-    let outcome = detector.run(&graph, 7);
 
-    if outcome.rejected() {
-        let witness = outcome.witness().expect("rejections carry witnesses");
-        println!("REJECT — certified 4-cycle: {witness}");
-        println!(
-            "  detected by the {:?} color-BFS after {} coloring iteration(s)",
-            outcome.phase.expect("phase recorded"),
-            outcome.iterations
-        );
-    } else {
-        println!("ACCEPT — no C4 found (this run missed the planted cycle)");
+    let detection = detector
+        .detect(&graph, 7, &Budget::classical())
+        .expect("color-BFS simulation cannot fail");
+
+    match detection.witness() {
+        Some(witness) => {
+            println!("REJECT — certified 4-cycle: {witness}");
+            assert!(witness.is_valid(&graph));
+            println!(
+                "  found after {} coloring iteration(s)",
+                detection.cost.iterations
+            );
+        }
+        None => println!("ACCEPT — no C4 found (this run missed the planted cycle)"),
     }
     println!(
-        "cost: {} CONGEST rounds over {} supersteps (max {} words on any edge in a round)",
-        outcome.report.rounds,
-        outcome.report.supersteps,
-        outcome.report.congestion.max_words_per_edge_step
-    );
-    println!(
-        "sets: |U| = {}, |S| = {}, |W| = {}, threshold tau = {}",
-        outcome.sets.u_size, outcome.sets.s_size, outcome.sets.w_size, outcome.sets.tau
+        "cost: {} CONGEST rounds over {} supersteps, {} messages, max {} words on any edge in a round",
+        detection.cost.rounds,
+        detection.cost.supersteps,
+        detection.cost.messages,
+        detection.cost.max_congestion
     );
     println!(
         "theory: Theorem 1 bound K*k*tau = {:.0} rounds at this n",

@@ -19,27 +19,56 @@
 //! * [`baselines`] — the Table 1 comparators ([10], [15], [16], [30],
 //!   [33]).
 //! * [`lowerbounds`] — the Set-Disjointness reductions of §3.3.
+//! * [`registry`] — every implemented algorithm behind the unified
+//!   [`Detector`] trait, enumerable by `(model, target, k)`.
+//! * [`scenario`] — the data-driven measurement runner
+//!   (`family × detector × bandwidth × seed-sweep → ScenarioReport`).
 //!
-//! # Quickstart
+//! # Quickstart — the unified `Detector` API
+//!
+//! Every algorithm (the paper's and the baselines') answers through one
+//! interface: `detect(&graph, seed, &budget) → Result<Detection>`, where
+//! a [`Detection`](cycle::Detection) carries the verdict (with a
+//! validated cycle witness on rejection), the unified run cost, and the
+//! algorithm's metadata.
 //!
 //! ```
 //! use even_cycle_congest::graph::generators;
-//! use even_cycle_congest::cycle::{CycleDetector, Params};
+//! use even_cycle_congest::cycle::{Budget, CycleDetector, Detector, Params};
 //!
 //! // A random tree with a planted 4-cycle.
 //! let host = generators::random_tree(64, 7);
 //! let (g, planted) = generators::plant_cycle(&host, 4, 7);
 //!
 //! let detector = CycleDetector::new(Params::practical(2));
-//! let outcome = detector.run(&g, 42);
-//! assert!(outcome.rejected(), "the planted C4 must be detected");
-//! let witness = outcome.witness().expect("rejections carry witnesses");
+//! let detection = detector.detect(&g, 42, &Budget::classical()).unwrap();
+//! assert!(detection.rejected(), "the planted C4 must be detected");
+//! let witness = detection.witness().expect("rejections carry witnesses");
 //! assert!(witness.is_valid(&g));
+//! assert!(detection.cost.rounds > 0);
 //! # let _ = planted;
+//! ```
+//!
+//! To compare *all* algorithms on the same instance, iterate the
+//! [`registry`](registry::DetectorRegistry) instead of naming types:
+//!
+//! ```
+//! use even_cycle_congest::registry::DetectorRegistry;
+//! use even_cycle_congest::cycle::Budget;
+//! use even_cycle_congest::graph::generators;
+//!
+//! let g = generators::random_tree(32, 1); // cycle-free control
+//! for entry in DetectorRegistry::standard(2).iter() {
+//!     let d = entry.detector.detect(&g, 7, &Budget::classical()).unwrap();
+//!     assert!(!d.rejected(), "{}: one-sided error violated", entry.id);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod registry;
+pub mod scenario;
 
 pub use congest_baselines as baselines;
 pub use congest_graph as graph;
@@ -47,3 +76,7 @@ pub use congest_lowerbounds as lowerbounds;
 pub use congest_quantum as quantum;
 pub use congest_sim as sim;
 pub use even_cycle as cycle;
+
+pub use even_cycle::{Budget, Descriptor, Detection, Detector, Model, RunCost, Target, Verdict};
+pub use registry::DetectorRegistry;
+pub use scenario::{GraphFamily, Metric, Scenario, ScenarioReport};

@@ -1,0 +1,429 @@
+//! The scenario runner: `graph family × detector × bandwidth ×
+//! seed-sweep → ScenarioReport` with fitted scaling exponents.
+//!
+//! This replaces the copy-pasted measurement loops that each benchmark
+//! binary used to carry: declare *what* to measure (a family of
+//! instances, a metric, a budget, a seed sweep) and run any set of
+//! [`Detector`]s through it. New workload matrices are a few lines.
+//!
+//! ```
+//! use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+//! use even_cycle_congest::cycle::{Budget, CycleDetector, Detector, Params};
+//!
+//! let scenario = Scenario::new("trees", GraphFamily::random_trees())
+//!     .sizes(&[32, 64, 128])
+//!     .seeds(0..2)
+//!     .metric(Metric::RoundsPerIteration);
+//! let det = CycleDetector::new(Params::practical(2).with_repetitions(4));
+//! let report = scenario.run(&[&det]);
+//! assert_eq!(report.rows.len(), 1);
+//! assert!(report.rows[0].samples.len() == 3);
+//! println!("{}", report.render());
+//! ```
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use congest_graph::{generators, Graph};
+use even_cycle::theory::fit_exponent;
+use even_cycle::{Budget, Descriptor, Detector};
+
+/// A sized, seeded family of instances: `build(n, seed)` produces a
+/// graph of (approximately) `n` vertices.
+#[derive(Clone)]
+pub struct GraphFamily {
+    name: String,
+    build: Rc<dyn Fn(usize, u64) -> Graph>,
+}
+
+impl std::fmt::Debug for GraphFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphFamily")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GraphFamily {
+    /// A custom family from a builder function.
+    pub fn new(name: impl Into<String>, build: impl Fn(usize, u64) -> Graph + 'static) -> Self {
+        GraphFamily {
+            name: name.into(),
+            build: Rc::new(build),
+        }
+    }
+
+    /// The family's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the instance of size `n` for `seed`.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        (self.build)(n, seed)
+    }
+
+    /// Uniform random trees (sparse, cycle-free hosts).
+    pub fn random_trees() -> Self {
+        GraphFamily::new("random trees", |n, seed| {
+            generators::random_tree(n.max(2), seed)
+        })
+    }
+
+    /// Random trees with one planted `C_ℓ` (the standard yes-instance).
+    pub fn planted_cycle(l: usize) -> Self {
+        GraphFamily::new(format!("planted C{l} on trees"), move |n, seed| {
+            let host = generators::random_tree(n.max(l + 1), seed);
+            generators::plant_cycle(&host, l, seed).0
+        })
+    }
+
+    /// Near-regular graphs of degree `≈ n^{1/k}` (the light/heavy
+    /// boundary of Algorithm 1).
+    pub fn regularish_boundary(k: usize) -> Self {
+        GraphFamily::new(format!("n^(1/{k})-regular"), move |n, seed| {
+            let d = (n as f64).powf(1.0 / k as f64).ceil() as usize + 1;
+            let n_even = n + (n * d) % 2;
+            generators::random_regular_ish(n_even, d, seed)
+        })
+    }
+
+    /// Erdős–Rényi graphs with expected degree `deg`.
+    pub fn erdos_renyi(deg: f64) -> Self {
+        GraphFamily::new(format!("ER (avg deg {deg})"), move |n, seed| {
+            let n = n.max(4);
+            generators::erdos_renyi(n, (deg / n as f64).min(1.0), seed)
+        })
+    }
+
+    /// Random bipartite graphs (odd-cycle-free controls).
+    pub fn random_bipartite(p: f64) -> Self {
+        GraphFamily::new(format!("bipartite (p = {p})"), move |n, seed| {
+            let half = (n / 2).max(2);
+            generators::random_bipartite(half, half, p, seed)
+        })
+    }
+
+    /// Congestion funnels — the adversarial hosts driving the per-edge
+    /// load of Algorithm 1's second color-BFS to its `Θ(n^{1-1/k})`
+    /// worst case.
+    pub fn funnel(branches: usize, k: usize) -> Self {
+        GraphFamily::new(format!("funnel (b = {branches}, k = {k})"), move |n, _| {
+            generators::funnel(n.max(16), branches, k)
+        })
+    }
+}
+
+/// What to extract from each [`Detection`](even_cycle::Detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Rounds in the algorithm's cost model.
+    Rounds,
+    /// Rounds divided by outer-loop iterations (the per-iteration cost
+    /// whose `n`-scaling Table 1 reports; falls back to total rounds
+    /// when an algorithm reports no iterations).
+    RoundsPerIteration,
+    /// Maximum words on any edge in any superstep.
+    MaxCongestion,
+    /// Total point-to-point messages.
+    Messages,
+    /// Total words sent.
+    Words,
+}
+
+impl Metric {
+    /// A short label for table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Rounds => "rounds",
+            Metric::RoundsPerIteration => "rounds/iter",
+            Metric::MaxCongestion => "max edge load",
+            Metric::Messages => "messages",
+            Metric::Words => "words",
+        }
+    }
+
+    fn extract(self, d: &even_cycle::Detection) -> f64 {
+        match self {
+            Metric::Rounds => d.cost.rounds as f64,
+            Metric::RoundsPerIteration => d.cost.rounds as f64 / d.cost.iterations.max(1) as f64,
+            Metric::MaxCongestion => d.cost.max_congestion as f64,
+            Metric::Messages => d.cost.messages as f64,
+            Metric::Words => d.cost.words as f64,
+        }
+    }
+}
+
+/// A declarative measurement: family × sizes × seeds × budget × metric.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    family: GraphFamily,
+    sizes: Vec<usize>,
+    seeds: Vec<u64>,
+    budget: Budget,
+    metric: Metric,
+}
+
+impl Scenario {
+    /// Creates a scenario with defaults: sizes `[64, 128, 256]`, seeds
+    /// `0..3`, classical budget, [`Metric::Rounds`].
+    pub fn new(name: impl Into<String>, family: GraphFamily) -> Self {
+        Scenario {
+            name: name.into(),
+            family,
+            sizes: vec![64, 128, 256],
+            seeds: (0..3).collect(),
+            budget: Budget::classical(),
+            metric: Metric::Rounds,
+        }
+    }
+
+    /// Sets the instance sizes (must be non-empty and increasing for a
+    /// meaningful fit).
+    pub fn sizes(mut self, sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "need at least one size");
+        self.sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the seed sweep; per-size values average over it.
+    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        self.seeds = seeds.collect();
+        self
+    }
+
+    /// Sets the resource budget (bandwidth, repetition override).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the extracted metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Runs every detector through the scenario matrix.
+    ///
+    /// Simulator failures do not abort the sweep: failed runs are
+    /// counted per row (`errors`) and excluded from the averages, so a
+    /// single pathological instance cannot take down a whole report.
+    pub fn run(&self, detectors: &[&dyn Detector]) -> ScenarioReport {
+        #[derive(Default)]
+        struct Cell {
+            total: f64,
+            node_count: u64,
+            ok: u64,
+        }
+        #[derive(Default)]
+        struct Acc {
+            cells: Vec<Cell>,
+            rejections: u64,
+            errors: u64,
+        }
+        let mut accs: Vec<Acc> = detectors
+            .iter()
+            .map(|_| Acc {
+                cells: self.sizes.iter().map(|_| Cell::default()).collect(),
+                ..Default::default()
+            })
+            .collect();
+
+        // Instances outer, detectors inner: each (size, seed) graph is
+        // built once and shared by every detector.
+        for (si, &n) in self.sizes.iter().enumerate() {
+            for &seed in &self.seeds {
+                let g = self.family.build(n, seed);
+                for (det, acc) in detectors.iter().zip(accs.iter_mut()) {
+                    match det.detect(&g, seed, &self.budget) {
+                        Ok(detection) => {
+                            if detection.rejected() {
+                                acc.rejections += 1;
+                            }
+                            let cell = &mut acc.cells[si];
+                            cell.total += self.metric.extract(&detection);
+                            // Families snap requested sizes (primes,
+                            // parity); fit against the graphs actually
+                            // built, not the request.
+                            cell.node_count += g.node_count() as u64;
+                            cell.ok += 1;
+                        }
+                        Err(_) => acc.errors += 1,
+                    }
+                }
+            }
+        }
+
+        let rows = detectors
+            .iter()
+            .zip(accs)
+            .map(|(det, acc)| {
+                let descriptor = det.descriptor();
+                let samples: Vec<(usize, f64)> = acc
+                    .cells
+                    .iter()
+                    .filter(|c| c.ok > 0)
+                    .map(|c| ((c.node_count / c.ok) as usize, c.total / c.ok as f64))
+                    .collect();
+                let (fitted_exponent, fitted_constant) =
+                    if samples.len() >= 2 && samples.iter().all(|&(_, v)| v > 0.0) {
+                        let pairs: Vec<(f64, f64)> =
+                            samples.iter().map(|&(n, v)| (n as f64, v)).collect();
+                        fit_exponent(&pairs)
+                    } else {
+                        (f64::NAN, f64::NAN)
+                    };
+                ScenarioRow {
+                    id: descriptor.id(),
+                    descriptor,
+                    samples,
+                    fitted_exponent,
+                    fitted_constant,
+                    rejections: acc.rejections,
+                    errors: acc.errors,
+                }
+            })
+            .collect();
+        ScenarioReport {
+            scenario: self.name.clone(),
+            family: self.family.name().to_string(),
+            metric: self.metric,
+            bandwidth: self.budget.bandwidth,
+            runs_per_size: self.seeds.len(),
+            rows,
+        }
+    }
+
+    /// Runs every entry of a registry through the scenario.
+    pub fn run_registry(&self, registry: &crate::registry::DetectorRegistry) -> ScenarioReport {
+        let dets: Vec<&dyn Detector> = registry.iter().map(|e| e.detector.as_ref()).collect();
+        self.run(&dets)
+    }
+}
+
+/// One detector's measured series.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// The registry-style identifier.
+    pub id: String,
+    /// The algorithm's metadata (carries the theory exponent to compare
+    /// the fit against).
+    pub descriptor: Descriptor,
+    /// `(n, mean metric value)` per size, increasing `n`.
+    pub samples: Vec<(usize, f64)>,
+    /// Fitted exponent `α` of `value ≈ c·n^α` (NaN with < 2 samples or
+    /// non-positive values).
+    pub fitted_exponent: f64,
+    /// Fitted constant `c`.
+    pub fitted_constant: f64,
+    /// Rejecting runs across the whole sweep.
+    pub rejections: u64,
+    /// Runs that returned a simulator error (excluded from averages).
+    pub errors: u64,
+}
+
+/// The rendered result of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Family name.
+    pub family: String,
+    /// The metric measured.
+    pub metric: Metric,
+    /// The bandwidth the budget charged.
+    pub bandwidth: u64,
+    /// Seeds averaged per size.
+    pub runs_per_size: usize,
+    /// One row per detector.
+    pub rows: Vec<ScenarioRow>,
+}
+
+impl ScenarioReport {
+    /// Renders an aligned text block: one line per detector with the
+    /// fitted vs theoretical exponent, then the per-size samples.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== scenario: {} — {} on {} (B = {}, {} seeds/size) ==\n",
+            self.scenario,
+            self.metric.label(),
+            self.family,
+            self.bandwidth,
+            self.runs_per_size,
+        );
+        for row in &self.rows {
+            let fit = if row.fitted_exponent.is_nan() {
+                "n^?".to_string()
+            } else {
+                format!("n^{:.3}", row.fitted_exponent)
+            };
+            out.push_str(&format!(
+                "{:<44} fit {:<8} theory n^{:.3}  rejections {}  errors {}\n",
+                row.id, fit, row.descriptor.exponent, row.rejections, row.errors
+            ));
+            for &(n, v) in &row.samples {
+                out.push_str(&format!("    n = {n:>7}  ->  {v:>14.1}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use even_cycle::{CycleDetector, Params};
+
+    #[test]
+    fn scenario_measures_and_fits() {
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(3));
+        let report = Scenario::new("smoke", GraphFamily::random_trees())
+            .sizes(&[32, 64, 128])
+            .seeds(0..2)
+            .metric(Metric::RoundsPerIteration)
+            .run(&[&det]);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.samples.len(), 3);
+        assert_eq!(row.errors, 0);
+        assert!(!row.fitted_exponent.is_nan());
+        assert!(report.render().contains("theory n^0.500"));
+    }
+
+    #[test]
+    fn bandwidth_reduces_rounds() {
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(3));
+        let narrow = Scenario::new("b1", GraphFamily::planted_cycle(4))
+            .sizes(&[64])
+            .seeds(0..2)
+            .run(&[&det]);
+        let wide = Scenario::new("b8", GraphFamily::planted_cycle(4))
+            .sizes(&[64])
+            .seeds(0..2)
+            .budget(Budget::classical().with_bandwidth(8))
+            .run(&[&det]);
+        let r1 = narrow.rows[0].samples[0].1;
+        let r8 = wide.rows[0].samples[0].1;
+        assert!(
+            r8 <= r1,
+            "bandwidth 8 must not cost more rounds ({r8} vs {r1})"
+        );
+    }
+
+    #[test]
+    fn registry_sweep_produces_a_row_per_entry() {
+        let registry = crate::registry::DetectorRegistry::standard(2);
+        // Tiny sweep: just check plumbing, not statistics.
+        let report = Scenario::new("registry smoke", GraphFamily::random_trees())
+            .sizes(&[24])
+            .seeds(0..1)
+            .run_registry(&registry);
+        assert_eq!(report.rows.len(), registry.len());
+        // Trees are cycle-free: one-sidedness means zero rejections
+        // everywhere.
+        assert!(report.rows.iter().all(|r| r.rejections == 0));
+    }
+}

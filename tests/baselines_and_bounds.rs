@@ -131,8 +131,10 @@ fn apeldoorn_devos_vs_ours_exponent_gap_widens_with_n() {
     use even_cycle_congest::cycle::theory::Table1Row;
     for k in [2usize, 3, 4] {
         let theirs = ApeldoornDeVosModel::new(k);
-        let r_small = theirs.round_bound(1 << 12) / Table1Row::ThisPaperQuantumF2k.rounds(1 << 12, k);
-        let r_large = theirs.round_bound(1 << 24) / Table1Row::ThisPaperQuantumF2k.rounds(1 << 24, k);
+        let r_small =
+            theirs.round_bound(1 << 12) / Table1Row::ThisPaperQuantumF2k.rounds(1 << 12, k);
+        let r_large =
+            theirs.round_bound(1 << 24) / Table1Row::ThisPaperQuantumF2k.rounds(1 << 24, k);
         assert!(
             r_large > r_small && r_small >= 1.0,
             "k={k}: improvement must grow with n ({r_small} -> {r_large})"

@@ -1,0 +1,209 @@
+//! The shared conformance suite of the unified `Detector` API: every
+//! entry of the `DetectorRegistry` — the paper's six algorithms and the
+//! Table 1 comparators — must satisfy the trait contract on the same
+//! parametrized instances, with zero per-algorithm wiring.
+//!
+//! Per entry:
+//!
+//! * **Soundness** (verdict correctness, no side): on a target-free
+//!   control the detector accepts for every seed tried — one-sided
+//!   error means a single rejection is a bug.
+//! * **Completeness** (verdict correctness, yes side): on a planted
+//!   yes-instance the detector rejects within a bounded seed sweep.
+//! * **Witness validity**: every rejection's cycle validates against
+//!   the input graph and its length belongs to the declared target.
+//! * **Seed determinism**: equal `(graph, seed, budget)` gives equal
+//!   `Detection`s.
+
+use even_cycle_congest::cycle::{Budget, Target};
+use even_cycle_congest::graph::{generators, Graph};
+use even_cycle_congest::registry::{DetectorRegistry, RegistryEntry};
+
+/// `copies` disjoint copies of `C_len` plus a path: girth `len`, and
+/// the per-repetition success probability of every sampling detector
+/// scales with `copies`.
+fn cycle_farm(len: usize, copies: usize) -> Graph {
+    let mut g = generators::cycle(len);
+    for _ in 1..copies {
+        g = generators::disjoint_union(&g, &generators::cycle(len));
+    }
+    generators::disjoint_union(&g, &generators::path(10))
+}
+
+/// A yes-instance for the entry's target family.
+fn planted_instance(target: Target) -> Graph {
+    match target {
+        // A planted C_{2k} on a sparse tree plus a farm boost: the
+        // standard detection instance of the unit suites.
+        Target::Even { k } => cycle_farm(2 * k, 8),
+        Target::Odd { k } => cycle_farm(2 * k + 1, 8),
+        // Shortest length dominates the F2k sweep; a C4 farm keeps the
+        // pair ℓ = 2 responsible regardless of k.
+        Target::F2k { .. } => cycle_farm(4, 8),
+    }
+}
+
+/// A control certifiably free of the entry's target family.
+fn control_instance(target: Target) -> Graph {
+    match target {
+        // C_{2k+2} has girth 2k+2 > 2k.
+        Target::Even { k } => generators::cycle(2 * k + 2),
+        // Bipartite graphs have no odd cycles at all.
+        Target::Odd { .. } => generators::random_bipartite(16, 16, 0.15, 5),
+        // Girth > 2k kills every length in {3, …, 2k}.
+        Target::F2k { k } => generators::high_girth(48, 2 * k, 8, 3),
+    }
+}
+
+/// Seeds granted to randomized one-sided detectors to find the planted
+/// cycle (retries only help on yes-instances).
+const COMPLETENESS_SEEDS: u64 = 12;
+/// Seeds every detector must survive on the control.
+const SOUNDNESS_SEEDS: u64 = 4;
+
+fn assert_conformance(entry: &RegistryEntry, check_completeness: bool) {
+    let target = entry.descriptor.target;
+    let budget = Budget::classical();
+
+    // --- soundness on the target-free control ---
+    let control = control_instance(target);
+    for seed in 0..SOUNDNESS_SEEDS {
+        let d = entry
+            .detector
+            .detect(&control, seed, &budget)
+            .unwrap_or_else(|e| panic!("{}: control simulation failed: {e}", entry.id));
+        assert!(
+            !d.rejected(),
+            "{}: one-sided error violated on the control (seed {seed})",
+            entry.id
+        );
+        assert_eq!(
+            d.algorithm, entry.descriptor,
+            "{}: detection must carry its own descriptor",
+            entry.id
+        );
+    }
+
+    // --- completeness + witness validity on the planted instance ---
+    // Without a completeness requirement the sweep is only a
+    // witness-validity probe, so two seeds suffice (the k = 3 sampling
+    // budgets explode combinatorially — exactly the scaling Table 1
+    // charges them).
+    let planted = planted_instance(target);
+    let seed_budget = if check_completeness {
+        COMPLETENESS_SEEDS
+    } else {
+        2
+    };
+    let mut found = false;
+    for seed in 0..seed_budget {
+        let d = entry
+            .detector
+            .detect(&planted, seed, &budget)
+            .unwrap_or_else(|e| panic!("{}: planted simulation failed: {e}", entry.id));
+        if d.rejected() {
+            found = true;
+            let w = d
+                .witness()
+                .unwrap_or_else(|| panic!("{}: rejection without witness", entry.id));
+            assert!(w.is_valid(&planted), "{}: invalid witness", entry.id);
+            assert!(
+                target.matches_length(w.len()),
+                "{}: witness length {} outside target {}",
+                entry.id,
+                w.len(),
+                target.label()
+            );
+            break;
+        }
+    }
+    if check_completeness {
+        assert!(
+            found,
+            "{}: planted {} never detected in {COMPLETENESS_SEEDS} seeds",
+            entry.id,
+            target.label()
+        );
+    }
+
+    // --- seed determinism ---
+    let a = entry.detector.detect(&planted, 1, &budget).unwrap();
+    let b = entry.detector.detect(&planted, 1, &budget).unwrap();
+    assert_eq!(a, b, "{}: same seed must reproduce the Detection", entry.id);
+}
+
+#[test]
+fn registry_k2_full_conformance() {
+    let registry = DetectorRegistry::standard(2);
+    assert!(registry.len() >= 8, "k = 2 registry lost algorithms");
+    for entry in registry.iter() {
+        assert_conformance(entry, true);
+    }
+}
+
+#[test]
+fn registry_k3_soundness_determinism_and_witnesses() {
+    // At k = 3 the sampling baselines' completeness budgets explode
+    // (that is exactly the n^{1-1/k} attempt scaling Table 1 charges
+    // them), so the planted sweep stays best-effort: any rejection must
+    // still be certified, and soundness/determinism are unconditional.
+    let registry = DetectorRegistry::standard(3);
+    assert!(registry.len() >= 8, "k = 3 registry lost algorithms");
+    for entry in registry.iter() {
+        assert_conformance(entry, false);
+    }
+}
+
+#[test]
+fn registry_covers_all_eight_algorithm_families() {
+    // 3 core classical + 3 quantum + the 4 comparators (the [15,30]
+    // gather baseline registering per parity).
+    let registry = DetectorRegistry::standard(3);
+    let references: std::collections::BTreeSet<&str> =
+        registry.iter().map(|e| e.descriptor.reference).collect();
+    for expected in [
+        "this paper",
+        "this paper §3.4",
+        "this paper §3.5",
+        "this paper Thm 2",
+        "[10]",
+        "[15,30]",
+        "[16]",
+        "[33]",
+    ] {
+        // k = 3 drops [10] (k ≤ 5 holds) — check against k = 3 ∪ k = 6.
+        if expected == "[10]" {
+            let r2 = DetectorRegistry::standard(2);
+            assert!(
+                r2.iter().any(|e| e.descriptor.reference == "[10]"),
+                "[10] missing from the k = 2 registry"
+            );
+            continue;
+        }
+        assert!(
+            references.contains(expected),
+            "reference {expected} missing from the k = 3 registry (has {references:?})"
+        );
+    }
+}
+
+#[test]
+fn bandwidth_budget_is_honored_by_classical_entries() {
+    use even_cycle_congest::cycle::Model;
+    let registry = DetectorRegistry::standard(2);
+    let g = planted_instance(Target::Even { k: 2 });
+    for entry in registry.by_model(Model::Classical) {
+        let narrow = entry.detector.detect(&g, 2, &Budget::classical()).unwrap();
+        let wide = entry
+            .detector
+            .detect(&g, 2, &Budget::classical().with_bandwidth(8))
+            .unwrap();
+        assert!(
+            wide.cost.rounds <= narrow.cost.rounds,
+            "{}: bandwidth 8 must not cost more rounds ({} vs {})",
+            entry.id,
+            wide.cost.rounds,
+            narrow.cost.rounds
+        );
+    }
+}

@@ -37,8 +37,7 @@ fn amplifier_finds_low_prob_detection_on_real_graph() {
     // Empirical sanity: some seeds do reject.
     let marked = (0..200).filter(|&s| mc.run(s).rejected).count();
     assert!(marked > 0, "no rejecting seeds at all");
-    let amp = MonteCarloAmplifier::new(0.05)
-        .with_mode(GroverMode::Sampled { samples: 96 });
+    let amp = MonteCarloAmplifier::new(0.05).with_mode(GroverMode::Sampled { samples: 96 });
     let report = amp.amplify(&mc, 3);
     if report.rejected {
         let ws = report.witness_seed.unwrap();
@@ -81,11 +80,9 @@ fn decomposition_supports_cycle_detection_soundly() {
         let (g, planted) = generators::plant_cycle(&host, 4, seed);
         let d = decompose(&g, 5, seed);
         let comps = reduced_components(&g, &d, 2);
-        let cycle: std::collections::HashSet<NodeId> =
-            planted.nodes().iter().copied().collect();
+        let cycle: std::collections::HashSet<NodeId> = planted.nodes().iter().copied().collect();
         let covered = comps.iter().any(|c| {
-            let ids: std::collections::HashSet<NodeId> =
-                c.original_ids.iter().copied().collect();
+            let ids: std::collections::HashSet<NodeId> = c.original_ids.iter().copied().collect();
             cycle.is_subset(&ids)
         });
         assert!(covered, "seed {seed}: planted C4 not inside any component");
@@ -121,10 +118,8 @@ fn grover_iterations_follow_quadratic_law_in_pipeline_sizes() {
 fn exact_grover_agrees_with_analytic_grover_end_to_end() {
     let oracle = |x: usize| x % 32 == 7;
     for seed in 0..10u64 {
-        let mut rng_a =
-            <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
-        let mut rng_b =
-            <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + 500);
+        let mut rng_a = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut rng_b = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + 500);
         let a = GroverSearch::new(GroverMode::Exact).search(128, oracle, &mut rng_a);
         let b = GroverSearch::new(GroverMode::Analytic).search(128, oracle, &mut rng_b);
         // Both must find (4/128 marked is easy); the exact elements may

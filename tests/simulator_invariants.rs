@@ -64,7 +64,12 @@ fn trace_agrees_with_congestion_accounting_on_color_bfs() {
     assert_eq!(total as u64, report.congestion.total_words);
     // Every traced endpoint pair is an edge of the graph.
     for e in trace.events() {
-        assert!(g.has_edge(e.from, e.to), "{} -> {} is not an edge", e.from, e.to);
+        assert!(
+            g.has_edge(e.from, e.to),
+            "{} -> {} is not an edge",
+            e.from,
+            e.to
+        );
     }
 }
 
