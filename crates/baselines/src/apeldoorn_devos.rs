@@ -201,7 +201,7 @@ impl Detector for ApeldoornDeVosDetector {
         } else {
             Verdict::Accept
         };
-        Ok(Detection {
+        Ok(budget.enforce(Detection {
             algorithm: self.descriptor(),
             verdict,
             cost: RunCost {
@@ -212,7 +212,7 @@ impl Detector for ApeldoornDeVosDetector {
                 max_congestion: 0,
                 iterations: report.iterations,
             },
-        })
+        }))
     }
 }
 

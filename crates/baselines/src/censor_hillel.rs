@@ -183,11 +183,11 @@ impl Detector for LocalThresholdDetector {
         } else {
             Verdict::Accept
         };
-        Ok(Detection {
+        Ok(budget.enforce(Detection {
             algorithm: self.descriptor(),
             verdict,
             cost: RunCost::from_report(&o.report, o.attempts),
-        })
+        }))
     }
 }
 

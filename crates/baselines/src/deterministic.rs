@@ -257,11 +257,11 @@ impl Detector for GatherDetector {
         } else {
             Verdict::Accept
         };
-        Ok(Detection {
+        Ok(budget.enforce(Detection {
             algorithm: self.descriptor(),
             verdict,
             cost: RunCost::from_report(&o.report, 1),
-        })
+        }))
     }
 }
 

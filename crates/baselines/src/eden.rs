@@ -172,11 +172,11 @@ impl Detector for EdenModel {
         } else {
             Verdict::Accept
         };
-        Ok(Detection {
+        Ok(budget.enforce(Detection {
             algorithm: self.descriptor(),
             verdict,
             cost: RunCost::from_report(&o.report, o.iterations),
-        })
+        }))
     }
 }
 

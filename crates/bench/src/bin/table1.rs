@@ -10,14 +10,17 @@
 //! (a row is "measured" iff some registered detector claims it), and
 //! (b) measured scaling series for every row we execute, all driven
 //! through the unified `Detector` trait and the scenario runner — no
-//! per-algorithm wiring.
+//! per-algorithm wiring. Every measured report is also appended as a
+//! JSONL line to `target/table1.jsonl` (override with `TABLE1_JSONL`)
+//! for machine consumption.
 
 use congest_baselines::censor_hillel::LocalThresholdDetector;
 use even_cycle::theory::Table1Row;
 use even_cycle::{Budget, CycleDetector, Params, QuantumOddCycleDetector};
 use even_cycle_bench::render_table;
+use even_cycle_congest::engine::RunProfile;
 use even_cycle_congest::registry::DetectorRegistry;
-use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario, ScenarioReport};
 
 /// Polarity-graph family: for a requested size `n`, uses the largest
 /// prime `q` with `q² + q + 1 ≤ n` (the extremal C4-free hosts).
@@ -36,10 +39,22 @@ fn polarity_family() -> GraphFamily {
 }
 
 fn main() {
+    // Rendered tables go to stdout; every measured report additionally
+    // lands in a JSONL stream (fresh per invocation).
+    let jsonl_path =
+        std::env::var("TABLE1_JSONL").unwrap_or_else(|_| "target/table1.jsonl".to_string());
+    let _ = std::fs::remove_file(&jsonl_path);
+    let emit = |report: ScenarioReport| {
+        println!("{}", report.render());
+        if let Err(e) = report.write_jsonl(&jsonl_path) {
+            eprintln!("warning: could not append to {jsonl_path}: {e}");
+        }
+    };
+
     // ---------- Part 1: the 16 rows, annotated from the registry ----------
     let registries: Vec<DetectorRegistry> = [2usize, 3]
         .into_iter()
-        .map(DetectorRegistry::standard)
+        .map(|k| RunProfile::Practical.registry(k))
         .collect();
     let implemented = |row: Table1Row| {
         registries
@@ -89,7 +104,7 @@ fn main() {
         .budget(Budget::classical().with_repetitions(4).exhaustive())
         .metric(Metric::RoundsPerIteration)
         .run(&[&ours_k2]);
-    println!("{}", report.render());
+    emit(report);
 
     // E1-adversarial: funnel hosts drive the per-edge load of the second
     // color-BFS to Θ(n·p) = Θ(n^{1-1/k}) — the worst case the threshold
@@ -117,7 +132,7 @@ fn main() {
         .seeds(3..4)
         .metric(Metric::MaxCongestion)
         .run(&[&det]);
-        println!("{}", report.render());
+        emit(report);
     }
 
     // E1: this paper, k = 3, on degree-n^{1/3} hosts.
@@ -128,7 +143,7 @@ fn main() {
         .budget(Budget::classical().with_repetitions(4).exhaustive())
         .metric(Metric::RoundsPerIteration)
         .run(&[&ours_k3]);
-    println!("{}", report.render());
+    emit(report);
 
     // E2: the [10] local-threshold baseline at k = 2 (attempt count is
     // the n-dependent factor; per-attempt cost is constant).
@@ -138,7 +153,7 @@ fn main() {
         .seeds(3..4)
         .metric(Metric::Rounds)
         .run(&[&local]);
-    println!("{}", report.render());
+    emit(report);
 
     // E2: deterministic gathering baseline (odd rows' Θ̃(n) on sparse
     // hosts). The gather simulation is the one genuinely fallible
@@ -150,7 +165,7 @@ fn main() {
         .seeds(9..10)
         .metric(Metric::Rounds)
         .run(&[&gather]);
-    println!("{}", report.render());
+    emit(report);
 
     // E3: the quantum pipelines, k = 2 and k = 3 — theory n^{1/4} and
     // n^{1/3} (+ polylog).
@@ -166,7 +181,7 @@ fn main() {
         .seeds(17..18)
         .metric(Metric::Rounds)
         .run(&[&det]);
-        println!("{}", report.render());
+        emit(report);
     }
 
     // E9: quantum odd cycles — theory √n.
@@ -180,7 +195,7 @@ fn main() {
     .seeds(29..30)
     .metric(Metric::Rounds)
     .run(&[&qodd]);
-    println!("{}", report.render());
+    emit(report);
 
     // E10: our quantum F2k exponent vs [33] (model comparison).
     println!("Quantum F_2k model comparison (rounds at n = 2^20):");

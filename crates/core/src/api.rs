@@ -104,9 +104,8 @@ pub struct Budget {
     /// Per-edge bandwidth in words per round. `1` is classical CONGEST;
     /// larger values model CONGEST(B·log n). Classical detectors charge
     /// `⌈load/B⌉` rounds per superstep; the quantum pipelines apply the
-    /// bandwidth to their amplified base detector (the dominant term)
-    /// and keep the decomposition cost at `B = 1`, which is
-    /// conservative.
+    /// bandwidth both to their amplified base detector (the dominant
+    /// term) and to the Lemma 10 decomposition cost.
     pub bandwidth: u64,
     /// Overrides the algorithm's repetition/attempt budget when `Some`
     /// (coloring iterations for the color-BFS family, attempts for the
@@ -119,6 +118,18 @@ pub struct Budget {
     /// Honored by the color-BFS family; detectors whose outer loop has
     /// no early exit ignore it.
     pub run_to_budget: bool,
+    /// Hard cap on charged rounds. A detector whose outer loop notices
+    /// the cap aborts between iterations and reports
+    /// [`Verdict::BudgetExceeded`]; single-shot detectors and cost-model
+    /// comparators are marked post hoc through [`Budget::enforce`]. The
+    /// charged total may overshoot the cap by at most one iteration.
+    pub max_rounds: Option<u64>,
+    /// Hard cap on total point-to-point messages; same abort semantics
+    /// as [`Budget::max_rounds`]. Only meaningful for detectors whose
+    /// cost model tracks messages: the quantum pipelines and the
+    /// cost-model comparators report `messages = 0`, so a message cap
+    /// never binds them — cap rounds to bound those.
+    pub max_messages: Option<u64>,
 }
 
 impl Default for Budget {
@@ -127,6 +138,8 @@ impl Default for Budget {
             bandwidth: 1,
             repetitions: None,
             run_to_budget: false,
+            max_rounds: None,
+            max_messages: None,
         }
     }
 }
@@ -164,6 +177,57 @@ impl Budget {
     pub fn exhaustive(mut self) -> Self {
         self.run_to_budget = true;
         self
+    }
+
+    /// Caps the charged rounds (see [`Budget::max_rounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    pub fn with_round_cap(mut self, max_rounds: u64) -> Self {
+        assert!(max_rounds > 0, "round cap must be positive");
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Caps the total messages (see [`Budget::max_messages`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_messages == 0`.
+    pub fn with_message_cap(mut self, max_messages: u64) -> Self {
+        assert!(max_messages > 0, "message cap must be positive");
+        self.max_messages = Some(max_messages);
+        self
+    }
+
+    /// Whether any hard cap is configured.
+    pub fn has_caps(&self) -> bool {
+        self.max_rounds.is_some() || self.max_messages.is_some()
+    }
+
+    /// Whether an accumulated cost has blown past the configured caps.
+    pub fn caps_exceeded(&self, cost: &RunCost) -> bool {
+        self.max_rounds.is_some_and(|cap| cost.rounds > cap)
+            || self.max_messages.is_some_and(|cap| cost.messages > cap)
+    }
+
+    /// Enforces the caps on a finished run: an *accept* whose cost
+    /// overran the budget is downgraded to [`Verdict::BudgetExceeded`] —
+    /// a truncated run would never have reached that acceptance, so it
+    /// cannot be trusted. A certified rejection stands regardless (the
+    /// witness is proof however long the run took). Detectors with an
+    /// iteration loop abort early on their own; this post-hoc pass is
+    /// the uniform guarantee every [`Detector::detect`] implementation
+    /// routes through.
+    pub fn enforce(&self, mut detection: Detection) -> Detection {
+        if matches!(detection.verdict, Verdict::Accept) && self.caps_exceeded(&detection.cost) {
+            detection.verdict = Verdict::BudgetExceeded {
+                rounds: detection.cost.rounds,
+                messages: detection.cost.messages,
+            };
+        }
+        detection
     }
 }
 
@@ -219,6 +283,14 @@ pub enum Verdict {
         /// The detected cycle's length, when known.
         cycle_length: Option<usize>,
     },
+    /// The run blew past a hard [`Budget`] cap and was aborted before it
+    /// could decide; neither acceptance nor rejection can be concluded.
+    BudgetExceeded {
+        /// Rounds charged when the run was cut off.
+        rounds: u64,
+        /// Messages charged when the run was cut off.
+        messages: u64,
+    },
 }
 
 impl Verdict {
@@ -227,10 +299,15 @@ impl Verdict {
         matches!(self, Verdict::Reject { .. })
     }
 
+    /// Whether the run was aborted by a [`Budget`] cap.
+    pub fn budget_exceeded(&self) -> bool {
+        matches!(self, Verdict::BudgetExceeded { .. })
+    }
+
     /// The witness, if any.
     pub fn witness(&self) -> Option<&CycleWitness> {
         match self {
-            Verdict::Accept => None,
+            Verdict::Accept | Verdict::BudgetExceeded { .. } => None,
             Verdict::Reject { witness, .. } => witness.as_ref(),
         }
     }
@@ -285,6 +362,11 @@ impl Detection {
         self.verdict.rejected()
     }
 
+    /// Whether the run was aborted by a [`Budget`] cap.
+    pub fn budget_exceeded(&self) -> bool {
+        self.verdict.budget_exceeded()
+    }
+
     /// The witness, if any.
     pub fn witness(&self) -> Option<&CycleWitness> {
         self.verdict.witness()
@@ -307,7 +389,10 @@ pub type DetectResult = Result<Detection, SimError>;
 /// Contract:
 ///
 /// * **Determinism**: all randomness derives from `seed`; equal
-///   `(graph, seed, budget)` yields equal [`Detection`]s.
+///   `(graph, seed, budget)` yields equal [`Detection`]s. Combined with
+///   the `Send + Sync` supertraits, this is what lets the experiment
+///   engine shard a sweep matrix across worker threads and still
+///   produce byte-identical reports.
 /// * **One-sidedness**: on inputs free of the target family, every
 ///   implementation accepts with probability 1 (rejecting such an input
 ///   is a bug, not bad luck).
@@ -327,9 +412,21 @@ pub type DetectResult = Result<Detection, SimError>;
 /// assert!(detection.witness().unwrap().is_valid(&g));
 /// assert_eq!(det.descriptor().target.label(), "C4");
 /// ```
-pub trait Detector {
+pub trait Detector: Send + Sync + std::fmt::Debug {
     /// The algorithm's static metadata.
     fn descriptor(&self) -> Descriptor;
+
+    /// A deterministic fingerprint of the detector's *configuration*
+    /// (repetitions, modes, declared probabilities — everything that
+    /// changes what a run computes beyond the descriptor id). The
+    /// experiment store folds this into its config hash so two
+    /// differently-tuned instances of the same algorithm can never
+    /// replay each other's cached results. The default is the `Debug`
+    /// rendering, which for the workspace's derive-based detectors
+    /// captures every field.
+    fn config_fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
 
     /// Runs the detector on `g` with all randomness derived from `seed`,
     /// under the given resource budget.
@@ -347,6 +444,10 @@ impl<D: Detector + ?Sized> Detector for &D {
         (**self).descriptor()
     }
 
+    fn config_fingerprint(&self) -> String {
+        (**self).config_fingerprint()
+    }
+
     fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
         (**self).detect(g, seed, budget)
     }
@@ -355,6 +456,10 @@ impl<D: Detector + ?Sized> Detector for &D {
 impl<D: Detector + ?Sized> Detector for Box<D> {
     fn descriptor(&self) -> Descriptor {
         (**self).descriptor()
+    }
+
+    fn config_fingerprint(&self) -> String {
+        (**self).config_fingerprint()
     }
 
     fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
@@ -391,6 +496,44 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         let _ = Budget::classical().with_bandwidth(0);
+    }
+
+    #[test]
+    fn caps_and_enforcement() {
+        let b = Budget::classical().with_round_cap(10).with_message_cap(100);
+        assert!(b.has_caps());
+        assert!(!Budget::classical().has_caps());
+        let under = RunCost {
+            rounds: 10,
+            messages: 100,
+            ..Default::default()
+        };
+        assert!(!b.caps_exceeded(&under));
+        let over = RunCost {
+            rounds: 11,
+            ..Default::default()
+        };
+        assert!(b.caps_exceeded(&over));
+
+        let d = Descriptor {
+            name: "x",
+            reference: "y",
+            model: Model::Classical,
+            target: Target::Even { k: 2 },
+            exponent: 0.5,
+            table1: None,
+        };
+        let det = Detection {
+            algorithm: d,
+            verdict: Verdict::Accept,
+            cost: over,
+        };
+        let enforced = b.enforce(det.clone());
+        assert!(enforced.budget_exceeded());
+        assert!(!enforced.rejected());
+        assert!(enforced.witness().is_none());
+        // Without caps, enforce is the identity.
+        assert_eq!(Budget::classical().enforce(det.clone()), det);
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub struct RunOptions {
     /// Per-edge bandwidth in words per round (`1` = classical CONGEST);
     /// see [`crate::Budget::bandwidth`].
     pub bandwidth: u64,
+    /// Hard cap on accumulated rounds: the repetition loop aborts (with
+    /// [`DetectionOutcome::budget_exceeded`] set) once the charged total
+    /// passes it. See [`crate::Budget::max_rounds`].
+    pub round_cap: Option<u64>,
+    /// Hard cap on accumulated messages; same abort semantics.
+    pub message_cap: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -32,8 +38,29 @@ impl Default for RunOptions {
             forced_selection: None,
             continue_after_reject: false,
             bandwidth: 1,
+            round_cap: None,
+            message_cap: None,
         }
     }
+}
+
+impl RunOptions {
+    /// Whether an accumulated report has passed the configured caps.
+    pub(crate) fn caps_exceeded(&self, report: &RunReport) -> bool {
+        report_caps_exceeded(report, self.round_cap, self.message_cap)
+    }
+}
+
+/// The one cap predicate every detector loop shares: an accumulated
+/// report exceeds the budget once its rounds or messages pass the
+/// respective cap.
+pub(crate) fn report_caps_exceeded(
+    report: &RunReport,
+    round_cap: Option<u64>,
+    message_cap: Option<u64>,
+) -> bool {
+    round_cap.is_some_and(|cap| report.rounds > cap)
+        || message_cap.is_some_and(|cap| report.congestion.total_messages > cap)
 }
 
 /// The membership sets of Algorithm 1 (Instructions 1–5).
@@ -180,6 +207,7 @@ impl CycleDetector {
         let mut witness: Option<CycleWitness> = None;
         let mut phase_found: Option<Phase> = None;
         let mut iterations = 0u64;
+        let mut budget_exceeded = false;
 
         'outer: for r in 0..self.params.repetitions as u64 {
             iterations = r + 1;
@@ -217,6 +245,10 @@ impl CycleDetector {
                         break 'outer;
                     }
                 }
+                if options.caps_exceeded(&total) {
+                    budget_exceeded = true;
+                    break 'outer;
+                }
             }
         }
 
@@ -227,6 +259,7 @@ impl CycleDetector {
             iterations,
             report: total,
             sets: sets_summary,
+            budget_exceeded,
         }
     }
 }
@@ -251,11 +284,14 @@ impl crate::Detector for CycleDetector {
         let opts = RunOptions {
             bandwidth: budget.bandwidth,
             continue_after_reject: budget.run_to_budget,
+            round_cap: budget.max_rounds,
+            message_cap: budget.max_messages,
             ..Default::default()
         };
-        Ok(det
-            .run_with(g, seed, &opts)
-            .into_detection(self.descriptor()))
+        Ok(budget.enforce(
+            det.run_with(g, seed, &opts)
+                .into_detection(self.descriptor()),
+        ))
     }
 }
 

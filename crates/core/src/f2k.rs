@@ -235,6 +235,9 @@ pub struct F2kOutcome {
     pub iterations: u64,
     /// Accumulated CONGEST costs.
     pub report: RunReport,
+    /// Whether the pair loop was aborted by a [`Budget`](crate::Budget)
+    /// cap (the decision is then untrusted).
+    pub budget_exceeded: bool,
 }
 
 impl F2kOutcome {
@@ -377,9 +380,26 @@ impl F2kDetector {
 
     /// [`F2kDetector::run`] at per-edge bandwidth `B` (words per round).
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> F2kOutcome {
+        self.run_capped(g, seed, bandwidth, None, None)
+    }
+
+    /// [`F2kDetector::run_with_bandwidth`] with hard round/message caps:
+    /// the pair/repetition loop aborts (flagging the outcome) once the
+    /// accumulated cost passes either cap.
+    fn run_capped(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        round_cap: Option<u64>,
+        message_cap: Option<u64>,
+    ) -> F2kOutcome {
         let n = g.node_count();
         let mut total = RunReport::empty();
         let mut iterations = 0u64;
+        let exceeded = |total: &RunReport| {
+            crate::detector::report_caps_exceeded(total, round_cap, message_cap)
+        };
         for l in 2..=self.k {
             // Pair parameters (§3.5): p = ε̂·2ℓ²/n^{1/ℓ}, τ = 2np,
             // U = degree ≤ n^{1/ℓ}, W = N(S) ∖ S.
@@ -454,6 +474,18 @@ impl F2kDetector {
                             pair: Some(l),
                             iterations,
                             report: total,
+                            budget_exceeded: false,
+                        };
+                    }
+                    if exceeded(&total) {
+                        return F2kOutcome {
+                            rejected: false,
+                            cycle_length: None,
+                            witness: None,
+                            pair: None,
+                            iterations,
+                            report: total,
+                            budget_exceeded: true,
                         };
                     }
                 }
@@ -466,6 +498,7 @@ impl F2kDetector {
             pair: None,
             iterations,
             report: total,
+            budget_exceeded: false,
         }
     }
 }
@@ -595,20 +628,32 @@ impl crate::Detector for F2kDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let o = det.run_with_bandwidth(g, seed, budget.bandwidth);
+        let o = det.run_capped(
+            g,
+            seed,
+            budget.bandwidth,
+            budget.max_rounds,
+            budget.max_messages,
+        );
+        let cost = crate::RunCost::from_report(&o.report, o.iterations);
         let verdict = if o.rejected {
             crate::Verdict::Reject {
                 cycle_length: o.cycle_length,
                 witness: o.witness,
             }
+        } else if o.budget_exceeded {
+            crate::Verdict::BudgetExceeded {
+                rounds: cost.rounds,
+                messages: cost.messages,
+            }
         } else {
             crate::Verdict::Accept
         };
-        Ok(crate::Detection {
+        Ok(budget.enforce(crate::Detection {
             algorithm: self.descriptor(),
             verdict,
-            cost: crate::RunCost::from_report(&o.report, o.iterations),
-        })
+            cost,
+        }))
     }
 }
 

@@ -232,6 +232,20 @@ impl OddCycleDetector {
     /// round); the protocol is unchanged, supersteps are charged
     /// `⌈load/B⌉` rounds.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> DetectionOutcome {
+        self.run_capped(g, seed, bandwidth, None, None)
+    }
+
+    /// [`OddCycleDetector::run_with_bandwidth`] with hard round/message
+    /// caps: the repetition loop aborts (flagging the outcome) once the
+    /// accumulated cost passes either cap.
+    fn run_capped(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        round_cap: Option<u64>,
+        message_cap: Option<u64>,
+    ) -> DetectionOutcome {
         let k = self.k;
         let n = g.node_count();
         let colors_count = 2 * k + 1;
@@ -240,6 +254,7 @@ impl OddCycleDetector {
         let mut decision = Decision::Accept;
         let mut witness: Option<CycleWitness> = None;
         let mut iterations = 0u64;
+        let mut budget_exceeded = false;
         let all = vec![true; n];
 
         for r in 0..self.repetitions as u64 {
@@ -277,6 +292,10 @@ impl OddCycleDetector {
                 witness = Some(w);
                 break;
             }
+            if crate::detector::report_caps_exceeded(&total, round_cap, message_cap) {
+                budget_exceeded = true;
+                break;
+            }
         }
 
         DetectionOutcome {
@@ -292,6 +311,7 @@ impl OddCycleDetector {
                 tau: 4,
                 selection_probability: activation,
             },
+            budget_exceeded,
         }
     }
 
@@ -342,8 +362,14 @@ impl crate::Detector for OddCycleDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
-        Ok(outcome.into_detection(self.descriptor()))
+        let outcome = det.run_capped(
+            g,
+            seed,
+            budget.bandwidth,
+            budget.max_rounds,
+            budget.max_messages,
+        );
+        Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
 

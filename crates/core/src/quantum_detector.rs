@@ -47,6 +47,10 @@ pub struct QuantumOutcome {
     /// Classical base-detector runs spent by the simulator (not part of
     /// the quantum cost model).
     pub classical_evals: u64,
+    /// Whether the component loop was aborted by a
+    /// [`Budget`](crate::Budget) round cap (the decision is then
+    /// untrusted; components after the abort were never amplified).
+    pub budget_exceeded: bool,
 }
 
 impl QuantumOutcome {
@@ -60,6 +64,11 @@ impl QuantumOutcome {
             Verdict::Reject {
                 witness: self.witness,
                 cycle_length,
+            }
+        } else if self.budget_exceeded {
+            Verdict::BudgetExceeded {
+                rounds: self.quantum_rounds,
+                messages: 0,
             }
         } else {
             Verdict::Accept
@@ -203,8 +212,13 @@ struct PipelineSpec {
     /// Declared success-probability override (shrinks the seed space;
     /// one-sidedness unaffected).
     declared_success: Option<f64>,
-    /// Per-edge bandwidth charged to the classical base runs.
+    /// Per-edge bandwidth charged to the classical base runs and the
+    /// decomposition (see
+    /// [`Decomposition::round_cost_at`](congest_quantum::decomposition::Decomposition::round_cost_at)).
     bandwidth: u64,
+    /// Hard cap on accumulated quantum rounds: the component loop
+    /// aborts once the charge so far passes it.
+    round_cap: Option<u64>,
 }
 
 /// The Lemma 13 pipeline: decomposition, per-component amplification,
@@ -218,6 +232,9 @@ fn run_pipeline<B: PipelineBase>(
 ) -> QuantumOutcome {
     let decomposition = decompose(g, spec.separation, derive_seed(seed, spec.dec_stream));
     let components = reduced_components(g, &decomposition, spec.radius);
+    // Budget::bandwidth applies to the whole pipeline: the amplified
+    // base runs (inside ComponentMc) and the decomposition construction.
+    let decomposition_rounds = decomposition.round_cost_at(spec.bandwidth);
 
     let mut per_color_quantum: std::collections::BTreeMap<u32, u64> =
         std::collections::BTreeMap::new();
@@ -226,11 +243,19 @@ fn run_pipeline<B: PipelineBase>(
     let mut iterations = 0u64;
     let mut classical_evals = 0u64;
     let mut rejected = false;
+    let mut budget_exceeded = false;
     let mut witness: Option<CycleWitness> = None;
 
     for (ci, comp) in components.iter().enumerate() {
         if comp.graph.node_count() < spec.min_nodes {
             continue; // cannot contain a target cycle
+        }
+        if spec
+            .round_cap
+            .is_some_and(|cap| decomposition_rounds + per_color_quantum.values().sum::<u64>() > cap)
+        {
+            budget_exceeded = true;
+            break;
         }
         let declared = spec
             .declared_success
@@ -277,13 +302,14 @@ fn run_pipeline<B: PipelineBase>(
     QuantumOutcome {
         rejected,
         witness,
-        quantum_rounds: decomposition.round_cost + per_color_quantum.values().sum::<u64>(),
-        classical_rounds: decomposition.round_cost + per_color_classical.values().sum::<u64>(),
-        decomposition_rounds: decomposition.round_cost,
+        quantum_rounds: decomposition_rounds + per_color_quantum.values().sum::<u64>(),
+        classical_rounds: decomposition_rounds + per_color_classical.values().sum::<u64>(),
+        decomposition_rounds,
         iterations,
         components: components.len(),
         colors: decomposition.colors,
         classical_evals,
+        budget_exceeded,
     }
 }
 
@@ -361,10 +387,20 @@ impl QuantumCycleDetector {
         self.run_with_bandwidth(g, seed, 1)
     }
 
-    /// [`QuantumCycleDetector::run`] with the classical base runs
-    /// charged at per-edge bandwidth `B` (the decomposition cost stays
-    /// at `B = 1`, which is conservative).
+    /// [`QuantumCycleDetector::run`] with the whole pipeline — the
+    /// amplified base runs and the decomposition — charged at per-edge
+    /// bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
+        self.run_capped(g, seed, bandwidth, None)
+    }
+
+    fn run_capped(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        round_cap: Option<u64>,
+    ) -> QuantumOutcome {
         let k = self.params.k;
         let base = LowProbDetector::new(self.params.clone());
         // Lemma 9 uses the decomposition with separation parameter
@@ -379,6 +415,7 @@ impl QuantumCycleDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
     }
@@ -401,8 +438,8 @@ impl Detector for QuantumCycleDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
-        Ok(outcome.into_detection(self.descriptor()))
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
 
@@ -470,9 +507,19 @@ impl QuantumOddCycleDetector {
         self.run_with_bandwidth(g, seed, 1)
     }
 
-    /// [`QuantumOddCycleDetector::run`] with the classical base runs
-    /// charged at per-edge bandwidth `B`.
+    /// [`QuantumOddCycleDetector::run`] with the whole pipeline charged
+    /// at per-edge bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
+        self.run_capped(g, seed, bandwidth, None)
+    }
+
+    fn run_capped(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        round_cap: Option<u64>,
+    ) -> QuantumOutcome {
         let k = self.k;
         let l = 2 * k + 1;
         let base = crate::OddCycleDetector::new(k, self.repetitions);
@@ -487,6 +534,7 @@ impl QuantumOddCycleDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
     }
@@ -509,8 +557,8 @@ impl Detector for QuantumOddCycleDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
-        Ok(outcome.into_detection(self.descriptor()))
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
 
@@ -575,9 +623,19 @@ impl QuantumF2kDetector {
         self.run_with_bandwidth(g, seed, 1)
     }
 
-    /// [`QuantumF2kDetector::run`] with the classical base runs charged
-    /// at per-edge bandwidth `B`.
+    /// [`QuantumF2kDetector::run`] with the whole pipeline charged at
+    /// per-edge bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
+        self.run_capped(g, seed, bandwidth, None)
+    }
+
+    fn run_capped(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        round_cap: Option<u64>,
+    ) -> QuantumOutcome {
         let k = self.k;
         let base = crate::F2kDetector::new(k)
             .with_repetitions(self.repetitions)
@@ -592,6 +650,7 @@ impl QuantumF2kDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
     }
@@ -614,8 +673,8 @@ impl Detector for QuantumF2kDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_with_bandwidth(g, seed, budget.bandwidth);
-        Ok(outcome.into_detection(self.descriptor()))
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
 
@@ -683,6 +742,40 @@ mod tests {
         assert!(outcome.components >= 1);
         assert!(outcome.colors >= 1);
         assert!(outcome.quantum_rounds >= outcome.decomposition_rounds);
+    }
+
+    #[test]
+    fn bandwidth_scales_decomposition_cost() {
+        // Budget::bandwidth reaches the decomposition cost model, not
+        // just the amplified base runs: single-word protocol, so B
+        // words per edge divide the charge exactly.
+        let g = generators::random_tree(32, 3);
+        let det = sampled_detector();
+        let b1 = det.run_with_bandwidth(&g, 1, 1);
+        let b4 = det.run_with_bandwidth(&g, 1, 4);
+        assert!(b1.decomposition_rounds > 1);
+        assert_eq!(b4.decomposition_rounds, b1.decomposition_rounds.div_ceil(4));
+        assert!(b4.quantum_rounds <= b1.quantum_rounds);
+    }
+
+    #[test]
+    fn round_cap_aborts_component_loop() {
+        use crate::Detector;
+        let host = generators::random_tree(40, 2);
+        let (g, _) = generators::plant_cycle(&host, 4, 2);
+        let det = sampled_detector();
+        let full = det.detect(&g, 1, &Budget::classical()).unwrap();
+        assert!(full.cost.rounds > 2);
+        let capped = det
+            .detect(
+                &g,
+                1,
+                &Budget::classical().with_round_cap(full.cost.rounds / 2),
+            )
+            .unwrap();
+        // Either a certified rejection landed before the cap bit, or
+        // the pipeline reported the overrun.
+        assert!(capped.rejected() || capped.budget_exceeded());
     }
 
     #[test]

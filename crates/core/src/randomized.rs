@@ -78,6 +78,7 @@ impl LowProbDetector {
         let mut witness: Option<CycleWitness> = None;
         let mut phase_found: Option<Phase> = None;
         let mut iterations = 0u64;
+        let mut budget_exceeded = false;
 
         'outer: for r in 0..self.params.repetitions as u64 {
             iterations = r + 1;
@@ -113,6 +114,10 @@ impl LowProbDetector {
                         break 'outer;
                     }
                 }
+                if options.caps_exceeded(&total) {
+                    budget_exceeded = true;
+                    break 'outer;
+                }
             }
         }
 
@@ -123,6 +128,7 @@ impl LowProbDetector {
             iterations,
             report: total,
             sets: sets_summary,
+            budget_exceeded,
         }
     }
 
@@ -181,11 +187,14 @@ impl crate::Detector for LowProbDetector {
         let opts = RunOptions {
             bandwidth: budget.bandwidth,
             continue_after_reject: budget.run_to_budget,
+            round_cap: budget.max_rounds,
+            message_cap: budget.max_messages,
             ..Default::default()
         };
-        Ok(det
-            .run_with(g, seed, &opts)
-            .into_detection(self.descriptor()))
+        Ok(budget.enforce(
+            det.run_with(g, seed, &opts)
+                .into_detection(self.descriptor()),
+        ))
     }
 }
 

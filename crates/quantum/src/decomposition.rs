@@ -56,6 +56,19 @@ impl Decomposition {
         self.assignment[v.index()]
     }
 
+    /// The construction's round cost at per-edge bandwidth `B` (words
+    /// per round): the Lemma 10 protocol exchanges single-word messages
+    /// (shift announcements, cluster ids, color proposals), so a
+    /// `B`-word budget per edge divides the charge, `⌈cost/B⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    pub fn round_cost_at(&self, bandwidth: u64) -> u64 {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        self.round_cost.div_ceil(bandwidth)
+    }
+
     /// Maximum strong diameter over clusters (diameter of the subgraph
     /// induced by each cluster). `None` for an empty decomposition.
     pub fn max_cluster_diameter(&self, g: &Graph) -> Option<u32> {

@@ -12,11 +12,11 @@
 //! ```
 
 use even_cycle_congest::cycle::Budget;
-use even_cycle_congest::registry::DetectorRegistry;
+use even_cycle_congest::engine::RunProfile;
 use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
 
 fn main() {
-    let registry = DetectorRegistry::standard(2);
+    let registry = RunProfile::Practical.registry(2);
     println!("registered detectors at k = 2:");
     for entry in registry.iter() {
         println!(

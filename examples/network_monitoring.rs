@@ -12,8 +12,8 @@
 //! ```
 
 use even_cycle_congest::cycle::Budget;
+use even_cycle_congest::engine::RunProfile;
 use even_cycle_congest::graph::{analysis, Graph, GraphBuilder, NodeId};
-use even_cycle_congest::registry::DetectorRegistry;
 
 /// A layered service mesh: `layers × width` services. The skeleton is a
 /// tree (an API-gateway star over layer 0, then per-service chains down
@@ -60,7 +60,7 @@ fn main() {
     // Sweep the whole registry over both meshes. One-sidedness means the
     // clean mesh never alarms; on the patched mesh any detector that
     // fires hands back a certified loop.
-    let registry = DetectorRegistry::standard(2);
+    let registry = RunProfile::Practical.registry(2);
     let budget = Budget::classical();
     for (name, mesh) in [("clean", &clean), ("patched", &bad)] {
         println!("--- {name} mesh ---");

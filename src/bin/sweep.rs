@@ -1,0 +1,187 @@
+//! The experiment-engine driver: profile-configured registry sweeps
+//! from the command line, with worker-pool execution and a resumable
+//! JSONL result store.
+//!
+//! ```text
+//! cargo run --release -p even-cycle-congest --bin sweep -- \
+//!     --profile fast-ci --k 2 --family planted:4 \
+//!     --sizes 24,32 --seeds 0..2 --metric rounds \
+//!     --workers 2 --store target/sweeps --json
+//! ```
+//!
+//! Every flag is optional: the profile decides the default grid and
+//! budget, the family defaults to planted `C_{2k}` yes-instances, the
+//! worker count falls back to `EVEN_CYCLE_WORKERS` (then 1). Re-running
+//! an identical invocation with `--store` replays the store and invokes
+//! no detector.
+
+use std::process::ExitCode;
+
+use even_cycle_congest::engine::RunProfile;
+use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+
+struct Args {
+    profile: RunProfile,
+    k: usize,
+    family: Option<String>,
+    sizes: Option<Vec<usize>>,
+    seeds: Option<std::ops::Range<u64>>,
+    metric: Metric,
+    workers: Option<usize>,
+    store: Option<String>,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: sweep [--profile paper-exact|practical|fast-ci] [--k K]\n\
+     \x20            [--family trees|planted:L|er:DEG|bipartite:P|regular:K|funnel:B]\n\
+     \x20            [--sizes N1,N2,...] [--seeds A..B] \n\
+     \x20            [--metric rounds|rounds-per-iter|congestion|messages|words]\n\
+     \x20            [--workers W] [--store DIR] [--json]"
+}
+
+/// `Ok(None)` means `--help` was requested: print usage, exit success.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        profile: RunProfile::Practical,
+        k: 2,
+        family: None,
+        sizes: None,
+        seeds: None,
+        metric: Metric::Rounds,
+        workers: None,
+        store: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--profile" => {
+                let v = value("--profile")?;
+                args.profile =
+                    RunProfile::parse(&v).ok_or_else(|| format!("unknown profile {v:?}"))?;
+            }
+            "--k" => {
+                let v = value("--k")?;
+                args.k = v.parse().map_err(|_| format!("bad --k value {v:?}"))?;
+                if args.k < 2 {
+                    return Err("--k must be at least 2 (the registry needs k >= 2)".to_string());
+                }
+            }
+            "--family" => args.family = Some(value("--family")?),
+            "--sizes" => {
+                let v = value("--sizes")?;
+                let sizes: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
+                args.sizes = Some(sizes.map_err(|_| format!("bad --sizes value {v:?}"))?);
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds expects A..B, got {v:?}"))?;
+                let a: u64 = a.parse().map_err(|_| format!("bad seed start {a:?}"))?;
+                let b: u64 = b.parse().map_err(|_| format!("bad seed end {b:?}"))?;
+                if a >= b {
+                    return Err(format!("empty seed range {v:?}"));
+                }
+                args.seeds = Some(a..b);
+            }
+            "--metric" => {
+                let v = value("--metric")?;
+                args.metric = Metric::parse(&v).ok_or_else(|| format!("unknown metric {v:?}"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                let w: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value {v:?}"))?;
+                if w == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
+                args.workers = Some(w);
+            }
+            "--store" => args.store = Some(value("--store")?),
+            "--json" => args.json = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// Resolves a `--family` spec against the built-in families. `L`, `DEG`,
+/// `P`, `K`, `B` are the colon-separated parameters shown in the usage
+/// string.
+fn parse_family(spec: &str, k: usize) -> Result<GraphFamily, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    let num = |what: &str| -> Result<f64, String> {
+        param
+            .ok_or_else(|| format!("family {name:?} needs a parameter ({what})"))?
+            .parse::<f64>()
+            .map_err(|_| format!("bad {what} in family spec {spec:?}"))
+    };
+    match name {
+        "trees" => Ok(GraphFamily::random_trees()),
+        "planted" => Ok(GraphFamily::planted_cycle(num("cycle length")? as usize)),
+        "er" => Ok(GraphFamily::erdos_renyi(num("average degree")?)),
+        "bipartite" => Ok(GraphFamily::random_bipartite(num("edge probability")?)),
+        "regular" => Ok(GraphFamily::regularish_boundary(num("k")? as usize)),
+        "funnel" => Ok(GraphFamily::funnel(num("branches")? as usize, k)),
+        _ => Err(format!("unknown family {name:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let family = match &args.family {
+        Some(spec) => match parse_family(spec, args.k) {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => GraphFamily::planted_cycle(2 * args.k),
+    };
+
+    let registry = args.profile.registry(args.k);
+    let sizes = args.sizes.unwrap_or_else(|| args.profile.default_sizes());
+    let seeds = args.seeds.unwrap_or_else(|| args.profile.default_seeds());
+    let mut scenario = Scenario::new(format!("{} sweep (k = {})", args.profile, args.k), family)
+        .sizes(&sizes)
+        .seeds(seeds)
+        .metric(args.metric)
+        .budget(args.profile.budget());
+    if let Some(w) = args.workers {
+        scenario = scenario.workers(w);
+    }
+    if let Some(dir) = &args.store {
+        scenario = scenario.store(dir);
+    }
+
+    let report = scenario.run_registry(&registry);
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}

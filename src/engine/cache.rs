@@ -1,0 +1,72 @@
+//! The shared graph cache: one build per `(size, seed)` instance,
+//! whatever the worker count.
+//!
+//! The sequential scenario runner built each `(size, seed)` graph once
+//! and handed it to every detector. The parallel engine keeps that
+//! economy — work units for different detectors on the same instance
+//! share one [`Graph`] through this cache instead of rebuilding it per
+//! unit. Builders are deterministic in `(n, seed)`, so a racing double
+//! build (two workers missing the cache simultaneously) is harmless:
+//! both produce the identical graph and one wins the insert.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use congest_graph::Graph;
+
+use crate::scenario::GraphFamily;
+
+/// A concurrent memo of `(n, seed) → Graph` for one family.
+pub struct GraphCache<'a> {
+    family: &'a GraphFamily,
+    map: Mutex<HashMap<(usize, u64), Arc<Graph>>>,
+}
+
+impl<'a> GraphCache<'a> {
+    /// Creates an empty cache over `family`.
+    pub fn new(family: &'a GraphFamily) -> Self {
+        GraphCache {
+            family,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The instance for `(n, seed)`, building it on first request.
+    pub fn get(&self, n: usize, seed: u64) -> Arc<Graph> {
+        if let Some(g) = self.map.lock().unwrap().get(&(n, seed)) {
+            return Arc::clone(g);
+        }
+        // Build outside the lock: graph construction dominates, and
+        // holding the mutex through it would serialize the pool.
+        let built = Arc::new(self.family.build(n, seed));
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry((n, seed)).or_insert(built))
+    }
+
+    /// Number of distinct instances built so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_size_and_seed() {
+        let family = GraphFamily::random_trees();
+        let cache = GraphCache::new(&family);
+        let a = cache.get(32, 1);
+        let b = cache.get(32, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one graph");
+        let c = cache.get(32, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+}

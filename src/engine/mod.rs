@@ -1,0 +1,368 @@
+//! The parallel experiment engine: worker-pool sweep execution, run
+//! profiles, budget enforcement, and a persisted result store.
+//!
+//! A [`Scenario`] declares *what* to measure; this module decides *how*
+//! it runs. The sweep matrix `sizes × seeds × detectors` is flattened
+//! into indexed work units, sharded across a [`pool`] of worker
+//! threads, and re-assembled in unit order — so the aggregated
+//! [`ScenarioReport`] is byte-identical whatever the worker count
+//! (detectors are deterministic in the seed, f64 accumulation happens
+//! in one canonical order on the collecting thread).
+//!
+//! With a store directory configured, every completed unit is appended
+//! to a JSONL [`store`] keyed by a hash of the sweep configuration.
+//! Re-running the same sweep replays the store and invokes no
+//! detector; partially complete stores resume from where they left
+//! off. [`profile::RunProfile`] names the three standard experiment
+//! configurations (`paper-exact`, `practical`, `fast-ci`) that map
+//! onto registry construction and budget defaults.
+//!
+//! ```
+//! use even_cycle_congest::engine::Engine;
+//! use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+//! use even_cycle_congest::cycle::{CycleDetector, Detector, Params};
+//!
+//! let scenario = Scenario::new("engine smoke", GraphFamily::random_trees())
+//!     .sizes(&[24, 32])
+//!     .seeds(0..2);
+//! let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+//! let report = Engine::from_env()
+//!     .with_workers(2)
+//!     .run(&scenario, &[&det]);
+//! assert_eq!(report.rows.len(), 1);
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod profile;
+pub mod store;
+
+use std::path::PathBuf;
+
+use even_cycle::theory::fit_exponent;
+use even_cycle::Detector;
+
+pub use profile::RunProfile;
+
+use crate::scenario::{Scenario, ScenarioReport, ScenarioRow};
+use cache::GraphCache;
+use store::{ResultStore, StoreMeta, UnitRecord, UnitStatus};
+
+/// The sweep executor. Construct with [`Engine::from_env`], then
+/// layer overrides with the builder methods.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    workers: usize,
+    store_dir: Option<PathBuf>,
+}
+
+impl Engine {
+    /// An engine honoring the environment: worker count from
+    /// `EVEN_CYCLE_WORKERS` (default 1), no store.
+    pub fn from_env() -> Self {
+        Engine {
+            workers: pool::workers_from_env(),
+            store_dir: None,
+        }
+    }
+
+    /// Overrides the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Persists and resumes work units under `dir` (see
+    /// [`store::ResultStore`]).
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the scenario's full `sizes × seeds × detectors` matrix and
+    /// aggregates it into a report.
+    ///
+    /// Work units already present in the result store are replayed
+    /// without invoking their detector; everything else is executed on
+    /// the worker pool and appended to the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result store cannot be opened or written (the
+    /// engine treats a configured store as a hard requirement — a
+    /// silently dropped store would turn the next resume into a silent
+    /// full re-run).
+    pub fn run(&self, scenario: &Scenario, detectors: &[&dyn Detector]) -> ScenarioReport {
+        let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
+        let units = scenario.sizes.len() * scenario.seeds.len() * detectors.len();
+
+        let mut store = self.store_dir.as_ref().map(|dir| {
+            let meta = StoreMeta {
+                scenario: scenario.name.clone(),
+                family: scenario.family.name().to_string(),
+                metric: scenario.metric.label().to_string(),
+                units,
+            };
+            let hash = store::config_hash(&canonical_config(scenario, detectors, &ids));
+            ResultStore::open(dir, hash, &meta).expect("result store must be writable")
+        });
+
+        // Flatten the matrix in the canonical order (size-major, then
+        // seed, then detector) and keep only the units the store cannot
+        // replay.
+        let mut todo: Vec<(usize, usize, usize, usize, u64)> = Vec::new(); // (unit, si, di, n, seed)
+        let mut unit = 0usize;
+        for (si, &n) in scenario.sizes.iter().enumerate() {
+            for &seed in &scenario.seeds {
+                for di in 0..detectors.len() {
+                    let replayable = store
+                        .as_ref()
+                        .is_some_and(|s| s.loaded().contains_key(&unit));
+                    if !replayable {
+                        todo.push((unit, si, di, n, seed));
+                    }
+                    unit += 1;
+                }
+            }
+        }
+
+        // Workers append each record as it completes (serialized by the
+        // mutex), so a killed sweep keeps everything finished so far
+        // and the next run resumes from there.
+        let graphs = GraphCache::new(&scenario.family);
+        let shared_store = std::sync::Mutex::new(store.take());
+        let fresh: Vec<UnitRecord> = pool::run_indexed(todo.len(), self.workers, |j| {
+            let (unit, _si, di, n, seed) = todo[j];
+            let record = execute_unit(scenario, &graphs, detectors[di], &ids[di], unit, n, seed);
+            if let Some(store) = shared_store.lock().unwrap().as_mut() {
+                store
+                    .append(std::slice::from_ref(&record))
+                    .expect("result store must accept appended records");
+            }
+            record
+        });
+        let store = shared_store.into_inner().unwrap();
+
+        // Merge replayed and fresh records back into unit order, then
+        // aggregate sequentially (one canonical f64 addition order).
+        let mut records: Vec<Option<UnitRecord>> = (0..units).map(|_| None).collect();
+        if let Some(store) = &store {
+            for (idx, record) in store.loaded() {
+                if *idx < units {
+                    records[*idx] = Some(record.clone());
+                }
+            }
+        }
+        for record in fresh {
+            let idx = record.unit;
+            records[idx] = Some(record);
+        }
+        let records: Vec<UnitRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every unit executed or replayed"))
+            .collect();
+        aggregate(scenario, detectors, &records)
+    }
+}
+
+/// The canonical configuration string hashed into the store key: any
+/// field that changes what a unit computes must appear here. The
+/// metric is deliberately absent — records carry the full unified
+/// cost, so re-analyzing a stored sweep under another metric is a
+/// zero-invocation replay. Detector ids alone are not enough (two
+/// tunings of the same algorithm share an id, and so do all registry
+/// profiles), so each detector's configuration fingerprint is folded
+/// in as well.
+fn canonical_config(scenario: &Scenario, detectors: &[&dyn Detector], ids: &[String]) -> String {
+    let b = &scenario.budget;
+    let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
+    format!(
+        "family={}|sizes={:?}|seeds={:?}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}|dets={}|configs={}",
+        scenario.family.name(),
+        scenario.sizes,
+        scenario.seeds,
+        b.bandwidth,
+        b.repetitions,
+        b.run_to_budget,
+        b.max_rounds,
+        b.max_messages,
+        ids.join(";"),
+        configs.join(";"),
+    )
+}
+
+/// Executes one work unit: build (or fetch) the instance, run the
+/// detector, extract the metric.
+fn execute_unit(
+    scenario: &Scenario,
+    graphs: &GraphCache<'_>,
+    detector: &dyn Detector,
+    id: &str,
+    unit: usize,
+    n: usize,
+    seed: u64,
+) -> UnitRecord {
+    let g = graphs.get(n, seed);
+    let mut record = UnitRecord {
+        unit,
+        det: id.to_string(),
+        n,
+        seed,
+        status: UnitStatus::Ok,
+        node_count: g.node_count() as u64,
+        value: 0.0,
+        rejected: false,
+        rounds: 0,
+        supersteps: 0,
+        messages: 0,
+        words: 0,
+        max_congestion: 0,
+        iterations: 0,
+    };
+    match detector.detect(&g, seed, &scenario.budget) {
+        Ok(detection) => {
+            record.status = if detection.budget_exceeded() {
+                UnitStatus::BudgetExceeded
+            } else {
+                UnitStatus::Ok
+            };
+            record.rejected = detection.rejected();
+            record.value = scenario.metric.extract(&detection);
+            record.rounds = detection.cost.rounds;
+            record.supersteps = detection.cost.supersteps;
+            record.messages = detection.cost.messages;
+            record.words = detection.cost.words;
+            record.max_congestion = detection.cost.max_congestion;
+            record.iterations = detection.cost.iterations;
+        }
+        Err(e) => record.status = UnitStatus::Error(e.to_string()),
+    }
+    record
+}
+
+/// Folds unit records (in canonical order) into the per-detector rows —
+/// the same arithmetic, in the same order, as the original sequential
+/// runner, so reports are byte-identical across worker counts and
+/// resumes.
+fn aggregate(
+    scenario: &Scenario,
+    detectors: &[&dyn Detector],
+    records: &[UnitRecord],
+) -> ScenarioReport {
+    #[derive(Default)]
+    struct Cell {
+        total: f64,
+        node_count: u64,
+        ok: u64,
+    }
+    #[derive(Default)]
+    struct Acc {
+        cells: Vec<Cell>,
+        rejections: u64,
+        errors: u64,
+        budget_exceeded: u64,
+    }
+    let mut accs: Vec<Acc> = detectors
+        .iter()
+        .map(|_| Acc {
+            cells: scenario.sizes.iter().map(|_| Cell::default()).collect(),
+            ..Default::default()
+        })
+        .collect();
+
+    let dets = detectors.len();
+    let per_size = scenario.seeds.len() * dets;
+    for record in records {
+        let si = record.unit / per_size;
+        let di = record.unit % dets;
+        let acc = &mut accs[di];
+        match &record.status {
+            UnitStatus::Ok => {
+                if record.rejected {
+                    acc.rejections += 1;
+                }
+                let cell = &mut acc.cells[si];
+                cell.total += scenario.metric.extract_cost(&record.cost());
+                // Families snap requested sizes (primes, parity); fit
+                // against the graphs actually built, not the request.
+                cell.node_count += record.node_count;
+                cell.ok += 1;
+            }
+            // A certified rejection always keeps its Reject verdict
+            // through a cap (status Ok), so this arm only sees runs
+            // that were genuinely cut off undecided.
+            UnitStatus::BudgetExceeded => acc.budget_exceeded += 1,
+            UnitStatus::Error(_) => acc.errors += 1,
+        }
+    }
+
+    let rows = detectors
+        .iter()
+        .zip(accs)
+        .map(|(det, acc)| {
+            let descriptor = det.descriptor();
+            let samples: Vec<(usize, f64)> = acc
+                .cells
+                .iter()
+                .filter(|c| c.ok > 0)
+                .map(|c| ((c.node_count / c.ok) as usize, c.total / c.ok as f64))
+                .collect();
+            let (fitted_exponent, fitted_constant) = if samples.len() >= 2
+                && samples.iter().all(|&(_, v)| v > 0.0)
+            {
+                let pairs: Vec<(f64, f64)> = samples.iter().map(|&(n, v)| (n as f64, v)).collect();
+                fit_exponent(&pairs)
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            ScenarioRow {
+                id: descriptor.id(),
+                descriptor,
+                samples,
+                fitted_exponent,
+                fitted_constant,
+                rejections: acc.rejections,
+                errors: acc.errors,
+                budget_exceeded: acc.budget_exceeded,
+            }
+        })
+        .collect();
+    ScenarioReport {
+        scenario: scenario.name.clone(),
+        family: scenario.family.name().to_string(),
+        metric: scenario.metric,
+        bandwidth: scenario.budget.bandwidth,
+        runs_per_size: scenario.seeds.len(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{GraphFamily, Metric};
+    use even_cycle::{CycleDetector, Params};
+
+    #[test]
+    fn worker_counts_agree() {
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+        let scenario = Scenario::new("pool smoke", GraphFamily::planted_cycle(4))
+            .sizes(&[24, 32])
+            .seeds(0..2)
+            .metric(Metric::Rounds);
+        let dets: Vec<&dyn Detector> = vec![&det];
+        let seq = Engine::from_env().with_workers(1).run(&scenario, &dets);
+        let par = Engine::from_env().with_workers(4).run(&scenario, &dets);
+        assert_eq!(seq.to_json(), par.to_json());
+    }
+}

@@ -1,0 +1,105 @@
+//! The worker pool behind the experiment engine: index-addressed jobs
+//! pulled from a shared atomic counter by scoped threads.
+//!
+//! The pool guarantees *positional* determinism, not scheduling
+//! determinism: whichever worker ends up computing unit `i`, the result
+//! lands in slot `i` of the returned vector. Combined with the
+//! [`Detector`](even_cycle::Detector) contract (all randomness derives
+//! from the seed), this is what makes a parallel sweep byte-identical
+//! to a sequential one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `count` jobs across `workers` threads and returns the results
+/// in job-index order. `workers == 1` (or a single job) degenerates to
+/// a plain sequential loop on the calling thread.
+///
+/// Jobs are pulled off a shared counter, so long and short units mix
+/// freely across workers (no static sharding imbalance).
+///
+/// # Panics
+///
+/// Re-raises any panic from a job on the calling thread.
+pub fn run_indexed<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    if workers == 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(count))
+            .map(|_| {
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        mine.push((i, job(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mine) => {
+                    for (i, value) in mine {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index was claimed exactly once"))
+        .collect()
+}
+
+/// The worker count the environment asks for: `EVEN_CYCLE_WORKERS`
+/// when set to a positive integer, else 1 (conservative — parallelism
+/// is opt-in so that test and doctest behavior never depends on the
+/// host's core count).
+pub fn workers_from_env() -> usize {
+    std::env::var("EVEN_CYCLE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        for workers in [1usize, 2, 3, 8] {
+            let out = run_indexed(37, workers, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = run_indexed(3, 0, |i| i);
+    }
+}

@@ -1,0 +1,143 @@
+//! Run profiles: named experiment configurations mapping onto
+//! [`DetectorRegistry`] construction and [`Budget`] defaults.
+//!
+//! The registry configuration *is* the experiment profile — repetition
+//! counts, Grover modes, and declared-success shortcuts decide both
+//! what a sweep costs and what its error probability means. Instead of
+//! every driver hand-tuning those constants, a sweep names one of
+//! three profiles:
+//!
+//! * **paper-exact** — the paper's constants verbatim (`K = ⌈ε̂(2k)^{2k}⌉`
+//!   repetitions, Lemma-bound success probabilities, no shortcuts).
+//!   Astronomically conservative and priced accordingly; for
+//!   error-probability studies on small grids.
+//! * **practical** — the profile the unit tests and Table 1 drivers
+//!   use: capped repetitions and declared-success shortcuts that keep
+//!   the quantum seed spaces simulable (this is
+//!   [`DetectorRegistry::standard`]).
+//! * **fast-ci** — a smoke profile: small repetition budgets, sampled
+//!   Grover, tiny default grids, and hard budget caps as a safety net,
+//!   so a full registry sweep fits in a CI step.
+
+use std::ops::Range;
+
+use even_cycle::Budget;
+
+use crate::registry::DetectorRegistry;
+
+/// A named experiment configuration; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunProfile {
+    /// The paper's constants verbatim.
+    PaperExact,
+    /// Capped repetitions and simulable quantum shortcuts (the
+    /// default).
+    Practical,
+    /// Smoke-test configuration with hard budget caps.
+    FastCi,
+}
+
+impl RunProfile {
+    /// Every profile, in documentation order.
+    pub const ALL: [RunProfile; 3] = [
+        RunProfile::PaperExact,
+        RunProfile::Practical,
+        RunProfile::FastCi,
+    ];
+
+    /// The profile's canonical name (`paper-exact`, `practical`,
+    /// `fast-ci`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunProfile::PaperExact => "paper-exact",
+            RunProfile::Practical => "practical",
+            RunProfile::FastCi => "fast-ci",
+        }
+    }
+
+    /// Parses a profile name (accepts the canonical spellings and the
+    /// underscore variants).
+    pub fn parse(s: &str) -> Option<RunProfile> {
+        match s {
+            "paper-exact" | "paper_exact" | "paper" => Some(RunProfile::PaperExact),
+            "practical" => Some(RunProfile::Practical),
+            "fast-ci" | "fast_ci" | "ci" => Some(RunProfile::FastCi),
+            _ => None,
+        }
+    }
+
+    /// Builds the detector registry this profile prescribes at family
+    /// parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn registry(self, k: usize) -> DetectorRegistry {
+        DetectorRegistry::with_profile(k, self)
+    }
+
+    /// The default resource budget of the profile. `fast-ci` carries
+    /// hard round/message caps so a runaway detector aborts with
+    /// [`Verdict::BudgetExceeded`](even_cycle::Verdict::BudgetExceeded)
+    /// instead of stalling the pipeline.
+    pub fn budget(self) -> Budget {
+        match self {
+            RunProfile::PaperExact | RunProfile::Practical => Budget::classical(),
+            RunProfile::FastCi => Budget::classical()
+                .with_round_cap(2_000_000)
+                .with_message_cap(50_000_000),
+        }
+    }
+
+    /// The default instance sizes of the profile's sweeps.
+    pub fn default_sizes(self) -> Vec<usize> {
+        match self {
+            RunProfile::PaperExact => vec![48, 64, 96],
+            RunProfile::Practical => vec![64, 128, 256],
+            RunProfile::FastCi => vec![24, 32],
+        }
+    }
+
+    /// The default seed sweep of the profile.
+    pub fn default_seeds(self) -> Range<u64> {
+        match self {
+            RunProfile::PaperExact => 0..3,
+            RunProfile::Practical => 0..3,
+            RunProfile::FastCi => 0..2,
+        }
+    }
+}
+
+impl std::fmt::Display for RunProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_back() {
+        for p in RunProfile::ALL {
+            assert_eq!(RunProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(RunProfile::parse("nope"), None);
+    }
+
+    #[test]
+    fn fast_ci_budget_is_capped() {
+        assert!(RunProfile::FastCi.budget().has_caps());
+        assert!(!RunProfile::Practical.budget().has_caps());
+        assert!(!RunProfile::PaperExact.budget().has_caps());
+    }
+
+    #[test]
+    fn default_grids_are_usable() {
+        for p in RunProfile::ALL {
+            assert!(!p.default_sizes().is_empty());
+            assert!(!p.default_seeds().is_empty());
+        }
+    }
+}

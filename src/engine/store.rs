@@ -1,0 +1,572 @@
+//! The persisted result store: one JSONL file per sweep configuration,
+//! one line per completed work unit.
+//!
+//! The workspace deliberately has no external dependencies, so the
+//! store hand-rolls both directions of its JSON: a writer for the flat
+//! records it produces and a small parser that reads exactly that
+//! shape back. The file is keyed by a 64-bit FNV-1a hash of the sweep
+//! configuration (family, sizes, seeds, budget, detector ids and
+//! per-detector configuration fingerprints — deliberately *not* the
+//! metric, since records carry the full unified cost and re-analyzing
+//! under another metric is a pure replay), so a resumed run can trust
+//! that every line it replays was produced by an identical
+//! configuration — and cross-run comparisons can line files up by
+//! hash.
+//!
+//! Layout (`<dir>/<slug>-<hash>.jsonl`):
+//!
+//! ```text
+//! {"kind":"sweep-store","config":"9f37c1…","scenario":"…","family":"…","metric":"rounds","units":40}
+//! {"unit":0,"det":"classical/C4/…","n":64,"seed":0,"status":"ok","rejected":true,"value":220,…}
+//! {"unit":1,…}
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: Rust's shortest round-trip decimal
+/// for finite values, `null` otherwise (JSON has no NaN/∞).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// 64-bit FNV-1a over a canonical configuration string.
+pub fn config_hash(canonical: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One scalar field of a parsed flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Str(String),
+    /// Numbers keep their raw token so both `u64` and `f64` convert
+    /// losslessly.
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+impl Field {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Field::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Field::Num(raw) => raw.parse().ok(),
+            Field::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Field::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only —
+/// the shape this store writes). Returns `None` on any malformed line,
+/// which callers treat as "not resumable".
+fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = HashMap::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                return Some(map);
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        // Key.
+        if chars.next()? != '"' {
+            return None;
+        }
+        let key = parse_string_body(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        // Value.
+        let value = match chars.peek()? {
+            '"' => {
+                chars.next();
+                Field::Str(parse_string_body(&mut chars)?)
+            }
+            't' => {
+                for expect in "true".chars() {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                Field::Bool(true)
+            }
+            'f' => {
+                for expect in "false".chars() {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                Field::Bool(false)
+            }
+            'n' => {
+                for expect in "null".chars() {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                Field::Null
+            }
+            _ => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    raw.push(c);
+                    chars.next();
+                }
+                if raw.is_empty() {
+                    return None;
+                }
+                Field::Num(raw)
+            }
+        };
+        map.insert(key, value);
+    }
+}
+
+/// Parses the body of a JSON string whose opening quote was consumed.
+fn parse_string_body(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// How a work unit ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitStatus {
+    /// The detector returned a detection within budget.
+    Ok,
+    /// The run was aborted by a [`Budget`](even_cycle::Budget) cap.
+    BudgetExceeded,
+    /// The simulator failed (the message is the `SimError` rendering).
+    Error(String),
+}
+
+/// One completed work unit: the key (`unit`, `det`, `n`, `seed`), the
+/// extracted metric `value`, and the full unified cost so stored sweeps
+/// can be re-analyzed under other metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRecord {
+    /// Position in the sweep's canonical `(size, seed, detector)` order.
+    pub unit: usize,
+    /// The detector's registry id.
+    pub det: String,
+    /// Requested instance size.
+    pub n: usize,
+    /// Instance seed.
+    pub seed: u64,
+    /// How the run ended.
+    pub status: UnitStatus,
+    /// Vertices of the graph actually built (families snap sizes).
+    pub node_count: u64,
+    /// The metric value extracted at record time, under the metric in
+    /// the file header (informational — aggregation re-derives values
+    /// from the cost fields, which is what lets one store serve every
+    /// metric).
+    pub value: f64,
+    /// Whether the detector rejected (found a cycle).
+    pub rejected: bool,
+    /// Unified cost: rounds charged.
+    pub rounds: u64,
+    /// Unified cost: supersteps executed.
+    pub supersteps: u64,
+    /// Unified cost: total messages.
+    pub messages: u64,
+    /// Unified cost: total words.
+    pub words: u64,
+    /// Unified cost: peak per-edge words in a superstep.
+    pub max_congestion: u64,
+    /// Unified cost: outer-loop iterations.
+    pub iterations: u64,
+}
+
+impl UnitRecord {
+    /// The record's cost fields as a unified [`RunCost`] — what metric
+    /// extraction runs on, for replayed and fresh units alike.
+    pub fn cost(&self) -> even_cycle::RunCost {
+        even_cycle::RunCost {
+            rounds: self.rounds,
+            supersteps: self.supersteps,
+            messages: self.messages,
+            words: self.words,
+            max_congestion: self.max_congestion,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Serializes the record as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let status = match &self.status {
+            UnitStatus::Ok => "ok",
+            UnitStatus::BudgetExceeded => "budget-exceeded",
+            UnitStatus::Error(_) => "error",
+        };
+        let mut line = format!(
+            "{{\"unit\":{},\"det\":\"{}\",\"n\":{},\"seed\":{},\"status\":\"{}\",\"rejected\":{},\"value\":{},\"node_count\":{},\"rounds\":{},\"supersteps\":{},\"messages\":{},\"words\":{},\"max_congestion\":{},\"iterations\":{}",
+            self.unit,
+            json_escape(&self.det),
+            self.n,
+            self.seed,
+            status,
+            self.rejected,
+            json_f64(self.value),
+            self.node_count,
+            self.rounds,
+            self.supersteps,
+            self.messages,
+            self.words,
+            self.max_congestion,
+            self.iterations,
+        );
+        if let UnitStatus::Error(msg) = &self.status {
+            line.push_str(&format!(",\"error\":\"{}\"", json_escape(msg)));
+        }
+        line.push('}');
+        line
+    }
+
+    /// Parses a record line written by [`UnitRecord::to_line`].
+    pub fn from_line(line: &str) -> Option<UnitRecord> {
+        let map = parse_flat(line)?;
+        let status = match map.get("status")?.as_str()? {
+            "ok" => UnitStatus::Ok,
+            "budget-exceeded" => UnitStatus::BudgetExceeded,
+            "error" => UnitStatus::Error(
+                map.get("error")
+                    .and_then(Field::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            _ => return None,
+        };
+        Some(UnitRecord {
+            unit: map.get("unit")?.as_u64()? as usize,
+            det: map.get("det")?.as_str()?.to_string(),
+            n: map.get("n")?.as_u64()? as usize,
+            seed: map.get("seed")?.as_u64()?,
+            status,
+            node_count: map.get("node_count")?.as_u64()?,
+            value: map.get("value")?.as_f64()?,
+            rejected: map.get("rejected")?.as_bool()?,
+            rounds: map.get("rounds")?.as_u64()?,
+            supersteps: map.get("supersteps")?.as_u64()?,
+            messages: map.get("messages")?.as_u64()?,
+            words: map.get("words")?.as_u64()?,
+            max_congestion: map.get("max_congestion")?.as_u64()?,
+            iterations: map.get("iterations")?.as_u64()?,
+        })
+    }
+}
+
+/// Header metadata written as the file's first line, for humans and
+/// for the hash check on resume.
+#[derive(Debug, Clone)]
+pub struct StoreMeta {
+    /// Scenario name.
+    pub scenario: String,
+    /// Family name.
+    pub family: String,
+    /// Metric label.
+    pub metric: String,
+    /// Total units of the full sweep.
+    pub units: usize,
+}
+
+/// The on-disk store for one sweep configuration.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    loaded: HashMap<usize, UnitRecord>,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store for the configuration hash under
+    /// `dir`, loading every resumable record. A file whose header does
+    /// not match `hash` is discarded and rewritten — the filename
+    /// embeds the hash, so a mismatch means the file was corrupted or
+    /// hand-edited. A crash-truncated trailing line (no final newline)
+    /// is terminated on open so the partial record is skipped once and
+    /// later appends land on a fresh line instead of concatenating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or file.
+    pub fn open(dir: &Path, hash: u64, meta: &StoreMeta) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = meta
+            .scenario
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{}-{:016x}.jsonl", slug.trim_matches('-'), hash));
+
+        let mut loaded = HashMap::new();
+        let mut valid_header = false;
+        if path.exists() {
+            let content = std::fs::read_to_string(&path)?;
+            if !content.is_empty() && !content.ends_with('\n') {
+                // Killed mid-append: seal the partial line. It fails to
+                // parse below (recomputed), and future appends start
+                // clean.
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)?
+                    .write_all(b"\n")?;
+            }
+            for (idx, line) in content.lines().enumerate() {
+                if idx == 0 {
+                    valid_header = parse_flat(line)
+                        .and_then(|m| m.get("config").and_then(Field::as_str).map(String::from))
+                        .is_some_and(|h| h == format!("{hash:016x}"));
+                    if !valid_header {
+                        break;
+                    }
+                    continue;
+                }
+                if let Some(record) = UnitRecord::from_line(line) {
+                    loaded.insert(record.unit, record);
+                }
+            }
+        }
+        if !valid_header {
+            loaded.clear();
+            let mut file = std::fs::File::create(&path)?;
+            writeln!(
+                file,
+                "{{\"kind\":\"sweep-store\",\"config\":\"{:016x}\",\"scenario\":\"{}\",\"family\":\"{}\",\"metric\":\"{}\",\"units\":{}}}",
+                hash,
+                json_escape(&meta.scenario),
+                json_escape(&meta.family),
+                json_escape(&meta.metric),
+                meta.units,
+            )?;
+        }
+        Ok(ResultStore { path, loaded })
+    }
+
+    /// The records replayable from disk, keyed by unit index.
+    pub fn loaded(&self) -> &HashMap<usize, UnitRecord> {
+        &self.loaded
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends freshly computed records and makes them resumable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&mut self, records: &[UnitRecord]) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        for record in records {
+            writeln!(file, "{}", record.to_line())?;
+        }
+        for record in records {
+            self.loaded.insert(record.unit, record.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(unit: usize) -> UnitRecord {
+        UnitRecord {
+            unit,
+            det: "classical/C4/color-bfs".to_string(),
+            n: 64,
+            seed: 3,
+            status: UnitStatus::Ok,
+            node_count: 64,
+            value: 220.5,
+            rejected: true,
+            rounds: 220,
+            supersteps: 40,
+            messages: 1000,
+            words: 1200,
+            max_congestion: 9,
+            iterations: 2,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_its_line() {
+        for status in [
+            UnitStatus::Ok,
+            UnitStatus::BudgetExceeded,
+            UnitStatus::Error("step limit \"64\" exceeded".to_string()),
+        ] {
+            let mut r = sample(7);
+            r.status = status;
+            let parsed = UnitRecord::from_line(&r.to_line()).expect("roundtrip");
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn f64_values_roundtrip_exactly() {
+        let mut r = sample(0);
+        r.value = 1.0 / 3.0;
+        let parsed = UnitRecord::from_line(&r.to_line()).unwrap();
+        assert_eq!(parsed.value.to_bits(), r.value.to_bits());
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let a = config_hash("family|64,128|0,1,2|rounds");
+        assert_eq!(a, config_hash("family|64,128|0,1,2|rounds"));
+        assert_ne!(a, config_hash("family|64,128|0,1,2|words"));
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_sealed_not_concatenated() {
+        let dir = std::env::temp_dir().join(format!(
+            "ec-store-trunc-{}-{:x}",
+            std::process::id(),
+            config_hash("truncated_trailing_line")
+        ));
+        let meta = StoreMeta {
+            scenario: "trunc".to_string(),
+            family: "trees".to_string(),
+            metric: "rounds".to_string(),
+            units: 2,
+        };
+        let hash = 0x5eed_u64;
+        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
+        store.append(&[sample(0)]).unwrap();
+
+        // Simulate a crash mid-append: a partial record with no newline.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(store.path())
+                .unwrap();
+            write!(f, "{{\"unit\":1,\"det\":\"classi").unwrap();
+        }
+
+        // Reopen: unit 0 replays, the partial unit 1 does not.
+        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
+        assert_eq!(store.loaded().len(), 1);
+        assert!(store.loaded().contains_key(&0));
+
+        // Appending the recomputed unit 1 must land on its own line.
+        store.append(&[sample(1)]).unwrap();
+        let reopened = ResultStore::open(&dir, hash, &meta).unwrap();
+        assert_eq!(reopened.loaded().len(), 2);
+        assert_eq!(reopened.loaded()[&1], sample(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_append_reopen_replays() {
+        let dir = std::env::temp_dir().join(format!(
+            "ec-store-test-{}-{:x}",
+            std::process::id(),
+            config_hash("open_append_reopen_replays")
+        ));
+        let meta = StoreMeta {
+            scenario: "smoke".to_string(),
+            family: "trees".to_string(),
+            metric: "rounds".to_string(),
+            units: 2,
+        };
+        let hash = 0xabcd_1234_u64;
+        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
+        assert!(store.loaded().is_empty());
+        store.append(&[sample(0), sample(1)]).unwrap();
+
+        let reopened = ResultStore::open(&dir, hash, &meta).unwrap();
+        assert_eq!(reopened.loaded().len(), 2);
+        assert_eq!(reopened.loaded()[&0], sample(0));
+
+        // A different hash must not replay the old records.
+        let fresh = ResultStore::open(&dir, hash + 1, &meta).unwrap();
+        assert!(fresh.loaded().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,6 +23,11 @@
 //!   [`Detector`] trait, enumerable by `(model, target, k)`.
 //! * [`scenario`] — the data-driven measurement runner
 //!   (`family × detector × bandwidth × seed-sweep → ScenarioReport`).
+//! * [`engine`] — the parallel experiment engine behind the scenario
+//!   runner: worker-pool sweep execution (byte-identical to
+//!   sequential), `paper-exact`/`practical`/`fast-ci` run profiles,
+//!   hard budget enforcement, and a resumable JSONL result store.
+//!   The `sweep` binary drives it from the command line.
 //!
 //! # Quickstart — the unified `Detector` API
 //!
@@ -67,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod registry;
 pub mod scenario;
 
@@ -77,6 +83,7 @@ pub use congest_quantum as quantum;
 pub use congest_sim as sim;
 pub use even_cycle as cycle;
 
+pub use engine::{Engine, RunProfile};
 pub use even_cycle::{Budget, Descriptor, Detection, Detector, Model, RunCost, Target, Verdict};
 pub use registry::DetectorRegistry;
 pub use scenario::{GraphFamily, Metric, Scenario, ScenarioReport};

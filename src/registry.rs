@@ -32,6 +32,8 @@ use even_cycle::{
     QuantumCycleDetector, QuantumF2kDetector, QuantumOddCycleDetector, Target,
 };
 
+use crate::engine::RunProfile;
+
 /// One registered algorithm: its metadata and the boxed detector.
 pub struct RegistryEntry {
     /// Stable identifier (`model/target/name`).
@@ -55,6 +57,7 @@ impl std::fmt::Debug for RegistryEntry {
 #[derive(Debug)]
 pub struct DetectorRegistry {
     k: usize,
+    profile: RunProfile,
     entries: Vec<RegistryEntry>,
 }
 
@@ -66,51 +69,128 @@ impl DetectorRegistry {
     /// ([10] needs `k ≤ 5`, [16] needs `k ≥ 3`; the deterministic
     /// gather baseline registers for both parities).
     ///
-    /// The configurations are the experiment profile: practical
-    /// repetition caps and declared-success shortcuts that keep the
-    /// quantum seed spaces simulable — the same constants the unit
-    /// tests and Table 1 drivers use. At `k = 2` the quantum pipelines
-    /// use analytic Grover over the declared seed space (strong enough
-    /// to actually find planted cycles at test sizes); for `k ≥ 3` they
-    /// switch to sampled Grover, since the well-coloring probability
-    /// `(2k)^{-2k}` makes exhaustive seed scans pay simulation cost for
-    /// detections that cannot happen at these sizes anyway.
+    /// This is the [`RunProfile::Practical`] configuration — see
+    /// [`DetectorRegistry::with_profile`] for the knob and the
+    /// `paper-exact` / `fast-ci` alternatives.
     ///
     /// # Panics
     ///
     /// Panics if `k < 2`.
     pub fn standard(k: usize) -> Self {
+        DetectorRegistry::with_profile(k, RunProfile::Practical)
+    }
+
+    /// Builds the registry for an explicit [`RunProfile`] — the knob
+    /// that decides repetition budgets, Grover modes, and
+    /// declared-success shortcuts (see the profile docs). The entry
+    /// *set* is identical across profiles (same ids, same Table 1
+    /// rows); only the configurations differ, so reports from
+    /// different profiles line up row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn with_profile(k: usize, profile: RunProfile) -> Self {
         assert!(k >= 2, "the registry needs k ≥ 2");
-        let qmode = if k == 2 {
-            congest_quantum::GroverMode::Analytic
-        } else {
-            congest_quantum::GroverMode::Sampled { samples: 32 }
+        let mut entries: Vec<Box<dyn Detector>> = match profile {
+            // The paper's constants verbatim: uncapped K, Lemma-bound
+            // success probabilities (no declared-success shortcuts),
+            // sampled Grover only because exhaustive seed scans are not
+            // simulable at any size. Expensive by design.
+            RunProfile::PaperExact => {
+                let qmode = congest_quantum::GroverMode::Sampled { samples: 64 };
+                vec![
+                    Box::new(CycleDetector::new(Params::paper(k, 1.0 / 3.0))),
+                    Box::new(OddCycleDetector::new(k, 400)),
+                    Box::new(F2kDetector::new(k)),
+                    Box::new(
+                        QuantumCycleDetector::new(Params::paper(k, 1.0 / 3.0), 0.05)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(QuantumOddCycleDetector::new(k, 200, 0.05).with_mode(qmode)),
+                    Box::new(QuantumF2kDetector::new(k, 100, 0.05).with_mode(qmode)),
+                    Box::new(GatherDetector::new(2 * k)),
+                    Box::new(GatherDetector::new(2 * k + 1)),
+                    Box::new(ApeldoornDeVosDetector::new(k, 40)),
+                ]
+            }
+            // The experiment profile the unit tests and Table 1
+            // drivers use: practical repetition caps and
+            // declared-success shortcuts that keep the quantum seed
+            // spaces simulable. At `k = 2` the quantum pipelines use
+            // analytic Grover over the declared seed space (strong
+            // enough to actually find planted cycles at test sizes);
+            // for `k ≥ 3` they switch to sampled Grover, since the
+            // well-coloring probability `(2k)^{-2k}` makes exhaustive
+            // seed scans pay simulation cost for detections that
+            // cannot happen at these sizes anyway.
+            RunProfile::Practical => {
+                let qmode = if k == 2 {
+                    congest_quantum::GroverMode::Analytic
+                } else {
+                    congest_quantum::GroverMode::Sampled { samples: 32 }
+                };
+                vec![
+                    Box::new(CycleDetector::new(Params::practical(k))),
+                    Box::new(OddCycleDetector::new(k, 200)),
+                    Box::new(F2kDetector::new(k)),
+                    Box::new(
+                        QuantumCycleDetector::new(Params::practical(k).with_repetitions(24), 0.1)
+                            .with_declared_success(1.0 / 256.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(
+                        QuantumOddCycleDetector::new(k, 60, 0.1)
+                            .with_declared_success(1.0 / 64.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(
+                        QuantumF2kDetector::new(k, 40, 0.1)
+                            .with_declared_success(1.0 / 128.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(GatherDetector::new(2 * k)),
+                    Box::new(GatherDetector::new(2 * k + 1)),
+                    Box::new(ApeldoornDeVosDetector::new(k, 40)),
+                ]
+            }
+            // Smoke configuration: everything small and sampled, sized
+            // so the whole registry sweeps a tiny grid inside a CI
+            // step.
+            RunProfile::FastCi => {
+                let qmode = congest_quantum::GroverMode::Sampled { samples: 8 };
+                vec![
+                    Box::new(CycleDetector::new(Params::practical(k).with_repetitions(8))),
+                    Box::new(OddCycleDetector::new(k, 40)),
+                    Box::new(F2kDetector::new(k).with_repetitions(4)),
+                    Box::new(
+                        QuantumCycleDetector::new(Params::practical(k).with_repetitions(8), 0.1)
+                            .with_declared_success(1.0 / 64.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(
+                        QuantumOddCycleDetector::new(k, 20, 0.1)
+                            .with_declared_success(1.0 / 32.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(
+                        QuantumF2kDetector::new(k, 12, 0.1)
+                            .with_declared_success(1.0 / 64.0)
+                            .with_mode(qmode),
+                    ),
+                    Box::new(GatherDetector::new(2 * k)),
+                    Box::new(GatherDetector::new(2 * k + 1)),
+                    Box::new(ApeldoornDeVosDetector::new(k, 8)),
+                ]
+            }
         };
-        let mut entries: Vec<Box<dyn Detector>> = vec![
-            Box::new(CycleDetector::new(Params::practical(k))),
-            Box::new(OddCycleDetector::new(k, 200)),
-            Box::new(F2kDetector::new(k)),
-            Box::new(
-                QuantumCycleDetector::new(Params::practical(k).with_repetitions(24), 0.1)
-                    .with_declared_success(1.0 / 256.0)
-                    .with_mode(qmode),
-            ),
-            Box::new(
-                QuantumOddCycleDetector::new(k, 60, 0.1)
-                    .with_declared_success(1.0 / 64.0)
-                    .with_mode(qmode),
-            ),
-            Box::new(
-                QuantumF2kDetector::new(k, 40, 0.1)
-                    .with_declared_success(1.0 / 128.0)
-                    .with_mode(qmode),
-            ),
-            Box::new(GatherDetector::new(2 * k)),
-            Box::new(GatherDetector::new(2 * k + 1)),
-            Box::new(ApeldoornDeVosDetector::new(k, 40)),
-        ];
         if (2..=5).contains(&k) {
-            entries.push(Box::new(LocalThresholdDetector::new(k)));
+            entries.push(match profile {
+                RunProfile::FastCi => {
+                    Box::new(LocalThresholdDetector::new(k).with_attempts(1.0, 512))
+                }
+                _ => Box::new(LocalThresholdDetector::new(k)),
+            });
         }
         if k >= 3 {
             entries.push(Box::new(EdenModel::new(k)));
@@ -126,12 +206,21 @@ impl DetectorRegistry {
                 }
             })
             .collect();
-        DetectorRegistry { k, entries }
+        DetectorRegistry {
+            k,
+            profile,
+            entries,
+        }
     }
 
     /// The family parameter this registry was built for.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The profile this registry was built with.
+    pub fn profile(&self) -> RunProfile {
+        self.profile
     }
 
     /// All entries, in registration order.
@@ -220,6 +309,27 @@ mod tests {
         for e in r.iter() {
             assert!(r.get(&e.id).is_some());
         }
+    }
+
+    #[test]
+    fn profiles_share_the_entry_set() {
+        // Same ids in the same order whatever the profile, so reports
+        // line up row by row across profiles.
+        for k in [2usize, 3] {
+            let ids = |p| -> Vec<String> {
+                DetectorRegistry::with_profile(k, p)
+                    .iter()
+                    .map(|e| e.id.clone())
+                    .collect()
+            };
+            let practical = ids(RunProfile::Practical);
+            assert_eq!(practical, ids(RunProfile::PaperExact), "k = {k}");
+            assert_eq!(practical, ids(RunProfile::FastCi), "k = {k}");
+        }
+        assert_eq!(
+            DetectorRegistry::standard(2).profile(),
+            RunProfile::Practical
+        );
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! instances, a metric, a budget, a seed sweep) and run any set of
 //! [`Detector`]s through it. New workload matrices are a few lines.
 //!
+//! Execution is delegated to the [`engine`](crate::engine): the sweep
+//! matrix is sharded into `(size, seed, detector)` work units across a
+//! worker pool ([`Scenario::workers`], or the `EVEN_CYCLE_WORKERS`
+//! environment variable), with results re-assembled in unit order so
+//! the report is byte-identical to a sequential run. With
+//! [`Scenario::store`] set, every unit lands in a JSONL result store
+//! keyed by a config hash, and re-running a completed sweep replays the
+//! store without invoking any detector.
+//!
 //! ```
 //! use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
 //! use even_cycle_congest::cycle::{Budget, CycleDetector, Detector, Params};
@@ -22,18 +31,24 @@
 //! ```
 
 use std::ops::Range;
-use std::rc::Rc;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use congest_graph::{generators, Graph};
-use even_cycle::theory::fit_exponent;
 use even_cycle::{Budget, Descriptor, Detector};
 
+use crate::engine::store::{json_escape, json_f64};
+use crate::engine::Engine;
+
 /// A sized, seeded family of instances: `build(n, seed)` produces a
-/// graph of (approximately) `n` vertices.
+/// graph of (approximately) `n` vertices. Builders are shared across
+/// the engine's worker threads, so they must be `Send + Sync` (and
+/// deterministic in `(n, seed)` — the graph cache and the result store
+/// both rely on replayability).
 #[derive(Clone)]
 pub struct GraphFamily {
     name: String,
-    build: Rc<dyn Fn(usize, u64) -> Graph>,
+    build: Arc<dyn Fn(usize, u64) -> Graph + Send + Sync>,
 }
 
 impl std::fmt::Debug for GraphFamily {
@@ -46,10 +61,19 @@ impl std::fmt::Debug for GraphFamily {
 
 impl GraphFamily {
     /// A custom family from a builder function.
-    pub fn new(name: impl Into<String>, build: impl Fn(usize, u64) -> Graph + 'static) -> Self {
+    ///
+    /// The name is the family's identity in the engine's result-store
+    /// hash — a builder closure cannot be fingerprinted, so **changing
+    /// the builder's behavior without changing the name lets old
+    /// stored results replay against the new graphs**. Version the
+    /// name (e.g. `"polarity v2"`) whenever the construction changes.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(usize, u64) -> Graph + Send + Sync + 'static,
+    ) -> Self {
         GraphFamily {
             name: name.into(),
-            build: Rc::new(build),
+            build: Arc::new(build),
         }
     }
 
@@ -143,26 +167,50 @@ impl Metric {
         }
     }
 
-    fn extract(self, d: &even_cycle::Detection) -> f64 {
+    /// Parses a command-line spelling (`rounds`, `rounds-per-iter`,
+    /// `congestion`, `messages`, `words`).
+    pub fn parse(s: &str) -> Option<Metric> {
+        match s {
+            "rounds" => Some(Metric::Rounds),
+            "rounds-per-iter" | "rounds/iter" => Some(Metric::RoundsPerIteration),
+            "congestion" | "max-congestion" => Some(Metric::MaxCongestion),
+            "messages" => Some(Metric::Messages),
+            "words" => Some(Metric::Words),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn extract(self, d: &even_cycle::Detection) -> f64 {
+        self.extract_cost(&d.cost)
+    }
+
+    /// The metric value of a unified cost — the one implementation
+    /// shared by live detections and replayed store records, so both
+    /// paths aggregate identically by construction.
+    pub(crate) fn extract_cost(self, cost: &even_cycle::RunCost) -> f64 {
         match self {
-            Metric::Rounds => d.cost.rounds as f64,
-            Metric::RoundsPerIteration => d.cost.rounds as f64 / d.cost.iterations.max(1) as f64,
-            Metric::MaxCongestion => d.cost.max_congestion as f64,
-            Metric::Messages => d.cost.messages as f64,
-            Metric::Words => d.cost.words as f64,
+            Metric::Rounds => cost.rounds as f64,
+            Metric::RoundsPerIteration => cost.rounds as f64 / cost.iterations.max(1) as f64,
+            Metric::MaxCongestion => cost.max_congestion as f64,
+            Metric::Messages => cost.messages as f64,
+            Metric::Words => cost.words as f64,
         }
     }
 }
 
-/// A declarative measurement: family × sizes × seeds × budget × metric.
+/// A declarative measurement: family × sizes × seeds × budget × metric,
+/// plus the execution knobs (worker count, result store) the engine
+/// honors.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    name: String,
-    family: GraphFamily,
-    sizes: Vec<usize>,
-    seeds: Vec<u64>,
-    budget: Budget,
-    metric: Metric,
+    pub(crate) name: String,
+    pub(crate) family: GraphFamily,
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) seeds: Vec<u64>,
+    pub(crate) budget: Budget,
+    pub(crate) metric: Metric,
+    pub(crate) workers: Option<usize>,
+    pub(crate) store: Option<PathBuf>,
 }
 
 impl Scenario {
@@ -176,6 +224,8 @@ impl Scenario {
             seeds: (0..3).collect(),
             budget: Budget::classical(),
             metric: Metric::Rounds,
+            workers: None,
+            store: None,
         }
     }
 
@@ -194,7 +244,8 @@ impl Scenario {
         self
     }
 
-    /// Sets the resource budget (bandwidth, repetition override).
+    /// Sets the resource budget (bandwidth, repetition override, hard
+    /// round/message caps).
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
@@ -206,95 +257,45 @@ impl Scenario {
         self
     }
 
-    /// Runs every detector through the scenario matrix.
+    /// Sets the worker-thread count for the sweep (default: the
+    /// `EVEN_CYCLE_WORKERS` environment variable, else 1). Any worker
+    /// count produces byte-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Persists every work unit to a JSONL result store under `dir`
+    /// (keyed by a hash of the sweep configuration) and resumes from it:
+    /// units already in the store are replayed without invoking their
+    /// detector.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
+    /// Runs every detector through the scenario matrix on the
+    /// experiment engine.
     ///
     /// Simulator failures do not abort the sweep: failed runs are
     /// counted per row (`errors`) and excluded from the averages, so a
     /// single pathological instance cannot take down a whole report.
+    /// Runs cut off by a [`Budget`] cap are likewise counted
+    /// (`budget_exceeded`) and excluded.
     pub fn run(&self, detectors: &[&dyn Detector]) -> ScenarioReport {
-        #[derive(Default)]
-        struct Cell {
-            total: f64,
-            node_count: u64,
-            ok: u64,
+        let mut engine = Engine::from_env();
+        if let Some(w) = self.workers {
+            engine = engine.with_workers(w);
         }
-        #[derive(Default)]
-        struct Acc {
-            cells: Vec<Cell>,
-            rejections: u64,
-            errors: u64,
+        if let Some(dir) = &self.store {
+            engine = engine.with_store(dir.clone());
         }
-        let mut accs: Vec<Acc> = detectors
-            .iter()
-            .map(|_| Acc {
-                cells: self.sizes.iter().map(|_| Cell::default()).collect(),
-                ..Default::default()
-            })
-            .collect();
-
-        // Instances outer, detectors inner: each (size, seed) graph is
-        // built once and shared by every detector.
-        for (si, &n) in self.sizes.iter().enumerate() {
-            for &seed in &self.seeds {
-                let g = self.family.build(n, seed);
-                for (det, acc) in detectors.iter().zip(accs.iter_mut()) {
-                    match det.detect(&g, seed, &self.budget) {
-                        Ok(detection) => {
-                            if detection.rejected() {
-                                acc.rejections += 1;
-                            }
-                            let cell = &mut acc.cells[si];
-                            cell.total += self.metric.extract(&detection);
-                            // Families snap requested sizes (primes,
-                            // parity); fit against the graphs actually
-                            // built, not the request.
-                            cell.node_count += g.node_count() as u64;
-                            cell.ok += 1;
-                        }
-                        Err(_) => acc.errors += 1,
-                    }
-                }
-            }
-        }
-
-        let rows = detectors
-            .iter()
-            .zip(accs)
-            .map(|(det, acc)| {
-                let descriptor = det.descriptor();
-                let samples: Vec<(usize, f64)> = acc
-                    .cells
-                    .iter()
-                    .filter(|c| c.ok > 0)
-                    .map(|c| ((c.node_count / c.ok) as usize, c.total / c.ok as f64))
-                    .collect();
-                let (fitted_exponent, fitted_constant) =
-                    if samples.len() >= 2 && samples.iter().all(|&(_, v)| v > 0.0) {
-                        let pairs: Vec<(f64, f64)> =
-                            samples.iter().map(|&(n, v)| (n as f64, v)).collect();
-                        fit_exponent(&pairs)
-                    } else {
-                        (f64::NAN, f64::NAN)
-                    };
-                ScenarioRow {
-                    id: descriptor.id(),
-                    descriptor,
-                    samples,
-                    fitted_exponent,
-                    fitted_constant,
-                    rejections: acc.rejections,
-                    errors: acc.errors,
-                }
-            })
-            .collect();
-        ScenarioReport {
-            scenario: self.name.clone(),
-            family: self.family.name().to_string(),
-            metric: self.metric,
-            bandwidth: self.budget.bandwidth,
-            runs_per_size: self.seeds.len(),
-            rows,
-        }
+        engine.run(self, detectors)
     }
 
     /// Runs every entry of a registry through the scenario.
@@ -323,6 +324,8 @@ pub struct ScenarioRow {
     pub rejections: u64,
     /// Runs that returned a simulator error (excluded from averages).
     pub errors: u64,
+    /// Runs aborted by a [`Budget`] cap (excluded from averages).
+    pub budget_exceeded: u64,
 }
 
 /// The rendered result of a scenario run.
@@ -360,15 +363,82 @@ impl ScenarioReport {
             } else {
                 format!("n^{:.3}", row.fitted_exponent)
             };
+            let capped = if row.budget_exceeded > 0 {
+                format!("  capped {}", row.budget_exceeded)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{:<44} fit {:<8} theory n^{:.3}  rejections {}  errors {}\n",
-                row.id, fit, row.descriptor.exponent, row.rejections, row.errors
+                "{:<44} fit {:<8} theory n^{:.3}  rejections {}  errors {}{}\n",
+                row.id, fit, row.descriptor.exponent, row.rejections, row.errors, capped
             ));
             for &(n, v) in &row.samples {
                 out.push_str(&format!("    n = {n:>7}  ->  {v:>14.1}\n"));
             }
         }
         out
+    }
+
+    /// Serializes the whole report as one JSON object (a single line —
+    /// suitable for JSONL streams). Non-finite fits serialize as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"scenario\":\"{}\",\"family\":\"{}\",\"metric\":\"{}\",\"bandwidth\":{},\"runs_per_size\":{},\"rows\":[",
+            json_escape(&self.scenario),
+            json_escape(&self.family),
+            json_escape(self.metric.label()),
+            self.bandwidth,
+            self.runs_per_size,
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"model\":\"{}\",\"target\":\"{}\",\"reference\":\"{}\",\"theory_exponent\":{},\"fitted_exponent\":{},\"fitted_constant\":{},\"rejections\":{},\"errors\":{},\"budget_exceeded\":{},\"samples\":[",
+                json_escape(&row.id),
+                row.descriptor.model.label(),
+                json_escape(&row.descriptor.target.label()),
+                json_escape(row.descriptor.reference),
+                json_f64(row.descriptor.exponent),
+                json_f64(row.fitted_exponent),
+                json_f64(row.fitted_constant),
+                row.rejections,
+                row.errors,
+                row.budget_exceeded,
+            ));
+            for (j, &(n, v)) in row.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", n, json_f64(v)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Appends the report as one JSONL line to `path`, creating the
+    /// file (and its parent directory) when missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
     }
 }
 
@@ -425,5 +495,30 @@ mod tests {
         // Trees are cycle-free: one-sidedness means zero rejections
         // everywhere.
         assert!(report.rows.iter().all(|r| r.rejections == 0));
+    }
+
+    #[test]
+    fn report_json_is_one_line_and_escaped() {
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+        let report = Scenario::new("json \"smoke\"", GraphFamily::random_trees())
+            .sizes(&[24])
+            .seeds(0..1)
+            .run(&[&det]);
+        let json = report.to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"scenario\":\"json \\\"smoke\\\"\""));
+        assert!(json.contains("\"rows\":["));
+        assert!(json.contains("\"samples\":[[")); // at least one sample
+    }
+
+    #[test]
+    fn metric_parse_roundtrips() {
+        assert_eq!(Metric::parse("rounds"), Some(Metric::Rounds));
+        assert_eq!(
+            Metric::parse("rounds-per-iter"),
+            Some(Metric::RoundsPerIteration)
+        );
+        assert_eq!(Metric::parse("congestion"), Some(Metric::MaxCongestion));
+        assert_eq!(Metric::parse("nope"), None);
     }
 }

@@ -1,0 +1,302 @@
+//! Engine conformance: parallel determinism, budget-cap enforcement,
+//! and result-store resume (the acceptance criteria of the experiment
+//! engine).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use even_cycle_congest::cycle::{
+    Budget, CycleDetector, Detector, OddCycleDetector, Params, Verdict,
+};
+use even_cycle_congest::graph::generators;
+use even_cycle_congest::registry::DetectorRegistry;
+use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+use even_cycle_congest::RunProfile;
+
+/// The conformance grid: a few detectors of different shapes over a
+/// planted-cycle family.
+fn conformance_scenario() -> Scenario {
+    Scenario::new("conformance grid", GraphFamily::planted_cycle(4))
+        .sizes(&[24, 32, 48])
+        .seeds(0..3)
+        .metric(Metric::Rounds)
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_sequential() {
+    let a = CycleDetector::new(Params::practical(2).with_repetitions(3));
+    let b = OddCycleDetector::new(2, 20);
+    let c = congest_baselines::deterministic::GatherDetector::new(4);
+    let dets: Vec<&dyn Detector> = vec![&a, &b, &c];
+
+    let sequential = conformance_scenario().workers(1).run(&dets).to_json();
+    for workers in [2usize, 8] {
+        let parallel = conformance_scenario().workers(workers).run(&dets).to_json();
+        assert_eq!(
+            sequential, parallel,
+            "workers = {workers} must reproduce the sequential report byte for byte"
+        );
+    }
+}
+
+#[test]
+fn round_cap_aborts_instead_of_looping() {
+    // A cycle-free host with a large repetition budget: uncapped, the
+    // detector grinds through all 64 iterations; capped, it must abort
+    // early with the budget-exceeded verdict.
+    let det = CycleDetector::new(Params::practical(2).with_repetitions(64));
+    let g = generators::random_tree(48, 5);
+
+    let uncapped = det.detect(&g, 1, &Budget::classical()).unwrap();
+    assert!(!uncapped.rejected());
+    let full_rounds = uncapped.cost.rounds;
+    assert!(full_rounds > 40, "need a meaningful uncapped run");
+
+    let capped = det
+        .detect(&g, 1, &Budget::classical().with_round_cap(full_rounds / 8))
+        .unwrap();
+    assert!(
+        matches!(capped.verdict, Verdict::BudgetExceeded { .. }),
+        "capped run must report BudgetExceeded, got {:?}",
+        capped.verdict
+    );
+    assert!(capped.budget_exceeded());
+    assert!(capped.witness().is_none());
+    assert!(
+        capped.cost.rounds < full_rounds / 2,
+        "the capped run must abort early ({} vs {full_rounds} rounds)",
+        capped.cost.rounds
+    );
+    assert!(
+        capped.cost.iterations < 64,
+        "the capped run must not spend the whole repetition budget"
+    );
+}
+
+#[test]
+fn message_cap_aborts_the_odd_detector() {
+    let det = OddCycleDetector::new(2, 200);
+    let g = generators::random_bipartite(24, 24, 0.15, 3);
+
+    let uncapped = det.detect(&g, 2, &Budget::classical()).unwrap();
+    assert!(!uncapped.rejected());
+    let full_messages = uncapped.cost.messages;
+    assert!(full_messages > 100);
+
+    let capped = det
+        .detect(
+            &g,
+            2,
+            &Budget::classical().with_message_cap(full_messages / 10),
+        )
+        .unwrap();
+    assert!(capped.budget_exceeded());
+    assert!(capped.cost.messages < full_messages);
+}
+
+#[test]
+fn certified_rejection_survives_a_cap() {
+    // A planted C4 found on the first iterations: even with a cap the
+    // witness is proof, so the verdict must stay Reject.
+    let host = generators::random_tree(48, 7);
+    let (g, _) = generators::plant_cycle(&host, 4, 7);
+    let det = CycleDetector::new(Params::practical(2));
+    let uncapped = det.detect(&g, 11, &Budget::classical()).unwrap();
+    assert!(uncapped.rejected(), "seed 11 must find the planted C4");
+    let capped = det
+        .detect(&g, 11, &Budget::classical().with_round_cap(1))
+        .unwrap();
+    // Either the rejection happened before the cap bit (witness kept),
+    // or the run was cut off first (budget exceeded) — but a kept
+    // rejection must carry its witness.
+    if capped.rejected() {
+        assert!(capped.witness().unwrap().is_valid(&g));
+    } else {
+        assert!(capped.budget_exceeded());
+    }
+}
+
+/// A forwarding detector that counts invocations (to prove the store
+/// replays without running anything).
+#[derive(Debug)]
+struct Counting<'a> {
+    inner: &'a dyn Detector,
+    calls: &'a AtomicU64,
+}
+
+impl Detector for Counting<'_> {
+    fn descriptor(&self) -> even_cycle_congest::Descriptor {
+        self.inner.descriptor()
+    }
+
+    fn config_fingerprint(&self) -> String {
+        // The default Debug rendering would include the (mutating)
+        // call counter; forward the inner configuration instead.
+        self.inner.config_fingerprint()
+    }
+
+    fn detect(
+        &self,
+        g: &even_cycle_congest::graph::Graph,
+        seed: u64,
+        budget: &Budget,
+    ) -> even_cycle::DetectResult {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.detect(g, seed, budget)
+    }
+}
+
+#[test]
+fn store_resume_invokes_no_detector() {
+    let dir = std::env::temp_dir().join(format!("ec-engine-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let a = CycleDetector::new(Params::practical(2).with_repetitions(3));
+    let b = OddCycleDetector::new(2, 20);
+    let calls = AtomicU64::new(0);
+    let ca = Counting {
+        inner: &a,
+        calls: &calls,
+    };
+    let cb = Counting {
+        inner: &b,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&ca, &cb];
+    let scenario = || {
+        Scenario::new("resume grid", GraphFamily::planted_cycle(4))
+            .sizes(&[24, 32])
+            .seeds(0..2)
+            .workers(2)
+            .store(&dir)
+    };
+
+    let first = scenario().run(&dets).to_json();
+    let units = 2 * 2 * 2; // sizes × seeds × detectors
+    assert_eq!(calls.load(Ordering::Relaxed), units);
+
+    // Second run: everything replays from the JSONL store.
+    let second = scenario().run(&dets).to_json();
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        units,
+        "a completed sweep must resume with zero detector invocations"
+    );
+    assert_eq!(first, second, "replayed report must be byte-identical");
+
+    // Records carry the full unified cost, so re-analyzing under a
+    // different metric is also a zero-invocation replay.
+    let messages = scenario().metric(Metric::Messages).run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        units,
+        "a metric change must replay the stored costs"
+    );
+    assert_ne!(messages.to_json(), first, "but the report does change");
+
+    // A genuinely different configuration (bandwidth) must NOT reuse
+    // the cached units.
+    let _ = scenario()
+        .budget(Budget::classical().with_bandwidth(2))
+        .run(&dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 2 * units);
+
+    // So must a re-tuned detector behind the same registry id: the
+    // config fingerprint separates the store keys.
+    let retuned = CycleDetector::new(Params::practical(2).with_repetitions(5));
+    let cr = Counting {
+        inner: &retuned,
+        calls: &calls,
+    };
+    let retuned_dets: Vec<&dyn Detector> = vec![&cr, &cb];
+    let _ = scenario().run(&retuned_dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        3 * units,
+        "a re-tuned detector with the same id must not replay stale records"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partial_store_resumes_only_missing_units() {
+    // Simulate a killed sweep: keep the header and the first three
+    // record lines, then re-run — only the missing units may execute.
+    let dir = std::env::temp_dir().join(format!("ec-engine-partial-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let calls = AtomicU64::new(0);
+    let det = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&det];
+    let scenario = || {
+        Scenario::new("partial grid", GraphFamily::planted_cycle(4))
+            .sizes(&[24, 32])
+            .seeds(0..3)
+            .store(dir.clone())
+    };
+    let units = 2 * 3;
+
+    let first = scenario().run(&dets).to_json();
+    assert_eq!(calls.load(Ordering::Relaxed), units);
+
+    let file = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let kept: Vec<String> = std::fs::read_to_string(&file)
+        .unwrap()
+        .lines()
+        .take(4) // header + 3 records
+        .map(String::from)
+        .collect();
+    std::fs::write(&file, kept.join("\n") + "\n").unwrap();
+
+    let resumed = scenario().run(&dets).to_json();
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        units + (units - 3),
+        "only the dropped units may re-execute"
+    );
+    assert_eq!(
+        first, resumed,
+        "partial resume must rebuild the same report"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fast_ci_profile_sweeps_the_whole_registry() {
+    // The CI smoke path: every registry entry over a tiny grid, two
+    // workers, capped budget. Must produce a full report with a row per
+    // entry and no simulator errors.
+    let registry = RunProfile::FastCi.registry(2);
+    let report = Scenario::new("fast-ci smoke", GraphFamily::random_trees())
+        .sizes(&[24])
+        .seeds(0..1)
+        .budget(RunProfile::FastCi.budget())
+        .workers(2)
+        .run_registry(&registry);
+    assert_eq!(report.rows.len(), registry.len());
+    assert!(report.rows.iter().all(|r| r.errors == 0));
+    // Trees are cycle-free and the caps are a safety net, not a
+    // tripwire: every run completes.
+    assert!(report.rows.iter().all(|r| r.rejections == 0));
+    assert!(report.rows.iter().all(|r| r.budget_exceeded == 0));
+}
+
+#[test]
+fn profile_registries_line_up_with_standard() {
+    let standard = DetectorRegistry::standard(3);
+    let practical = RunProfile::Practical.registry(3);
+    assert_eq!(standard.len(), practical.len());
+    for (a, b) in standard.iter().zip(practical.iter()) {
+        assert_eq!(a.id, b.id);
+    }
+}
