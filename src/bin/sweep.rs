@@ -9,15 +9,22 @@
 //!     --workers 2 --store target/sweeps --json
 //! ```
 //!
-//! Every flag is optional: the profile decides the default grid and
-//! budget, the family defaults to planted `C_{2k}` yes-instances, the
-//! worker count falls back to `EVEN_CYCLE_WORKERS` (then 1). Re-running
-//! an identical invocation with `--store` replays the store and invokes
-//! no detector.
+//! Every flag is optional: the profile decides the default grid,
+//! budget, and schedule, the family defaults to planted `C_{2k}`
+//! yes-instances, the worker count falls back to `EVEN_CYCLE_WORKERS`
+//! (then 1). The store is per-unit content-addressed: re-running an
+//! identical invocation with `--store` replays it and invokes no
+//! detector, and *extending* the grid (a size rung, a seed, a
+//! detector) executes only the new cells. `--schedule cheapest-first`
+//! orders pending units by estimated cost and `--max-seconds S` stops
+//! dispatching once the cap elapses — skipped units are reported and
+//! resumed on the next run, so an expensive `paper-exact` sweep
+//! refines progressively across capped runs.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use even_cycle_congest::engine::RunProfile;
+use even_cycle_congest::engine::{pool, RunProfile, ScheduleOrder};
 use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
 
 struct Args {
@@ -29,6 +36,8 @@ struct Args {
     metric: Metric,
     workers: Option<usize>,
     store: Option<String>,
+    schedule: Option<ScheduleOrder>,
+    max_seconds: Option<u64>,
     json: bool,
 }
 
@@ -37,7 +46,8 @@ fn usage() -> &'static str {
      \x20            [--family trees|planted:L|er:DEG|bipartite:P|regular:K|funnel:B]\n\
      \x20            [--sizes N1,N2,...] [--seeds A..B] \n\
      \x20            [--metric rounds|rounds-per-iter|congestion|messages|words]\n\
-     \x20            [--workers W] [--store DIR] [--json]"
+     \x20            [--workers W] [--store DIR] [--json]\n\
+     \x20            [--schedule in-order|cheapest-first] [--max-seconds S]"
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit success.
@@ -51,6 +61,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         metric: Metric::Rounds,
         workers: None,
         store: None,
+        schedule: None,
+        max_seconds: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +117,19 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.workers = Some(w);
             }
             "--store" => args.store = Some(value("--store")?),
+            "--schedule" => {
+                let v = value("--schedule")?;
+                args.schedule = Some(
+                    ScheduleOrder::parse(&v).ok_or_else(|| format!("unknown schedule {v:?}"))?,
+                );
+            }
+            "--max-seconds" => {
+                let v = value("--max-seconds")?;
+                args.max_seconds = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-seconds value {v:?}"))?,
+                );
+            }
             "--json" => args.json = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
@@ -151,6 +176,18 @@ fn main() -> ExitCode {
         }
     };
 
+    // Fail fast on a broken EVEN_CYCLE_WORKERS: a typo'd value must not
+    // silently serialize the sweep (the library default warns and runs
+    // with 1 worker; the sweep driver refuses outright). An explicit
+    // --workers takes priority over the environment, so it also
+    // overrides a broken value.
+    if args.workers.is_none() {
+        if let Err(msg) = pool::workers_env_override() {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let family = match &args.family {
         Some(spec) => match parse_family(spec, args.k) {
             Ok(f) => f,
@@ -176,12 +213,33 @@ fn main() -> ExitCode {
     if let Some(dir) = &args.store {
         scenario = scenario.store(dir);
     }
+    let mut schedule = args.profile.schedule();
+    if let Some(order) = args.schedule {
+        schedule.order = order;
+    }
+    if let Some(secs) = args.max_seconds {
+        schedule = schedule.with_wall_clock_cap(Duration::from_secs(secs));
+    }
+    scenario = scenario.schedule(schedule);
+    if args.max_seconds.is_some() && args.store.is_none() {
+        eprintln!(
+            "note: --max-seconds without --store: units skipped at the cap \
+             are lost instead of resumed next run"
+        );
+    }
 
     let report = scenario.run_registry(&registry);
     if args.json {
         println!("{}", report.to_json());
     } else {
         println!("{}", report.render());
+    }
+    let skipped = report.skipped_units();
+    if skipped > 0 {
+        eprintln!(
+            "wall-clock cap hit: {skipped} unit(s) skipped; re-run the same \
+             command to resume from the store"
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,25 +1,58 @@
 //! The shared graph cache: one build per `(size, seed)` instance,
-//! whatever the worker count.
+//! whatever the worker count, with refcount-based eviction.
 //!
-//! The sequential scenario runner built each `(size, seed)` graph once
-//! and handed it to every detector. The parallel engine keeps that
-//! economy — work units for different detectors on the same instance
-//! share one [`Graph`] through this cache instead of rebuilding it per
-//! unit. Builders are deterministic in `(n, seed)`, so a racing double
-//! build (two workers missing the cache simultaneously) is harmless:
-//! both produce the identical graph and one wins the insert.
+//! The sequential scenario runner built each `(size, seed)` graph once,
+//! handed it to every detector, and dropped it before the next
+//! instance. The parallel engine keeps both halves of that economy:
+//!
+//! * **Single-flight builds** — each key owns a build slot behind its
+//!   own mutex, so two workers that miss simultaneously serialize on
+//!   the slot and exactly one pays the construction cost. (The old
+//!   "harmless race" double build was only harmless on small
+//!   instances; on the largest graphs it doubled the most expensive
+//!   step of the sweep.)
+//! * **Refcounted eviction** — the engine pre-computes how many
+//!   pending units reference each instance ([`GraphCache::expect_pending`])
+//!   and releases one reference per finished (or skipped) unit
+//!   ([`GraphCache::release`]); the last release drops the cache's
+//!   `Arc<Graph>`, bounding peak memory by the working set instead of
+//!   the whole grid. Keys fetched without a declared refcount (direct
+//!   library use) are never auto-evicted, preserving the old behavior.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use congest_graph::Graph;
 
 use crate::scenario::GraphFamily;
 
+/// Refcount sentinel for keys with no declared pending count: cached
+/// forever (never auto-evicted).
+const UNTRACKED: usize = usize::MAX;
+
+/// One cache entry: the build slot (shared with any worker currently
+/// building or reading it) and the number of pending units still
+/// holding a reference.
+struct Entry {
+    slot: Arc<Mutex<Option<Arc<Graph>>>>,
+    remaining: usize,
+}
+
+impl Entry {
+    fn untracked() -> Entry {
+        Entry {
+            slot: Arc::new(Mutex::new(None)),
+            remaining: UNTRACKED,
+        }
+    }
+}
+
 /// A concurrent memo of `(n, seed) → Graph` for one family.
 pub struct GraphCache<'a> {
     family: &'a GraphFamily,
-    map: Mutex<HashMap<(usize, u64), Arc<Graph>>>,
+    map: Mutex<HashMap<(usize, u64), Entry>>,
+    builds: AtomicUsize,
 }
 
 impl<'a> GraphCache<'a> {
@@ -28,35 +61,89 @@ impl<'a> GraphCache<'a> {
         GraphCache {
             family,
             map: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Declares how many pending units will [`release`](Self::release)
+    /// each instance. Counts add to any previously declared balance,
+    /// and only declared keys are ever evicted.
+    pub fn expect_pending(&self, counts: &HashMap<(usize, u64), usize>) {
+        let mut map = self.map.lock().unwrap();
+        for (&key, &count) in counts {
+            if count == 0 {
+                continue;
+            }
+            let entry = map.entry(key).or_insert_with(Entry::untracked);
+            entry.remaining = if entry.remaining == UNTRACKED {
+                count
+            } else {
+                entry.remaining + count
+            };
         }
     }
 
     /// The instance for `(n, seed)`, building it on first request.
+    /// Concurrent misses on the same key serialize on the key's build
+    /// slot — exactly one build per instance, whatever the worker
+    /// count.
     pub fn get(&self, n: usize, seed: u64) -> Arc<Graph> {
-        if let Some(g) = self.map.lock().unwrap().get(&(n, seed)) {
-            return Arc::clone(g);
+        let slot = {
+            let mut map = self.map.lock().unwrap();
+            let entry = map.entry((n, seed)).or_insert_with(Entry::untracked);
+            Arc::clone(&entry.slot)
+        };
+        // Build under the per-key slot lock, not the map lock: other
+        // keys proceed in parallel, while a second miss on *this* key
+        // blocks here until the graph exists instead of rebuilding it.
+        let mut graph = slot.lock().unwrap();
+        if graph.is_none() {
+            *graph = Some(Arc::new(self.family.build(n, seed)));
+            self.builds.fetch_add(1, Ordering::Relaxed);
         }
-        // Build outside the lock: graph construction dominates, and
-        // holding the mutex through it would serialize the pool.
-        let built = Arc::new(self.family.build(n, seed));
+        Arc::clone(graph.as_ref().expect("slot was just filled"))
+    }
+
+    /// Releases one pending-unit reference on `(n, seed)`; the last
+    /// release evicts the instance. A release on an untracked or
+    /// already-evicted key is a no-op.
+    pub fn release(&self, n: usize, seed: u64) {
         let mut map = self.map.lock().unwrap();
-        Arc::clone(map.entry((n, seed)).or_insert(built))
+        if let Some(entry) = map.get_mut(&(n, seed)) {
+            if entry.remaining != UNTRACKED {
+                entry.remaining -= 1;
+                if entry.remaining == 0 {
+                    map.remove(&(n, seed));
+                }
+            }
+        }
     }
 
-    /// Number of distinct instances built so far.
+    /// Number of instances currently resident (built and not evicted).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        let map = self.map.lock().unwrap();
+        map.values()
+            .filter(|e| e.slot.lock().unwrap().is_some())
+            .count()
     }
 
-    /// Whether nothing has been built yet.
+    /// Whether no instance is currently resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total graph constructions so far (never decremented by
+    /// eviction) — the single-flight invariant makes this at most one
+    /// per distinct key requested.
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn caches_by_size_and_seed() {
@@ -68,5 +155,76 @@ mod tests {
         let c = cache.get(32, 2);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn concurrent_misses_build_once() {
+        let built = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&built);
+        let family = GraphFamily::new("counting trees", move |n, seed| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            // A slow-ish build widens the race window.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            congest_graph::generators::random_tree(n.max(2), seed)
+        });
+        let cache = GraphCache::new(&family);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _ = cache.get(64, 7);
+                });
+            }
+        });
+        assert_eq!(
+            built.load(Ordering::SeqCst),
+            1,
+            "simultaneous misses must single-flight the build"
+        );
+        assert_eq!(cache.builds(), 1);
+    }
+
+    #[test]
+    fn declared_refcounts_evict_on_last_release() {
+        let family = GraphFamily::random_trees();
+        let cache = GraphCache::new(&family);
+        let mut counts = HashMap::new();
+        counts.insert((32, 1), 2);
+        cache.expect_pending(&counts);
+
+        let g = cache.get(32, 1);
+        assert_eq!(cache.len(), 1);
+        cache.release(32, 1);
+        assert_eq!(cache.len(), 1, "one pending unit left: stays resident");
+        cache.release(32, 1);
+        assert_eq!(cache.len(), 0, "last release evicts");
+        // The caller's own Arc stays valid after eviction.
+        assert!(g.node_count() >= 2);
+        // Releasing an evicted key is a no-op.
+        cache.release(32, 1);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn untracked_keys_are_never_evicted() {
+        let family = GraphFamily::random_trees();
+        let cache = GraphCache::new(&family);
+        let _ = cache.get(32, 5);
+        cache.release(32, 5);
+        assert_eq!(cache.len(), 1, "no declared refcount: cached forever");
+    }
+
+    #[test]
+    fn release_without_get_never_underflows() {
+        // A wall-clock-capped engine releases skipped units without
+        // fetching their graph; the entry must evict cleanly unbuilt.
+        let family = GraphFamily::random_trees();
+        let cache = GraphCache::new(&family);
+        let mut counts = HashMap::new();
+        counts.insert((48, 0), 1);
+        cache.expect_pending(&counts);
+        cache.release(48, 0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.builds(), 0, "skipped units build nothing");
     }
 }

@@ -10,12 +10,19 @@
 //! in one canonical order on the collecting thread).
 //!
 //! With a store directory configured, every completed unit is appended
-//! to a JSONL [`store`] keyed by a hash of the sweep configuration.
-//! Re-running the same sweep replays the store and invokes no
-//! detector; partially complete stores resume from where they left
-//! off. [`profile::RunProfile`] names the three standard experiment
+//! to a JSONL [`store`] **content-addressed per unit** — keyed by a
+//! hash of `(family, n, seed, detector fingerprint, budget)`, not of
+//! the sweep grid. Re-running the same sweep replays the store and
+//! invokes no detector; partially complete stores resume from where
+//! they left off; and a grid extended by a size rung, a seed, or a
+//! detector replays every overlapping unit and executes only the new
+//! cells. A [`schedule::Schedule`] decides dispatch order
+//! (cheapest-estimated-first for progressive refinement) and an
+//! optional wall-clock cap under which undispatched units are skipped,
+//! counted in the report, and resumed next run.
+//! [`profile::RunProfile`] names the three standard experiment
 //! configurations (`paper-exact`, `practical`, `fast-ci`) that map
-//! onto registry construction and budget defaults.
+//! onto registry construction, budget, and schedule defaults.
 //!
 //! ```
 //! use even_cycle_congest::engine::Engine;
@@ -35,18 +42,22 @@
 pub mod cache;
 pub mod pool;
 pub mod profile;
+pub mod schedule;
 pub mod store;
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use even_cycle::theory::fit_exponent;
 use even_cycle::Detector;
 
 pub use profile::RunProfile;
+pub use schedule::{Schedule, ScheduleOrder};
 
 use crate::scenario::{Scenario, ScenarioReport, ScenarioRow};
 use cache::GraphCache;
-use store::{ResultStore, StoreMeta, UnitRecord, UnitStatus};
+use store::{ResultStore, UnitRecord, UnitStatus};
 
 /// The sweep executor. Construct with [`Engine::from_env`], then
 /// layer overrides with the builder methods.
@@ -54,15 +65,18 @@ use store::{ResultStore, StoreMeta, UnitRecord, UnitStatus};
 pub struct Engine {
     workers: usize,
     store_dir: Option<PathBuf>,
+    schedule: Schedule,
 }
 
 impl Engine {
     /// An engine honoring the environment: worker count from
-    /// `EVEN_CYCLE_WORKERS` (default 1), no store.
+    /// `EVEN_CYCLE_WORKERS` (default 1), no store, in-order uncapped
+    /// schedule.
     pub fn from_env() -> Self {
         Engine {
             workers: pool::workers_from_env(),
             store_dir: None,
+            schedule: Schedule::default(),
         }
     }
 
@@ -84,17 +98,34 @@ impl Engine {
         self
     }
 
+    /// Overrides the scheduling policy (dispatch order and optional
+    /// wall-clock cap; see [`Schedule`]).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
+    /// The configured scheduling policy.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
     /// Runs the scenario's full `sizes × seeds × detectors` matrix and
     /// aggregates it into a report.
     ///
-    /// Work units already present in the result store are replayed
-    /// without invoking their detector; everything else is executed on
-    /// the worker pool and appended to the store.
+    /// Work units whose content address is already in the result store
+    /// are replayed without invoking their detector — including units
+    /// computed by *previous, smaller grids* (extending a size ladder,
+    /// a seed range, or the detector set only executes the new cells).
+    /// Everything else is executed on the worker pool in schedule
+    /// order and appended to the store as it completes; units not
+    /// dispatched before the wall-clock cap are counted as skipped and
+    /// resumed on the next run.
     ///
     /// # Panics
     ///
@@ -104,101 +135,130 @@ impl Engine {
     /// full re-run).
     pub fn run(&self, scenario: &Scenario, detectors: &[&dyn Detector]) -> ScenarioReport {
         let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
+        let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
+        let exponents: Vec<f64> = detectors.iter().map(|d| d.descriptor().exponent).collect();
         let units = scenario.sizes.len() * scenario.seeds.len() * detectors.len();
 
-        let mut store = self.store_dir.as_ref().map(|dir| {
-            let meta = StoreMeta {
-                scenario: scenario.name.clone(),
-                family: scenario.family.name().to_string(),
-                metric: scenario.metric.label().to_string(),
-                units,
-            };
-            let hash = store::config_hash(&canonical_config(scenario, detectors, &ids));
-            ResultStore::open(dir, hash, &meta).expect("result store must be writable")
-        });
+        let mut store = self
+            .store_dir
+            .as_ref()
+            .map(|dir| ResultStore::open(dir).expect("result store must be writable"));
 
         // Flatten the matrix in the canonical order (size-major, then
-        // seed, then detector) and keep only the units the store cannot
-        // replay.
-        let mut todo: Vec<(usize, usize, usize, usize, u64)> = Vec::new(); // (unit, si, di, n, seed)
+        // seed, then detector), content-address every unit, and keep
+        // only the units the store cannot replay. The det/n/seed check
+        // on replay is a belt-and-suspenders guard against a 128-bit
+        // key collision.
+        struct Todo {
+            unit: usize,
+            di: usize,
+            n: usize,
+            seed: u64,
+            key: String,
+            estimate: f64,
+        }
+        let mut keys: Vec<String> = Vec::with_capacity(units);
+        let mut todo: Vec<Todo> = Vec::new();
         let mut unit = 0usize;
-        for (si, &n) in scenario.sizes.iter().enumerate() {
+        for &n in &scenario.sizes {
             for &seed in &scenario.seeds {
                 for di in 0..detectors.len() {
+                    let key = store::unit_key(&store::canonical_unit(
+                        scenario.family.name(),
+                        n,
+                        seed,
+                        &ids[di],
+                        &configs[di],
+                        &scenario.budget,
+                    ));
                     let replayable = store
                         .as_ref()
-                        .is_some_and(|s| s.loaded().contains_key(&unit));
+                        .and_then(|s| s.get(&key))
+                        .is_some_and(|r| r.det == ids[di] && r.n == n && r.seed == seed);
                     if !replayable {
-                        todo.push((unit, si, di, n, seed));
+                        todo.push(Todo {
+                            unit,
+                            di,
+                            n,
+                            seed,
+                            key: key.clone(),
+                            estimate: schedule::estimate_cost(n, exponents[di]),
+                        });
                     }
+                    keys.push(key);
                     unit += 1;
                 }
             }
         }
 
-        // Workers append each record as it completes (serialized by the
-        // mutex), so a killed sweep keeps everything finished so far
-        // and the next run resumes from there.
+        // Dispatch order per the schedule. Aggregation folds records
+        // in canonical unit order regardless, so the report does not
+        // depend on this — only *which* units finish under a cap does.
+        if self.schedule.order == ScheduleOrder::CheapestFirst {
+            todo.sort_by(|a, b| a.estimate.total_cmp(&b.estimate).then(a.unit.cmp(&b.unit)));
+        }
+
+        // Pre-compute per-instance refcounts so the graph cache can
+        // evict each (n, seed) when its last pending unit completes.
+        let mut pending: HashMap<(usize, u64), usize> = HashMap::new();
+        for t in &todo {
+            *pending.entry((t.n, t.seed)).or_insert(0) += 1;
+        }
         let graphs = GraphCache::new(&scenario.family);
+        graphs.expect_pending(&pending);
+
+        // Workers append each record as it completes (serialized by the
+        // mutex), so a killed or wall-clock-capped sweep keeps
+        // everything finished so far and the next run resumes from
+        // there.
+        let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
         let shared_store = std::sync::Mutex::new(store.take());
-        let fresh: Vec<UnitRecord> = pool::run_indexed(todo.len(), self.workers, |j| {
-            let (unit, _si, di, n, seed) = todo[j];
-            let record = execute_unit(scenario, &graphs, detectors[di], &ids[di], unit, n, seed);
+        let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), self.workers, |j| {
+            let t = &todo[j];
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Cap elapsed: skip (do not start) this unit, but still
+                // release its graph reference so eviction stays exact.
+                graphs.release(t.n, t.seed);
+                return None;
+            }
+            let record = execute_unit(
+                scenario,
+                &graphs,
+                detectors[t.di],
+                &ids[t.di],
+                &t.key,
+                t.n,
+                t.seed,
+            );
+            graphs.release(t.n, t.seed);
             if let Some(store) = shared_store.lock().unwrap().as_mut() {
                 store
                     .append(std::slice::from_ref(&record))
                     .expect("result store must accept appended records");
             }
-            record
+            Some(record)
         });
         let store = shared_store.into_inner().unwrap();
 
-        // Merge replayed and fresh records back into unit order, then
-        // aggregate sequentially (one canonical f64 addition order).
+        // Merge replayed and fresh records back into canonical unit
+        // order, then aggregate sequentially (one canonical f64
+        // addition order). Units skipped by the wall-clock cap stay
+        // `None` and are counted per row.
         let mut records: Vec<Option<UnitRecord>> = (0..units).map(|_| None).collect();
+        for (j, record) in fresh.into_iter().enumerate() {
+            if let Some(record) = record {
+                records[todo[j].unit] = Some(record);
+            }
+        }
         if let Some(store) = &store {
-            for (idx, record) in store.loaded() {
-                if *idx < units {
-                    records[*idx] = Some(record.clone());
+            for (idx, key) in keys.iter().enumerate() {
+                if records[idx].is_none() {
+                    records[idx] = store.get(key).cloned();
                 }
             }
         }
-        for record in fresh {
-            let idx = record.unit;
-            records[idx] = Some(record);
-        }
-        let records: Vec<UnitRecord> = records
-            .into_iter()
-            .map(|r| r.expect("every unit executed or replayed"))
-            .collect();
         aggregate(scenario, detectors, &records)
     }
-}
-
-/// The canonical configuration string hashed into the store key: any
-/// field that changes what a unit computes must appear here. The
-/// metric is deliberately absent — records carry the full unified
-/// cost, so re-analyzing a stored sweep under another metric is a
-/// zero-invocation replay. Detector ids alone are not enough (two
-/// tunings of the same algorithm share an id, and so do all registry
-/// profiles), so each detector's configuration fingerprint is folded
-/// in as well.
-fn canonical_config(scenario: &Scenario, detectors: &[&dyn Detector], ids: &[String]) -> String {
-    let b = &scenario.budget;
-    let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
-    format!(
-        "family={}|sizes={:?}|seeds={:?}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}|dets={}|configs={}",
-        scenario.family.name(),
-        scenario.sizes,
-        scenario.seeds,
-        b.bandwidth,
-        b.repetitions,
-        b.run_to_budget,
-        b.max_rounds,
-        b.max_messages,
-        ids.join(";"),
-        configs.join(";"),
-    )
 }
 
 /// Executes one work unit: build (or fetch) the instance, run the
@@ -208,13 +268,13 @@ fn execute_unit(
     graphs: &GraphCache<'_>,
     detector: &dyn Detector,
     id: &str,
-    unit: usize,
+    key: &str,
     n: usize,
     seed: u64,
 ) -> UnitRecord {
     let g = graphs.get(n, seed);
     let mut record = UnitRecord {
-        unit,
+        key: key.to_string(),
         det: id.to_string(),
         n,
         seed,
@@ -253,11 +313,12 @@ fn execute_unit(
 /// Folds unit records (in canonical order) into the per-detector rows —
 /// the same arithmetic, in the same order, as the original sequential
 /// runner, so reports are byte-identical across worker counts and
-/// resumes.
+/// resumes. A missing record (a unit the wall-clock cap skipped) is
+/// counted per row, not aggregated.
 fn aggregate(
     scenario: &Scenario,
     detectors: &[&dyn Detector],
-    records: &[UnitRecord],
+    records: &[Option<UnitRecord>],
 ) -> ScenarioReport {
     #[derive(Default)]
     struct Cell {
@@ -271,6 +332,7 @@ fn aggregate(
         rejections: u64,
         errors: u64,
         budget_exceeded: u64,
+        skipped: u64,
     }
     let mut accs: Vec<Acc> = detectors
         .iter()
@@ -282,10 +344,14 @@ fn aggregate(
 
     let dets = detectors.len();
     let per_size = scenario.seeds.len() * dets;
-    for record in records {
-        let si = record.unit / per_size;
-        let di = record.unit % dets;
+    for (unit, record) in records.iter().enumerate() {
+        let si = unit / per_size;
+        let di = unit % dets;
         let acc = &mut accs[di];
+        let Some(record) = record else {
+            acc.skipped += 1;
+            continue;
+        };
         match &record.status {
             UnitStatus::Ok => {
                 if record.rejected {
@@ -334,6 +400,7 @@ fn aggregate(
                 rejections: acc.rejections,
                 errors: acc.errors,
                 budget_exceeded: acc.budget_exceeded,
+                skipped: acc.skipped,
             }
         })
         .collect();

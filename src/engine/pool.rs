@@ -67,16 +67,47 @@ where
         .collect()
 }
 
+/// Parses an `EVEN_CYCLE_WORKERS` value: a positive integer, with a
+/// diagnosable error for everything else (zero would deadlock, and a
+/// typo like `"fuor"` must not silently serialize a sweep).
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("EVEN_CYCLE_WORKERS is 0; the worker count must be positive".to_string()),
+        Ok(w) => Ok(w),
+        Err(_) => Err(format!(
+            "EVEN_CYCLE_WORKERS is not a positive integer: {raw:?}"
+        )),
+    }
+}
+
+/// The worker-count override the environment asks for: `Ok(Some(w))`
+/// when `EVEN_CYCLE_WORKERS` is a positive integer, `Ok(None)` when
+/// unset, `Err` when set but unusable. Drivers that should fail fast
+/// on a typo (the `sweep` binary) call this directly.
+pub fn workers_env_override() -> Result<Option<usize>, String> {
+    match std::env::var("EVEN_CYCLE_WORKERS") {
+        Ok(raw) => parse_workers(&raw).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("EVEN_CYCLE_WORKERS is not valid unicode".to_string())
+        }
+    }
+}
+
 /// The worker count the environment asks for: `EVEN_CYCLE_WORKERS`
 /// when set to a positive integer, else 1 (conservative — parallelism
 /// is opt-in so that test and doctest behavior never depends on the
-/// host's core count).
+/// host's core count). An invalid value warns on stderr instead of
+/// being silently coerced to 1.
 pub fn workers_from_env() -> usize {
-    std::env::var("EVEN_CYCLE_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w > 0)
-        .unwrap_or(1)
+    match workers_env_override() {
+        Ok(Some(w)) => w,
+        Ok(None) => 1,
+        Err(msg) => {
+            eprintln!("warning: {msg}; defaulting to 1 worker");
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +132,15 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = run_indexed(3, 0, |i| i);
+    }
+
+    #[test]
+    fn worker_env_values_parse_or_diagnose() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 8 "), Ok(8));
+        assert!(parse_workers("0").unwrap_err().contains("positive"));
+        assert!(parse_workers("fuor").unwrap_err().contains("\"fuor\""));
+        assert!(parse_workers("-2").is_err());
+        assert!(parse_workers("").is_err());
     }
 }

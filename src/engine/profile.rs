@@ -23,6 +23,7 @@ use std::ops::Range;
 
 use even_cycle::Budget;
 
+use crate::engine::schedule::Schedule;
 use crate::registry::DetectorRegistry;
 
 /// A named experiment configuration; see the module docs.
@@ -89,6 +90,21 @@ impl RunProfile {
         }
     }
 
+    /// The default scheduling policy of the profile. `paper-exact`
+    /// dispatches cheapest-estimated-unit-first: its sweeps are priced
+    /// for progressive refinement (run under a wall-clock cap, killed
+    /// at the cap, resumed from the store next run), and a
+    /// cheapest-first queue banks the most finished units per second.
+    /// The other profiles run in canonical order. No profile caps the
+    /// wall clock by itself — the cap is an explicit opt-in
+    /// ([`Schedule::with_wall_clock_cap`], `sweep --max-seconds`).
+    pub fn schedule(self) -> Schedule {
+        match self {
+            RunProfile::PaperExact => Schedule::cheapest_first(),
+            RunProfile::Practical | RunProfile::FastCi => Schedule::in_order(),
+        }
+    }
+
     /// The default instance sizes of the profile's sweeps.
     pub fn default_sizes(self) -> Vec<usize> {
         match self {
@@ -131,6 +147,23 @@ mod tests {
         assert!(RunProfile::FastCi.budget().has_caps());
         assert!(!RunProfile::Practical.budget().has_caps());
         assert!(!RunProfile::PaperExact.budget().has_caps());
+    }
+
+    #[test]
+    fn paper_exact_schedules_cheapest_first() {
+        use crate::engine::schedule::ScheduleOrder;
+        assert_eq!(
+            RunProfile::PaperExact.schedule().order,
+            ScheduleOrder::CheapestFirst
+        );
+        for p in [RunProfile::Practical, RunProfile::FastCi] {
+            assert_eq!(p.schedule().order, ScheduleOrder::InOrder);
+        }
+        // No profile smuggles in a wall-clock cap: that is an explicit
+        // opt-in.
+        for p in RunProfile::ALL {
+            assert!(p.schedule().wall_clock_cap.is_none());
+        }
     }
 
     #[test]

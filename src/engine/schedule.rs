@@ -1,0 +1,145 @@
+//! Budget-aware scheduling: which pending work units run, and in what
+//! order, when a sweep cannot afford to run everything.
+//!
+//! Two knobs, composable:
+//!
+//! * **Order** — [`ScheduleOrder::CheapestFirst`] sorts pending units
+//!   by an a-priori cost estimate (the detector's theoretical exponent
+//!   applied to the instance size) so a capped run banks the most
+//!   finished units per second of wall clock. "Runtime depends on the
+//!   instance" sweeps waste their budget under static sharding; a
+//!   cheapest-first queue turns the same budget into a maximal prefix
+//!   of completed cells. The report itself is order-independent —
+//!   aggregation always folds records in canonical unit order.
+//! * **Wall-clock cap** — [`Schedule::with_wall_clock_cap`] stops
+//!   *dispatching* new units once the cap elapses (in-flight units run
+//!   to completion). Combined with the per-unit result store this
+//!   makes `paper-exact` sweeps usable in CI as progressive
+//!   refinement: each capped run persists what it finished, and the
+//!   next run resumes from there with zero replayed invocations.
+
+use std::time::Duration;
+
+/// The order pending units are dispatched in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleOrder {
+    /// Canonical sweep order (size-major, then seed, then detector).
+    InOrder,
+    /// Cheapest estimated unit first (ties broken by canonical order,
+    /// so the schedule is deterministic).
+    CheapestFirst,
+}
+
+impl ScheduleOrder {
+    /// The order's canonical name (`in-order`, `cheapest-first`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleOrder::InOrder => "in-order",
+            ScheduleOrder::CheapestFirst => "cheapest-first",
+        }
+    }
+
+    /// Parses an order name (canonical and underscore spellings).
+    pub fn parse(s: &str) -> Option<ScheduleOrder> {
+        match s {
+            "in-order" | "in_order" | "canonical" => Some(ScheduleOrder::InOrder),
+            "cheapest-first" | "cheapest_first" | "cheapest" => Some(ScheduleOrder::CheapestFirst),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete scheduling policy for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Dispatch order for pending units.
+    pub order: ScheduleOrder,
+    /// Stop dispatching new units after this much wall clock (`None`:
+    /// run everything).
+    pub wall_clock_cap: Option<Duration>,
+}
+
+impl Schedule {
+    /// Canonical order, no cap — the engine default.
+    pub fn in_order() -> Self {
+        Schedule {
+            order: ScheduleOrder::InOrder,
+            wall_clock_cap: None,
+        }
+    }
+
+    /// Cheapest-estimated-unit-first, no cap.
+    pub fn cheapest_first() -> Self {
+        Schedule {
+            order: ScheduleOrder::CheapestFirst,
+            wall_clock_cap: None,
+        }
+    }
+
+    /// Caps dispatch at `cap` of wall clock; skipped units are counted
+    /// in the report and resumed from the store on the next run.
+    pub fn with_wall_clock_cap(mut self, cap: Duration) -> Self {
+        self.wall_clock_cap = Some(cap);
+        self
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::in_order()
+    }
+}
+
+/// An a-priori cost estimate for one work unit: the detector's
+/// theoretical round exponent applied to the instance size. Deliberately
+/// crude — it only has to *order* units, and for that, a power law in
+/// `n` with the right exponent dominates any constant it misses. A
+/// non-finite or non-positive exponent (baselines that report no
+/// theory bound) falls back to linear.
+pub fn estimate_cost(n: usize, exponent: f64) -> f64 {
+    let e = if exponent.is_finite() && exponent > 0.0 {
+        exponent
+    } else {
+        1.0
+    };
+    (n.max(2) as f64).powf(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_names_parse_back() {
+        for o in [ScheduleOrder::InOrder, ScheduleOrder::CheapestFirst] {
+            assert_eq!(ScheduleOrder::parse(o.name()), Some(o));
+        }
+        assert_eq!(ScheduleOrder::parse("nope"), None);
+    }
+
+    #[test]
+    fn estimates_order_by_size_and_exponent() {
+        // Bigger instance, same detector: more expensive.
+        assert!(estimate_cost(128, 1.5) > estimate_cost(64, 1.5));
+        // Same instance, steeper theory: more expensive.
+        assert!(estimate_cost(64, 2.0) > estimate_cost(64, 1.5));
+        // Missing theory falls back to linear, not zero.
+        assert_eq!(estimate_cost(64, f64::NAN), 64.0);
+        assert_eq!(estimate_cost(64, -1.0), 64.0);
+    }
+
+    #[test]
+    fn default_schedule_is_uncapped_in_order() {
+        let s = Schedule::default();
+        assert_eq!(s.order, ScheduleOrder::InOrder);
+        assert!(s.wall_clock_cap.is_none());
+        let capped = Schedule::cheapest_first().with_wall_clock_cap(Duration::from_secs(3));
+        assert_eq!(capped.wall_clock_cap, Some(Duration::from_secs(3)));
+    }
+}

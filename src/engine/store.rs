@@ -1,29 +1,44 @@
-//! The persisted result store: one JSONL file per sweep configuration,
-//! one line per completed work unit.
+//! The persisted result store, format v2: one JSONL file per store
+//! directory, one line per completed work unit, **content-addressed per
+//! unit**.
 //!
 //! The workspace deliberately has no external dependencies, so the
 //! store hand-rolls both directions of its JSON: a writer for the flat
 //! records it produces and a small parser that reads exactly that
-//! shape back. The file is keyed by a 64-bit FNV-1a hash of the sweep
-//! configuration (family, sizes, seeds, budget, detector ids and
-//! per-detector configuration fingerprints — deliberately *not* the
-//! metric, since records carry the full unified cost and re-analyzing
-//! under another metric is a pure replay), so a resumed run can trust
-//! that every line it replays was produced by an identical
-//! configuration — and cross-run comparisons can line files up by
-//! hash.
+//! shape back.
 //!
-//! Layout (`<dir>/<slug>-<hash>.jsonl`):
+//! Each record is keyed by a 128-bit FNV-1a hash of the unit's full
+//! identity — `(family, n, seed, detector id, detector configuration
+//! fingerprint, budget)` — deliberately *not* the sweep grid or the
+//! metric. Keying units instead of sweeps is what makes overlapping
+//! grids share work: extending a size ladder by one rung, adding a
+//! seed, or adding a detector leaves every previously computed unit's
+//! key unchanged, so a resumed run replays the overlap with zero
+//! detector invocations and only executes the new cells. Records carry
+//! the full unified cost, so re-analyzing under another metric is a
+//! pure replay too.
+//!
+//! Layout (`<dir>/units-v2.jsonl`):
 //!
 //! ```text
-//! {"kind":"sweep-store","config":"9f37c1…","scenario":"…","family":"…","metric":"rounds","units":40}
-//! {"unit":0,"det":"classical/C4/…","n":64,"seed":0,"status":"ok","rejected":true,"value":220,…}
-//! {"unit":1,…}
+//! {"kind":"unit-store","version":2}
+//! {"key":"8c1f…32 hex…","det":"classical/C4/…","n":64,"seed":0,"status":"ok","rejected":true,"value":220,…}
+//! {"key":"1d90…","det":…}
 //! ```
+//!
+//! Format-v1 files (sweep-keyed `<slug>-<hash>.jsonl` with a
+//! `"kind":"sweep-store"` header) may share the directory; they are
+//! detected and ignored — never misread as unit records. A
+//! `units-v2.jsonl` whose header fails to parse is moved aside to a
+//! `.corrupt` sidecar (preserving the bytes for inspection) before a
+//! fresh store is started.
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// The store's file name inside its directory (format v2).
+pub const STORE_FILE: &str = "units-v2.jsonl";
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -52,7 +67,9 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
-/// 64-bit FNV-1a over a canonical configuration string.
+/// 64-bit FNV-1a over a canonical configuration string (kept for
+/// general-purpose hashing — deterministic temp names, legacy v1 file
+/// keys).
 pub fn config_hash(canonical: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canonical.as_bytes() {
@@ -60,6 +77,44 @@ pub fn config_hash(canonical: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// 128-bit FNV-1a rendered as 32 hex characters — the content address
+/// of one work unit. 128 bits make accidental collisions across a
+/// store directory a non-concern; the engine additionally verifies
+/// `det`/`n`/`seed` on replay.
+pub fn unit_key(canonical: &str) -> String {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for b in canonical.as_bytes() {
+        h ^= u128::from(*b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    format!("{h:032x}")
+}
+
+/// The canonical identity string of one work unit — every field that
+/// changes what the unit computes, and nothing else. The metric is
+/// deliberately absent (records carry the full unified cost); the
+/// sweep grid is deliberately absent (that is the whole point of
+/// per-unit addressing). Detector ids alone are not enough — two
+/// tunings of the same algorithm share an id — so the configuration
+/// fingerprint is folded in as well.
+pub fn canonical_unit(
+    family: &str,
+    n: usize,
+    seed: u64,
+    det_id: &str,
+    det_config: &str,
+    budget: &even_cycle::Budget,
+) -> String {
+    format!(
+        "v2|family={family}|n={n}|seed={seed}|det={det_id}|config={det_config}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}",
+        budget.bandwidth,
+        budget.repetitions,
+        budget.run_to_budget,
+        budget.max_rounds,
+        budget.max_messages,
+    )
 }
 
 /// One scalar field of a parsed flat JSON object.
@@ -216,13 +271,15 @@ pub enum UnitStatus {
     Error(String),
 }
 
-/// One completed work unit: the key (`unit`, `det`, `n`, `seed`), the
-/// extracted metric `value`, and the full unified cost so stored sweeps
-/// can be re-analyzed under other metrics.
+/// One completed work unit: the content address (`key`), the
+/// human-readable identity (`det`, `n`, `seed`), the extracted metric
+/// `value`, and the full unified cost so stored sweeps can be
+/// re-analyzed under other metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitRecord {
-    /// Position in the sweep's canonical `(size, seed, detector)` order.
-    pub unit: usize,
+    /// The unit's 32-hex content address ([`unit_key`] of
+    /// [`canonical_unit`]).
+    pub key: String,
     /// The detector's registry id.
     pub det: String,
     /// Requested instance size.
@@ -233,10 +290,9 @@ pub struct UnitRecord {
     pub status: UnitStatus,
     /// Vertices of the graph actually built (families snap sizes).
     pub node_count: u64,
-    /// The metric value extracted at record time, under the metric in
-    /// the file header (informational — aggregation re-derives values
-    /// from the cost fields, which is what lets one store serve every
-    /// metric).
+    /// The metric value extracted at record time (informational —
+    /// aggregation re-derives values from the cost fields, which is
+    /// what lets one store serve every metric).
     pub value: f64,
     /// Whether the detector rejected (found a cycle).
     pub rejected: bool,
@@ -276,8 +332,8 @@ impl UnitRecord {
             UnitStatus::Error(_) => "error",
         };
         let mut line = format!(
-            "{{\"unit\":{},\"det\":\"{}\",\"n\":{},\"seed\":{},\"status\":\"{}\",\"rejected\":{},\"value\":{},\"node_count\":{},\"rounds\":{},\"supersteps\":{},\"messages\":{},\"words\":{},\"max_congestion\":{},\"iterations\":{}",
-            self.unit,
+            "{{\"key\":\"{}\",\"det\":\"{}\",\"n\":{},\"seed\":{},\"status\":\"{}\",\"rejected\":{},\"value\":{},\"node_count\":{},\"rounds\":{},\"supersteps\":{},\"messages\":{},\"words\":{},\"max_congestion\":{},\"iterations\":{}",
+            json_escape(&self.key),
             json_escape(&self.det),
             self.n,
             self.seed,
@@ -314,7 +370,7 @@ impl UnitRecord {
             _ => return None,
         };
         Some(UnitRecord {
-            unit: map.get("unit")?.as_u64()? as usize,
+            key: map.get("key")?.as_str()?.to_string(),
             det: map.get("det")?.as_str()?.to_string(),
             n: map.get("n")?.as_u64()? as usize,
             seed: map.get("seed")?.as_u64()?,
@@ -332,53 +388,43 @@ impl UnitRecord {
     }
 }
 
-/// Header metadata written as the file's first line, for humans and
-/// for the hash check on resume.
-#[derive(Debug, Clone)]
-pub struct StoreMeta {
-    /// Scenario name.
-    pub scenario: String,
-    /// Family name.
-    pub family: String,
-    /// Metric label.
-    pub metric: String,
-    /// Total units of the full sweep.
-    pub units: usize,
-}
-
-/// The on-disk store for one sweep configuration.
+/// The on-disk per-unit store for one store directory.
 #[derive(Debug)]
 pub struct ResultStore {
     path: PathBuf,
-    loaded: HashMap<usize, UnitRecord>,
+    loaded: HashMap<String, UnitRecord>,
 }
 
 impl ResultStore {
-    /// Opens (or creates) the store for the configuration hash under
-    /// `dir`, loading every resumable record. A file whose header does
-    /// not match `hash` is discarded and rewritten — the filename
-    /// embeds the hash, so a mismatch means the file was corrupted or
-    /// hand-edited. A crash-truncated trailing line (no final newline)
-    /// is terminated on open so the partial record is skipped once and
-    /// later appends land on a fresh line instead of concatenating.
+    /// Opens (or creates) the store under `dir`, loading every
+    /// resumable record.
+    ///
+    /// * A crash-truncated trailing line (no final newline) is sealed
+    ///   on open so the partial record is skipped once and later
+    ///   appends land on a fresh line instead of concatenating.
+    /// * A `units-v2.jsonl` whose header is not a valid v2 header is
+    ///   moved to a `.corrupt` sidecar (noted on stderr) instead of
+    ///   being destroyed — the data may be hand-edited or otherwise
+    ///   worth inspecting.
+    /// * Legacy format-v1 sweep-keyed files in the same directory are
+    ///   detected and ignored (noted on stderr), never misread.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from creating the directory or file.
-    pub fn open(dir: &Path, hash: u64, meta: &StoreMeta) -> std::io::Result<ResultStore> {
+    pub fn open(dir: &Path) -> std::io::Result<ResultStore> {
         std::fs::create_dir_all(dir)?;
-        let slug: String = meta
-            .scenario
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '-'
-                }
-            })
-            .collect();
-        let path = dir.join(format!("{}-{:016x}.jsonl", slug.trim_matches('-'), hash));
+        let path = dir.join(STORE_FILE);
+
+        let legacy = legacy_v1_files(dir);
+        if !legacy.is_empty() {
+            eprintln!(
+                "note: ignoring {} legacy sweep-keyed (v1) store file(s) in {} — \
+                 the per-unit (v2) store does not read them",
+                legacy.len(),
+                dir.display(),
+            );
+        }
 
         let mut loaded = HashMap::new();
         let mut valid_header = false;
@@ -395,38 +441,58 @@ impl ResultStore {
             }
             for (idx, line) in content.lines().enumerate() {
                 if idx == 0 {
-                    valid_header = parse_flat(line)
-                        .and_then(|m| m.get("config").and_then(Field::as_str).map(String::from))
-                        .is_some_and(|h| h == format!("{hash:016x}"));
+                    valid_header = parse_flat(line).is_some_and(|m| {
+                        m.get("kind").and_then(Field::as_str) == Some("unit-store")
+                            && m.get("version").and_then(Field::as_u64) == Some(2)
+                    });
                     if !valid_header {
                         break;
                     }
                     continue;
                 }
                 if let Some(record) = UnitRecord::from_line(line) {
-                    loaded.insert(record.unit, record);
+                    loaded.insert(record.key.clone(), record);
                 }
+            }
+            // An empty file (a crash between create and the header
+            // write) holds no data worth preserving — reinitialize it
+            // in place. Anything else unreadable moves aside intact.
+            if !valid_header && !content.is_empty() {
+                let sidecar = corrupt_sidecar(&path);
+                std::fs::rename(&path, &sidecar)?;
+                eprintln!(
+                    "warning: {} has an unreadable header; moved it to {} and started a fresh store",
+                    path.display(),
+                    sidecar.display(),
+                );
             }
         }
         if !valid_header {
             loaded.clear();
             let mut file = std::fs::File::create(&path)?;
-            writeln!(
-                file,
-                "{{\"kind\":\"sweep-store\",\"config\":\"{:016x}\",\"scenario\":\"{}\",\"family\":\"{}\",\"metric\":\"{}\",\"units\":{}}}",
-                hash,
-                json_escape(&meta.scenario),
-                json_escape(&meta.family),
-                json_escape(&meta.metric),
-                meta.units,
-            )?;
+            writeln!(file, "{{\"kind\":\"unit-store\",\"version\":2}}")?;
         }
         Ok(ResultStore { path, loaded })
     }
 
-    /// The records replayable from disk, keyed by unit index.
-    pub fn loaded(&self) -> &HashMap<usize, UnitRecord> {
+    /// The records replayable from disk, keyed by content address.
+    pub fn loaded(&self) -> &HashMap<String, UnitRecord> {
         &self.loaded
+    }
+
+    /// Looks up one record by its content address.
+    pub fn get(&self, key: &str) -> Option<&UnitRecord> {
+        self.loaded.get(key)
+    }
+
+    /// Number of replayable records.
+    pub fn len(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// Whether the store holds no replayable records.
+    pub fn is_empty(&self) -> bool {
+        self.loaded.is_empty()
     }
 
     /// The store's file path.
@@ -445,19 +511,69 @@ impl ResultStore {
             writeln!(file, "{}", record.to_line())?;
         }
         for record in records {
-            self.loaded.insert(record.unit, record.clone());
+            self.loaded.insert(record.key.clone(), record.clone());
         }
         Ok(())
     }
+}
+
+/// The legacy (v1, sweep-keyed) store files present in `dir`: any other
+/// `.jsonl` file whose first line is a `"kind":"sweep-store"` header.
+fn legacy_v1_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl")
+            || path.file_name().and_then(|f| f.to_str()) == Some(STORE_FILE)
+        {
+            continue;
+        }
+        // Only the first line decides; v1 files can be huge, so never
+        // slurp the whole thing.
+        let Ok(file) = std::fs::File::open(&path) else {
+            continue;
+        };
+        let mut first_line = String::new();
+        if std::io::BufRead::read_line(&mut std::io::BufReader::new(file), &mut first_line).is_err()
+        {
+            continue;
+        }
+        let is_v1 = parse_flat(&first_line)
+            .is_some_and(|m| m.get("kind").and_then(Field::as_str) == Some("sweep-store"));
+        if is_v1 {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A free `.corrupt` sidecar name next to `path` (numbered when a
+/// previous corruption already claimed the plain one).
+fn corrupt_sidecar(path: &Path) -> PathBuf {
+    let base = PathBuf::from(format!("{}.corrupt", path.display()));
+    if !base.exists() {
+        return base;
+    }
+    for i in 1.. {
+        let numbered = PathBuf::from(format!("{}.corrupt-{i}", path.display()));
+        if !numbered.exists() {
+            return numbered;
+        }
+    }
+    unreachable!("some sidecar index is free")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample(unit: usize) -> UnitRecord {
+    fn sample(key: &str) -> UnitRecord {
         UnitRecord {
-            unit,
+            key: key.to_string(),
             det: "classical/C4/color-bfs".to_string(),
             n: 64,
             seed: 3,
@@ -474,6 +590,14 @@ mod tests {
         }
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ec-store-{tag}-{}-{:x}",
+            std::process::id(),
+            config_hash(tag)
+        ))
+    }
+
     #[test]
     fn record_roundtrips_through_its_line() {
         for status in [
@@ -481,7 +605,7 @@ mod tests {
             UnitStatus::BudgetExceeded,
             UnitStatus::Error("step limit \"64\" exceeded".to_string()),
         ] {
-            let mut r = sample(7);
+            let mut r = sample("00aa");
             r.status = status;
             let parsed = UnitRecord::from_line(&r.to_line()).expect("roundtrip");
             assert_eq!(parsed, r);
@@ -490,35 +614,87 @@ mod tests {
 
     #[test]
     fn f64_values_roundtrip_exactly() {
-        let mut r = sample(0);
+        let mut r = sample("00bb");
         r.value = 1.0 / 3.0;
         let parsed = UnitRecord::from_line(&r.to_line()).unwrap();
         assert_eq!(parsed.value.to_bits(), r.value.to_bits());
     }
 
     #[test]
-    fn hash_is_stable_and_sensitive() {
-        let a = config_hash("family|64,128|0,1,2|rounds");
-        assert_eq!(a, config_hash("family|64,128|0,1,2|rounds"));
-        assert_ne!(a, config_hash("family|64,128|0,1,2|words"));
+    fn unit_key_is_stable_and_sensitive() {
+        let canonical = canonical_unit(
+            "planted C4 on trees",
+            64,
+            3,
+            "classical/C4/color-bfs",
+            "Params { k: 2 }",
+            &even_cycle::Budget::classical(),
+        );
+        let a = unit_key(&canonical);
+        assert_eq!(a.len(), 32, "32 hex chars of 128-bit FNV-1a");
+        assert_eq!(a, unit_key(&canonical));
+        // Every identity component must move the key.
+        let b = even_cycle::Budget::classical().with_bandwidth(2);
+        for other in [
+            canonical_unit(
+                "random trees",
+                64,
+                3,
+                "classical/C4/color-bfs",
+                "Params { k: 2 }",
+                &even_cycle::Budget::classical(),
+            ),
+            canonical_unit(
+                "planted C4 on trees",
+                65,
+                3,
+                "classical/C4/color-bfs",
+                "Params { k: 2 }",
+                &even_cycle::Budget::classical(),
+            ),
+            canonical_unit(
+                "planted C4 on trees",
+                64,
+                4,
+                "classical/C4/color-bfs",
+                "Params { k: 2 }",
+                &even_cycle::Budget::classical(),
+            ),
+            canonical_unit(
+                "planted C4 on trees",
+                64,
+                3,
+                "classical/C6/color-bfs",
+                "Params { k: 2 }",
+                &even_cycle::Budget::classical(),
+            ),
+            canonical_unit(
+                "planted C4 on trees",
+                64,
+                3,
+                "classical/C4/color-bfs",
+                "Params { k: 3 }",
+                &even_cycle::Budget::classical(),
+            ),
+            canonical_unit(
+                "planted C4 on trees",
+                64,
+                3,
+                "classical/C4/color-bfs",
+                "Params { k: 2 }",
+                &b,
+            ),
+        ] {
+            assert_ne!(a, unit_key(&other));
+        }
     }
 
     #[test]
     fn truncated_trailing_line_is_sealed_not_concatenated() {
-        let dir = std::env::temp_dir().join(format!(
-            "ec-store-trunc-{}-{:x}",
-            std::process::id(),
-            config_hash("truncated_trailing_line")
-        ));
-        let meta = StoreMeta {
-            scenario: "trunc".to_string(),
-            family: "trees".to_string(),
-            metric: "rounds".to_string(),
-            units: 2,
-        };
-        let hash = 0x5eed_u64;
-        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
-        store.append(&[sample(0)]).unwrap();
+        let dir = temp_dir("trunc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.append(&[sample("aa00")]).unwrap();
 
         // Simulate a crash mid-append: a partial record with no newline.
         {
@@ -526,47 +702,100 @@ mod tests {
                 .append(true)
                 .open(store.path())
                 .unwrap();
-            write!(f, "{{\"unit\":1,\"det\":\"classi").unwrap();
+            write!(f, "{{\"key\":\"bb11\",\"det\":\"classi").unwrap();
         }
 
-        // Reopen: unit 0 replays, the partial unit 1 does not.
-        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
-        assert_eq!(store.loaded().len(), 1);
-        assert!(store.loaded().contains_key(&0));
+        // Reopen: aa00 replays, the partial bb11 does not.
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.get("aa00").is_some());
 
-        // Appending the recomputed unit 1 must land on its own line.
-        store.append(&[sample(1)]).unwrap();
-        let reopened = ResultStore::open(&dir, hash, &meta).unwrap();
-        assert_eq!(reopened.loaded().len(), 2);
-        assert_eq!(reopened.loaded()[&1], sample(1));
+        // Appending the recomputed record must land on its own line.
+        store.append(&[sample("bb11")]).unwrap();
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("bb11"), Some(&sample("bb11")));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn open_append_reopen_replays() {
-        let dir = std::env::temp_dir().join(format!(
-            "ec-store-test-{}-{:x}",
-            std::process::id(),
-            config_hash("open_append_reopen_replays")
-        ));
-        let meta = StoreMeta {
-            scenario: "smoke".to_string(),
-            family: "trees".to_string(),
-            metric: "rounds".to_string(),
-            units: 2,
-        };
-        let hash = 0xabcd_1234_u64;
-        let mut store = ResultStore::open(&dir, hash, &meta).unwrap();
-        assert!(store.loaded().is_empty());
-        store.append(&[sample(0), sample(1)]).unwrap();
+        let dir = temp_dir("reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.append(&[sample("aa00"), sample("bb11")]).unwrap();
 
-        let reopened = ResultStore::open(&dir, hash, &meta).unwrap();
-        assert_eq!(reopened.loaded().len(), 2);
-        assert_eq!(reopened.loaded()[&0], sample(0));
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("aa00"), Some(&sample("aa00")));
+        // A key never stored must not replay.
+        assert!(reopened.get("cc22").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
-        // A different hash must not replay the old records.
-        let fresh = ResultStore::open(&dir, hash + 1, &meta).unwrap();
-        assert!(fresh.loaded().is_empty());
+    #[test]
+    fn corrupt_header_moves_to_sidecar() {
+        let dir = temp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(STORE_FILE);
+        std::fs::write(&path, "this is not a store\n").unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty(), "corrupt data must not replay");
+        let sidecar = dir.join(format!("{STORE_FILE}.corrupt"));
+        assert_eq!(
+            std::fs::read_to_string(&sidecar).unwrap(),
+            "this is not a store\n",
+            "the original bytes must be preserved, not destroyed"
+        );
+
+        // A second corruption gets a numbered sidecar.
+        std::fs::write(&path, "still not a store\n").unwrap();
+        let _ = ResultStore::open(&dir).unwrap();
+        assert!(dir.join(format!("{STORE_FILE}.corrupt-1")).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_is_reinitialized_not_quarantined() {
+        // A crash between File::create and the header write leaves a
+        // 0-byte file; it holds nothing worth preserving, so open must
+        // rewrite it in place instead of minting .corrupt sidecars.
+        let dir = temp_dir("empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(STORE_FILE), "").unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.join(format!("{STORE_FILE}.corrupt")).exists());
+        assert!(std::fs::read_to_string(store.path())
+            .unwrap()
+            .starts_with("{\"kind\":\"unit-store\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_ignored_untouched() {
+        let dir = temp_dir("legacy");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("old-sweep-0123456789abcdef.jsonl");
+        let v1_content = "{\"kind\":\"sweep-store\",\"config\":\"0123456789abcdef\",\"scenario\":\"old\",\"family\":\"trees\",\"metric\":\"rounds\",\"units\":4}\n{\"unit\":0,\"det\":\"x\",\"n\":24,\"seed\":0,\"status\":\"ok\",\"rejected\":false,\"value\":1,\"node_count\":24,\"rounds\":1,\"supersteps\":1,\"messages\":1,\"words\":1,\"max_congestion\":1,\"iterations\":1}\n";
+        std::fs::write(&v1, v1_content).unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(
+            store.is_empty(),
+            "v1 records must not be misread as v2 units"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&v1).unwrap(),
+            v1_content,
+            "v1 files are ignored, not rewritten"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

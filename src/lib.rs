@@ -83,7 +83,7 @@ pub use congest_quantum as quantum;
 pub use congest_sim as sim;
 pub use even_cycle as cycle;
 
-pub use engine::{Engine, RunProfile};
+pub use engine::{Engine, RunProfile, Schedule, ScheduleOrder};
 pub use even_cycle::{Budget, Descriptor, Detection, Detector, Model, RunCost, Target, Verdict};
 pub use registry::DetectorRegistry;
 pub use scenario::{GraphFamily, Metric, Scenario, ScenarioReport};

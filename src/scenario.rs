@@ -11,9 +11,12 @@
 //! worker pool ([`Scenario::workers`], or the `EVEN_CYCLE_WORKERS`
 //! environment variable), with results re-assembled in unit order so
 //! the report is byte-identical to a sequential run. With
-//! [`Scenario::store`] set, every unit lands in a JSONL result store
-//! keyed by a config hash, and re-running a completed sweep replays the
-//! store without invoking any detector.
+//! [`Scenario::store`] set, every unit lands in a per-unit
+//! content-addressed JSONL result store: re-running a completed sweep
+//! replays the store without invoking any detector, and extending the
+//! grid (a size rung, a seed, a detector) executes only the new cells.
+//! [`Scenario::schedule`] picks the dispatch order and an optional
+//! wall-clock cap for progressive refinement of expensive sweeps.
 //!
 //! ```
 //! use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
@@ -38,7 +41,7 @@ use congest_graph::{generators, Graph};
 use even_cycle::{Budget, Descriptor, Detector};
 
 use crate::engine::store::{json_escape, json_f64};
-use crate::engine::Engine;
+use crate::engine::{Engine, Schedule};
 
 /// A sized, seeded family of instances: `build(n, seed)` produces a
 /// graph of (approximately) `n` vertices. Builders are shared across
@@ -211,6 +214,7 @@ pub struct Scenario {
     pub(crate) metric: Metric,
     pub(crate) workers: Option<usize>,
     pub(crate) store: Option<PathBuf>,
+    pub(crate) schedule: Option<Schedule>,
 }
 
 impl Scenario {
@@ -226,6 +230,7 @@ impl Scenario {
             metric: Metric::Rounds,
             workers: None,
             store: None,
+            schedule: None,
         }
     }
 
@@ -271,11 +276,22 @@ impl Scenario {
     }
 
     /// Persists every work unit to a JSONL result store under `dir`
-    /// (keyed by a hash of the sweep configuration) and resumes from it:
-    /// units already in the store are replayed without invoking their
-    /// detector.
+    /// (each unit content-addressed by its full identity) and resumes
+    /// from it: units already in the store — including units computed
+    /// by previous, smaller grids — are replayed without invoking
+    /// their detector.
     pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = Some(dir.into());
+        self
+    }
+
+    /// Sets the scheduling policy: dispatch order (in-order or
+    /// cheapest-estimated-first) and an optional wall-clock cap under
+    /// which undispatched units are skipped, counted, and resumed from
+    /// the store on the next run. Default: the engine's in-order,
+    /// uncapped schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
         self
     }
 
@@ -294,6 +310,9 @@ impl Scenario {
         }
         if let Some(dir) = &self.store {
             engine = engine.with_store(dir.clone());
+        }
+        if let Some(schedule) = self.schedule {
+            engine = engine.with_schedule(schedule);
         }
         engine.run(self, detectors)
     }
@@ -326,6 +345,9 @@ pub struct ScenarioRow {
     pub errors: u64,
     /// Runs aborted by a [`Budget`] cap (excluded from averages).
     pub budget_exceeded: u64,
+    /// Units never dispatched because the schedule's wall-clock cap
+    /// elapsed first (resumable from the result store).
+    pub skipped: u64,
 }
 
 /// The rendered result of a scenario run.
@@ -346,6 +368,14 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
+    /// Total units skipped across all rows by the schedule's
+    /// wall-clock cap (0 for an uncapped or finished sweep). Non-zero
+    /// means the report is a resumable partial: re-running with the
+    /// same store picks up the skipped units.
+    pub fn skipped_units(&self) -> u64 {
+        self.rows.iter().map(|r| r.skipped).sum()
+    }
+
     /// Renders an aligned text block: one line per detector with the
     /// fitted vs theoretical exponent, then the per-size samples.
     pub fn render(&self) -> String {
@@ -368,9 +398,14 @@ impl ScenarioReport {
             } else {
                 String::new()
             };
+            let skipped = if row.skipped > 0 {
+                format!("  skipped {}", row.skipped)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{:<44} fit {:<8} theory n^{:.3}  rejections {}  errors {}{}\n",
-                row.id, fit, row.descriptor.exponent, row.rejections, row.errors, capped
+                "{:<44} fit {:<8} theory n^{:.3}  rejections {}  errors {}{}{}\n",
+                row.id, fit, row.descriptor.exponent, row.rejections, row.errors, capped, skipped
             ));
             for &(n, v) in &row.samples {
                 out.push_str(&format!("    n = {n:>7}  ->  {v:>14.1}\n"));
@@ -396,7 +431,7 @@ impl ScenarioReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":\"{}\",\"model\":\"{}\",\"target\":\"{}\",\"reference\":\"{}\",\"theory_exponent\":{},\"fitted_exponent\":{},\"fitted_constant\":{},\"rejections\":{},\"errors\":{},\"budget_exceeded\":{},\"samples\":[",
+                "{{\"id\":\"{}\",\"model\":\"{}\",\"target\":\"{}\",\"reference\":\"{}\",\"theory_exponent\":{},\"fitted_exponent\":{},\"fitted_constant\":{},\"rejections\":{},\"errors\":{},\"budget_exceeded\":{},\"skipped\":{},\"samples\":[",
                 json_escape(&row.id),
                 row.descriptor.model.label(),
                 json_escape(&row.descriptor.target.label()),
@@ -407,6 +442,7 @@ impl ScenarioReport {
                 row.rejections,
                 row.errors,
                 row.budget_exceeded,
+                row.skipped,
             ));
             for (j, &(n, v)) in row.samples.iter().enumerate() {
                 if j > 0 {

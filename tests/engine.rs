@@ -201,7 +201,9 @@ fn store_resume_invokes_no_detector() {
     assert_eq!(calls.load(Ordering::Relaxed), 2 * units);
 
     // So must a re-tuned detector behind the same registry id: the
-    // config fingerprint separates the store keys.
+    // config fingerprint separates the unit keys. Per-unit addressing
+    // means only the re-tuned detector's own cells re-execute — the
+    // unchanged detector's units replay from the store.
     let retuned = CycleDetector::new(Params::practical(2).with_repetitions(5));
     let cr = Counting {
         inner: &retuned,
@@ -211,8 +213,8 @@ fn store_resume_invokes_no_detector() {
     let _ = scenario().run(&retuned_dets);
     assert_eq!(
         calls.load(Ordering::Relaxed),
-        3 * units,
-        "a re-tuned detector with the same id must not replay stale records"
+        2 * units + units / 2,
+        "a re-tuned detector must re-execute its own units (and only those)"
     );
 
     std::fs::remove_dir_all(&dir).ok();
@@ -269,6 +271,205 @@ fn partial_store_resumes_only_missing_units() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn grid_extension_replays_every_overlapping_unit() {
+    // The acceptance criterion of the per-unit store: extending a sweep
+    // grid by one rung — a size, a seed, or a detector — replays all
+    // overlapping units with zero detector invocations and executes
+    // only the new cells.
+    let dir = std::env::temp_dir().join(format!("ec-engine-extend-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let a = CycleDetector::new(Params::practical(2).with_repetitions(3));
+    let b = OddCycleDetector::new(2, 20);
+    let calls = AtomicU64::new(0);
+    let ca = Counting {
+        inner: &a,
+        calls: &calls,
+    };
+    let cb = Counting {
+        inner: &b,
+        calls: &calls,
+    };
+    let base = |sizes: &[usize], seeds: std::ops::Range<u64>| {
+        Scenario::new("extension grid", GraphFamily::planted_cycle(4))
+            .sizes(sizes)
+            .seeds(seeds)
+            .workers(2)
+            .store(&dir)
+    };
+
+    // Seed sweep: 2 sizes × 2 seeds × 1 detector.
+    let one_det: Vec<&dyn Detector> = vec![&ca];
+    let _ = base(&[24, 32], 0..2).run(&one_det);
+    assert_eq!(calls.load(Ordering::Relaxed), 4);
+
+    // Extend the size ladder by one rung: only the new rung's units run.
+    let _ = base(&[24, 32, 48], 0..2).run(&one_det);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        4 + 2,
+        "the 2 overlapping sizes must replay; only n = 48 executes"
+    );
+
+    // Extend the seed range by one: only the new seed's units run.
+    let _ = base(&[24, 32, 48], 0..3).run(&one_det);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        6 + 3,
+        "seeds 0..2 must replay; only seed 2 executes"
+    );
+
+    // Add a detector: only its units run.
+    let two_dets: Vec<&dyn Detector> = vec![&ca, &cb];
+    let full = base(&[24, 32, 48], 0..3).run(&two_dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        9 + 9,
+        "the first detector's 9 units must replay; only the new detector executes"
+    );
+
+    // And the fully replayed grid is byte-identical at any worker count.
+    let replayed = base(&[24, 32, 48], 0..3).workers(8).run(&two_dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 18, "full replay");
+    assert_eq!(full.to_json(), replayed.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_under_migration_replays_overlap_and_runs_new_rung() {
+    // Kill a sweep mid-grid (simulated by truncating the store file),
+    // extend the grid by one size rung, reopen with the per-unit store:
+    // the surviving units replay with zero invocations, and both the
+    // killed-off remainder and the new rung run live.
+    let dir = std::env::temp_dir().join(format!("ec-engine-migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let calls = AtomicU64::new(0);
+    let det = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&det];
+    let scenario = |sizes: &[usize]| {
+        Scenario::new("migration grid", GraphFamily::planted_cycle(4))
+            .sizes(sizes)
+            .seeds(0..3)
+            .store(&dir)
+    };
+
+    let _ = scenario(&[24, 32]).run(&dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 6);
+
+    // "Kill" the sweep mid-grid: keep the header and the first 4 of 6
+    // unit records.
+    let file = dir.join("units-v2.jsonl");
+    let kept: Vec<String> = std::fs::read_to_string(&file)
+        .unwrap()
+        .lines()
+        .take(5)
+        .map(String::from)
+        .collect();
+    std::fs::write(&file, kept.join("\n") + "\n").unwrap();
+
+    // Reopen with the grid extended by one rung: the 4 surviving units
+    // replay; the 2 killed units and the 3 new-rung units run live.
+    let report = scenario(&[24, 32, 48]).run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        6 + 2 + 3,
+        "4 surviving units must replay with zero invocations"
+    );
+    assert_eq!(report.rows[0].skipped, 0);
+    assert_eq!(report.rows[0].errors, 0);
+    assert_eq!(
+        report.rows[0].samples.len(),
+        3,
+        "all three rungs aggregated"
+    );
+
+    // The migrated store now covers the whole extended grid.
+    let replay = scenario(&[24, 32, 48]).run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        11,
+        "full replay after migration"
+    );
+    assert_eq!(report.to_json(), replay.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wall_clock_cap_skips_then_resumes_cleanly() {
+    use even_cycle_congest::Schedule;
+
+    let dir = std::env::temp_dir().join(format!("ec-engine-capped-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let calls = AtomicU64::new(0);
+    let det = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&det];
+    let scenario = || {
+        Scenario::new("capped grid", GraphFamily::planted_cycle(4))
+            .sizes(&[24, 32])
+            .seeds(0..2)
+            .store(&dir)
+    };
+
+    // A zero cap is already elapsed at dispatch: every unit is skipped,
+    // nothing is invoked, and the report says so.
+    let capped = scenario()
+        .schedule(Schedule::cheapest_first().with_wall_clock_cap(std::time::Duration::ZERO))
+        .run(&dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 0);
+    assert_eq!(capped.rows[0].skipped, 4);
+    assert_eq!(capped.skipped_units(), 4);
+    assert!(capped.rows[0].samples.is_empty());
+    assert!(capped.render().contains("skipped 4"));
+    assert!(capped.to_json().contains("\"skipped\":4"));
+
+    // Resuming without the cap completes the sweep...
+    let resumed = scenario().run(&dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 4);
+    assert_eq!(resumed.skipped_units(), 0);
+
+    // ...and matches a from-scratch uncapped run byte for byte.
+    let fresh_dir = std::env::temp_dir().join(format!("ec-engine-capped2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+    let fresh = Scenario::new("capped grid", GraphFamily::planted_cycle(4))
+        .sizes(&[24, 32])
+        .seeds(0..2)
+        .store(&fresh_dir)
+        .run(&dets);
+    assert_eq!(resumed.to_json(), fresh.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&fresh_dir).ok();
+}
+
+#[test]
+fn cheapest_first_report_matches_in_order() {
+    // Dispatch order must never change the aggregated report:
+    // aggregation folds records in canonical unit order.
+    use even_cycle_congest::Schedule;
+    let a = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let b = OddCycleDetector::new(2, 20);
+    let dets: Vec<&dyn Detector> = vec![&a, &b];
+    let in_order = conformance_scenario().workers(2).run(&dets);
+    let cheapest = conformance_scenario()
+        .workers(2)
+        .schedule(Schedule::cheapest_first())
+        .run(&dets);
+    assert_eq!(in_order.to_json(), cheapest.to_json());
 }
 
 #[test]
