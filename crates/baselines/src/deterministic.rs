@@ -13,9 +13,10 @@
 //! experiments only ever compare *shapes*.
 
 use congest_graph::{analysis, CycleWitness, Graph, NodeId};
-use congest_sim::{Control, Ctx, Decision, Executor, Outbox, Program, RunReport, SimError};
+use congest_sim::{Backend, Control, Ctx, Decision, Outbox, Program, RunReport, SimError};
 use even_cycle::{
-    Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target, Verdict,
+    run_program, Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target,
+    Verdict,
 };
 
 /// An edge record `(u, v)` flooded through the network; two identifier
@@ -163,10 +164,29 @@ pub fn gather_and_decide_bw(
     seed: u64,
     bandwidth: u64,
 ) -> Result<GatherOutcome, SimError> {
-    let mut exec = Executor::new(g, seed);
-    exec.set_bandwidth(bandwidth);
+    gather_and_decide_on(g, cycle_len, seed, bandwidth, Backend::Sequential)
+}
+
+/// [`gather_and_decide_bw`] on an explicit simulation [`Backend`]; the
+/// outcome is byte-identical whatever the backend.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`gather_and_decide`].
+pub fn gather_and_decide_on(
+    g: &Graph,
+    cycle_len: usize,
+    seed: u64,
+    bandwidth: u64,
+    backend: Backend,
+) -> Result<GatherOutcome, SimError> {
     let limit = 4 * (g.edge_count() as u64 + g.node_count() as u64) + 64;
-    let report = exec.run(
+    let (report, nodes) = run_program(
+        g,
+        seed,
+        backend,
+        bandwidth,
+        None,
         |_, _| GatherProgram {
             cycle_len,
             known: Vec::new(),
@@ -179,7 +199,7 @@ pub fn gather_and_decide_bw(
     let witness = report
         .rejecting_nodes
         .first()
-        .and_then(|&v| exec.nodes()[v as usize].found.clone());
+        .and_then(|&v| nodes[v as usize].found.clone());
     Ok(GatherOutcome {
         rejected: report.rejected(),
         witness,
@@ -246,8 +266,8 @@ impl Detector for GatherDetector {
 
     fn detect(&self, g: &Graph, seed: u64, budget: &Budget) -> DetectResult {
         // Deterministic and exact: the repetition override has nothing
-        // to repeat, so only the bandwidth applies.
-        let o = gather_and_decide_bw(g, self.cycle_len, seed, budget.bandwidth)?;
+        // to repeat, so only the bandwidth and backend apply.
+        let o = gather_and_decide_on(g, self.cycle_len, seed, budget.bandwidth, budget.backend)?;
         let verdict = if o.rejected {
             let cycle_length = o.witness.as_ref().map(|w| w.len());
             Verdict::Reject {

@@ -1,0 +1,234 @@
+//! `simbench` — the simulator's perf trajectory, machine-readable.
+//!
+//! Times every registry detector over a fixed, seeded n-grid on the
+//! sequential and parallel simulation backends (wall time, supersteps,
+//! supersteps/sec), plus a deliver-scaling microbenchmark that pins
+//! the touched-edge accounting of the superstep core: at fixed `n`,
+//! the per-superstep cost of a quiet protocol must stay flat as the
+//! total edge count grows (an `O(m)`-per-superstep deliver shows up
+//! here immediately).
+//!
+//! ```text
+//! cargo run --release -p even-cycle-bench --bin simbench -- \
+//!     [--smoke] [--out BENCH_sim.json]
+//! ```
+//!
+//! The output is a single JSON object (see `BENCH_sim.json`); CI runs
+//! `--smoke` and uploads the file as an artifact, so regressions in
+//! the superstep core leave a visible trail.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use congest_graph::{generators, NodeId};
+use congest_sim::{run_with_backend, Backend, Control, Ctx, Outbox, Program};
+use even_cycle_congest::registry::DetectorRegistry;
+use even_cycle_congest::scenario::GraphFamily;
+use even_cycle_congest::{Budget, RunProfile};
+
+/// The seed every measurement derives from (fixed: the grid must be
+/// comparable across commits).
+const SEED: u64 = 1;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_sim.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = it
+                    .next()
+                    .ok_or_else(|| "--out expects a path".to_string())?;
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// One quiet node keeps a single edge busy while everyone else halts
+/// immediately: per superstep the deliver touches O(1) edges on a
+/// graph whose directed-edge count the grid grows.
+#[derive(Debug)]
+struct QuietPing {
+    steps: usize,
+    holder: bool,
+}
+
+impl Program for QuietPing {
+    type Msg = u32;
+    fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u32>) {
+        if self.holder {
+            out.send(ctx.neighbors[0], 0);
+        }
+    }
+    fn step(
+        &mut self,
+        ctx: &mut Ctx,
+        s: usize,
+        _inbox: &[(NodeId, u32)],
+        out: &mut Outbox<u32>,
+    ) -> Control {
+        if self.holder && s + 1 < self.steps {
+            out.send(ctx.neighbors[0], s as u32);
+            Control::Continue
+        } else {
+            Control::Halt
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("usage: simbench [--smoke] [--out PATH]");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sizes: &[usize] = if args.smoke {
+        &[24, 32]
+    } else {
+        &[64, 128, 256]
+    };
+    let backends = [Backend::Sequential, Backend::Parallel { threads: 2 }];
+    let registry = DetectorRegistry::with_profile(2, RunProfile::FastCi);
+    let family = GraphFamily::planted_cycle(4);
+
+    // --- per-detector wall time and supersteps/sec over the grid ---
+    let mut detector_rows: Vec<String> = Vec::new();
+    for entry in registry.iter() {
+        for &n in sizes {
+            let g = family.build(n, SEED);
+            for backend in backends {
+                let budget = Budget::classical().with_backend(backend);
+                // One unmeasured warm-up, then one timed run (the runs
+                // are seed-deterministic, so a single sample is exact
+                // up to scheduler noise).
+                let _ = entry.detector.detect(&g, SEED, &budget);
+                let t = Instant::now();
+                let detection = match entry.detector.detect(&g, SEED, &budget) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{}: n = {n}: {e}", entry.id);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let wall_ns = t.elapsed().as_nanos();
+                let supersteps = detection.cost.supersteps;
+                let sps = if wall_ns > 0 && supersteps > 0 {
+                    format!("{:.1}", supersteps as f64 / (wall_ns as f64 / 1e9))
+                } else {
+                    "null".to_string()
+                };
+                detector_rows.push(format!(
+                    "{{\"id\":\"{}\",\"n\":{},\"node_count\":{},\"backend\":\"{}\",\"wall_ns\":{},\"rounds\":{},\"supersteps\":{},\"supersteps_per_sec\":{}}}",
+                    json_str(&entry.id),
+                    n,
+                    g.node_count(),
+                    backend.label(),
+                    wall_ns,
+                    detection.cost.rounds,
+                    supersteps,
+                    sps,
+                ));
+                eprintln!(
+                    "{:<44} n {:>4}  {:<12} {:>10} ns",
+                    entry.id,
+                    n,
+                    backend.label(),
+                    wall_ns
+                );
+            }
+        }
+    }
+
+    // --- deliver scaling: fixed n, growing edge count, quiet load ---
+    // With touched-edge accounting the per-superstep cost must not
+    // scale with the total (directed) edge count; before the unified
+    // core, the parallel deliver zeroed the full edge_words vector
+    // every superstep and this sweep grew linearly in m.
+    let (dn, steps) = if args.smoke {
+        (4_000, 128)
+    } else {
+        (20_000, 512)
+    };
+    let mut deliver_rows: Vec<String> = Vec::new();
+    for deg in [2.0f64, 8.0, 32.0] {
+        let g = generators::erdos_renyi(dn, deg / dn as f64, 7);
+        // Sparse ER graphs have isolated vertices; the pinger must be
+        // a node that actually has a neighbor to keep an edge busy.
+        let holder = g
+            .nodes()
+            .find(|&v| g.degree(v) >= 1)
+            .expect("bench graph has at least one edge");
+        for backend in backends {
+            let build = |v: NodeId, _: usize| QuietPing {
+                steps,
+                holder: v == holder,
+            };
+            // Warm-up, then timed.
+            let _ = run_with_backend(&g, SEED, backend, 1, None, build, steps as u64 + 4);
+            let t = Instant::now();
+            let (report, _) = run_with_backend(&g, SEED, backend, 1, None, build, steps as u64 + 4)
+                .expect("quiet ping cannot violate the model");
+            let ns_per_superstep = t.elapsed().as_nanos() / u128::from(report.supersteps.max(1));
+            deliver_rows.push(format!(
+                "{{\"n\":{},\"directed_edges\":{},\"backend\":\"{}\",\"supersteps\":{},\"ns_per_superstep\":{}}}",
+                dn,
+                g.directed_edge_count(),
+                backend.label(),
+                report.supersteps,
+                ns_per_superstep,
+            ));
+            eprintln!(
+                "deliver n {dn:>6}  m_dir {:>8}  {:<12} {ns_per_superstep:>9} ns/superstep",
+                g.directed_edge_count(),
+                backend.label(),
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\"bench\":\"sim\",\"smoke\":{},\"seed\":{},\"profile\":\"{}\",\"detectors\":[{}],\"deliver_scaling\":[{}]}}",
+        args.smoke,
+        SEED,
+        RunProfile::FastCi.name(),
+        detector_rows.join(","),
+        deliver_rows.join(","),
+    );
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    ExitCode::SUCCESS
+}

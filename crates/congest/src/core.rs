@@ -1,0 +1,415 @@
+//! The shared superstep core behind every executor.
+//!
+//! [`crate::Executor`] and [`crate::parallel::ParallelExecutor`] used
+//! to be two parallel implementations of the same synchronous loop,
+//! and they drifted: the parallel path zeroed the full `edge_words`
+//! vector (length `2m`) every superstep where the sequential path only
+//! reset touched edges, reallocated a fresh `Vec<Outbox>` per phase,
+//! and silently dropped [`CutMeter`] support. This module is the one
+//! loop both now drive; the only pluggable piece is the
+//! [`StepStrategy`] deciding how the node-step phase runs (on the
+//! calling thread, or chunked across scoped workers).
+//!
+//! Determinism invariant: message *delivery* is always sequential in
+//! sender order, and each node's randomness is its own seeded stream,
+//! so transcripts are byte-identical whatever the strategy or thread
+//! count (asserted by the conformance suites).
+//!
+//! Hot-path choices, in one place instead of two:
+//!
+//! * **Touched-edge accounting** — `edge_words` is allocated once and
+//!   only the entries actually written in a superstep are reset, so a
+//!   quiet superstep costs `O(touched)`, not `O(m)`.
+//! * **Buffer reuse** — outboxes, inboxes, and RNG streams live for
+//!   the whole run; delivery drains outboxes in place (retaining their
+//!   capacity) instead of reallocating a `Vec<Outbox>` every phase.
+//! * **CSR edge bases** — the dense directed-edge index of
+//!   `(v, i-th neighbor)` is `edge_base[v] + i`; broadcasts charge
+//!   edges without any per-neighbor binary search, and point-to-point
+//!   sends do a single neighbor-list search.
+
+use congest_graph::{Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cut::CutMeter;
+use crate::derive_seed;
+use crate::error::SimError;
+use crate::message::MessageSize;
+use crate::metrics::{CongestionStats, RunReport};
+use crate::program::{Control, Ctx, Decision, Outbox, Program};
+
+/// How the node-step phase of each superstep executes. The strategy
+/// steps (or, at superstep `None`, initializes) every live node
+/// exactly once, writing sends into `outboxes` — everything else
+/// (delivery, accounting, halting bookkeeping) is shared.
+pub(crate) trait StepStrategy<P: Program> {
+    #[allow(clippy::too_many_arguments)]
+    fn run_phase(
+        &self,
+        graph: &Graph,
+        nodes: &mut [P],
+        rngs: &mut [ChaCha8Rng],
+        halted: &mut [bool],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        outboxes: &mut [Outbox<P::Msg>],
+        superstep: Option<usize>,
+    );
+}
+
+/// Steps one node (the body shared by both strategies). `v` is the
+/// node's global id; all slices are indexed by the caller's local
+/// offset.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn step_node<P: Program>(
+    graph: &Graph,
+    n: usize,
+    v: usize,
+    node: &mut P,
+    rng: &mut ChaCha8Rng,
+    halted: &mut bool,
+    inbox: &mut Vec<(NodeId, P::Msg)>,
+    out: &mut Outbox<P::Msg>,
+    superstep: Option<usize>,
+) {
+    let id = NodeId::new(v as u32);
+    let mut ctx = Ctx {
+        node: id,
+        n,
+        neighbors: graph.neighbors(id),
+        rng,
+    };
+    match superstep {
+        None => node.init(&mut ctx, out),
+        Some(s) => {
+            if *halted {
+                // Messages to halted nodes are dropped (capacity kept).
+                inbox.clear();
+                return;
+            }
+            // Take the inbox for the step, then hand its allocation
+            // back so the buffer's capacity survives the superstep.
+            let staged = std::mem::take(inbox);
+            if node.step(&mut ctx, s, &staged, out) == Control::Halt {
+                *halted = true;
+            }
+            *inbox = staged;
+            inbox.clear();
+        }
+    }
+}
+
+/// The sequential phase: every node on the calling thread. Imposes no
+/// `Send` bound, so it serves `Program`s the parallel path cannot.
+pub(crate) struct SeqPhase;
+
+impl<P: Program> StepStrategy<P> for SeqPhase {
+    fn run_phase(
+        &self,
+        graph: &Graph,
+        nodes: &mut [P],
+        rngs: &mut [ChaCha8Rng],
+        halted: &mut [bool],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        outboxes: &mut [Outbox<P::Msg>],
+        superstep: Option<usize>,
+    ) {
+        let n = nodes.len();
+        for v in 0..n {
+            step_node(
+                graph,
+                n,
+                v,
+                &mut nodes[v],
+                &mut rngs[v],
+                &mut halted[v],
+                &mut inboxes[v],
+                &mut outboxes[v],
+                superstep,
+            );
+        }
+    }
+}
+
+/// The parallel phase: per-node state split into disjoint chunks for
+/// scoped worker threads. Node order within a chunk is ascending and
+/// chunks are contiguous, so the set of per-node effects is identical
+/// to the sequential phase (they are independent by definition of the
+/// synchronous model).
+pub(crate) struct ParPhase {
+    pub threads: usize,
+}
+
+impl<P: Program + Send> StepStrategy<P> for ParPhase
+where
+    P::Msg: Send,
+{
+    fn run_phase(
+        &self,
+        graph: &Graph,
+        nodes: &mut [P],
+        rngs: &mut [ChaCha8Rng],
+        halted: &mut [bool],
+        inboxes: &mut [Vec<(NodeId, P::Msg)>],
+        outboxes: &mut [Outbox<P::Msg>],
+        superstep: Option<usize>,
+    ) {
+        let n = nodes.len();
+        let chunk = n.div_ceil(self.threads.max(1)).max(1);
+        std::thread::scope(|scope| {
+            for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in nodes
+                .chunks_mut(chunk)
+                .zip(rngs.chunks_mut(chunk))
+                .zip(halted.chunks_mut(chunk))
+                .zip(inboxes.chunks_mut(chunk))
+                .zip(outboxes.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = chunk_idx * chunk;
+                scope.spawn(move || {
+                    for (off, node) in nodes.iter_mut().enumerate() {
+                        step_node(
+                            graph,
+                            n,
+                            base + off,
+                            node,
+                            &mut rngs[off],
+                            &mut halted[off],
+                            &mut inboxes[off],
+                            &mut outs[off],
+                            superstep,
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Per-run delivery state: allocated once, reused every superstep.
+struct Delivery {
+    /// Words charged per directed edge this superstep; only the
+    /// `touched` entries are ever non-zero.
+    edge_words: Vec<u64>,
+    /// Directed-edge indices written this superstep.
+    touched: Vec<usize>,
+    /// CSR base of each node's directed-edge block: the edge to the
+    /// `i`-th neighbor of `v` has dense index `edge_base[v] + i`.
+    edge_base: Vec<usize>,
+}
+
+impl Delivery {
+    fn new(graph: &Graph) -> Delivery {
+        let n = graph.node_count();
+        let mut edge_base = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for v in graph.nodes() {
+            edge_base.push(acc);
+            acc += graph.degree(v);
+        }
+        debug_assert_eq!(acc, graph.directed_edge_count());
+        Delivery {
+            edge_words: vec![0; graph.directed_edge_count()],
+            touched: Vec::new(),
+            edge_base,
+        }
+    }
+
+    /// Delivers all pending outboxes in sender order (the determinism
+    /// anchor), returning the round cost `max(1, ⌈max_load/B⌉)` of the
+    /// superstep.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver<M: Clone + MessageSize>(
+        &mut self,
+        graph: &Graph,
+        bandwidth: u64,
+        cut: Option<&CutMeter>,
+        cut_words: &mut u64,
+        pending: &mut [Outbox<M>],
+        inboxes: &mut [Vec<(NodeId, M)>],
+        stats: &mut CongestionStats,
+    ) -> Result<u64, SimError> {
+        for &e in &self.touched {
+            self.edge_words[e] = 0;
+        }
+        self.touched.clear();
+
+        // Accounting pass: charge words per directed edge and validate
+        // that every recipient is a neighbor.
+        for (v, out) in pending.iter().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            let from = NodeId::new(v as u32);
+            let base = self.edge_base[v];
+            let neighbors = graph.neighbors(from);
+            if let Some(msg) = &out.broadcast {
+                let words = msg.words() as u64;
+                for (pos, &to) in neighbors.iter().enumerate() {
+                    self.charge(base + pos, words);
+                    stats.total_words += words;
+                    stats.total_messages += 1;
+                    if let Some(cut) = cut {
+                        if cut.crosses(from, to) {
+                            *cut_words += words;
+                        }
+                    }
+                }
+            }
+            for (to, msg) in &out.messages {
+                let pos = neighbors
+                    .binary_search(to)
+                    .map_err(|_| SimError::NotANeighbor { from, to: *to })?;
+                let words = msg.words() as u64;
+                self.charge(base + pos, words);
+                stats.total_words += words;
+                stats.total_messages += 1;
+                if let Some(cut) = cut {
+                    if cut.crosses(from, *to) {
+                        *cut_words += words;
+                    }
+                }
+            }
+        }
+
+        // Delivery pass (sender order => deterministic inbox order),
+        // draining outboxes in place so their capacity survives.
+        for (v, out) in pending.iter_mut().enumerate() {
+            let from = NodeId::new(v as u32);
+            if let Some(msg) = out.broadcast.take() {
+                for &to in graph.neighbors(from) {
+                    inboxes[to.index()].push((from, msg.clone()));
+                }
+            }
+            for (to, msg) in out.messages.drain(..) {
+                inboxes[to.index()].push((from, msg));
+            }
+        }
+
+        let max_load = self
+            .touched
+            .iter()
+            .map(|&e| self.edge_words[e])
+            .max()
+            .unwrap_or(0);
+        stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
+        Ok(max_load.div_ceil(bandwidth).max(1))
+    }
+
+    #[inline]
+    fn charge(&mut self, idx: usize, words: u64) {
+        if self.edge_words[idx] == 0 {
+            self.touched.push(idx);
+        }
+        self.edge_words[idx] += words;
+    }
+}
+
+/// Runs a program to completion under the given step strategy; the
+/// semantics of [`crate::Executor::run`], shared by every backend.
+pub(crate) fn run_loop<P, S, F>(
+    graph: &Graph,
+    seed: u64,
+    bandwidth: u64,
+    cut: Option<&CutMeter>,
+    strategy: &S,
+    mut factory: F,
+    max_supersteps: u64,
+) -> Result<(RunReport, Vec<P>), SimError>
+where
+    P: Program,
+    S: StepStrategy<P>,
+    F: FnMut(NodeId, usize) -> P,
+{
+    let n = graph.node_count();
+    let mut nodes: Vec<P> = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
+    let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
+        .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(seed, v)))
+        .collect();
+    let mut halted = vec![false; n];
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outboxes: Vec<Outbox<P::Msg>> = (0..n).map(|_| Outbox::new()).collect();
+    let mut delivery = Delivery::new(graph);
+    let mut stats = CongestionStats::default();
+    let mut cut_words: u64 = 0;
+    let mut rounds: u64 = 0;
+    let mut supersteps: u64 = 0;
+
+    // Init phase: superstep-0 sends.
+    strategy.run_phase(
+        graph,
+        &mut nodes,
+        &mut rngs,
+        &mut halted,
+        &mut inboxes,
+        &mut outboxes,
+        None,
+    );
+    if outboxes.iter().any(|o| !o.is_empty()) {
+        rounds += delivery.deliver(
+            graph,
+            bandwidth,
+            cut,
+            &mut cut_words,
+            &mut outboxes,
+            &mut inboxes,
+            &mut stats,
+        )?;
+    }
+
+    loop {
+        let all_halted = halted.iter().all(|&h| h);
+        let inbox_empty = inboxes.iter().all(Vec::is_empty);
+        if all_halted && inbox_empty {
+            break;
+        }
+        if supersteps >= max_supersteps {
+            return Err(SimError::StepLimitExceeded {
+                limit: max_supersteps,
+            });
+        }
+        strategy.run_phase(
+            graph,
+            &mut nodes,
+            &mut rngs,
+            &mut halted,
+            &mut inboxes,
+            &mut outboxes,
+            Some(supersteps as usize),
+        );
+        supersteps += 1;
+        rounds += delivery.deliver(
+            graph,
+            bandwidth,
+            cut,
+            &mut cut_words,
+            &mut outboxes,
+            &mut inboxes,
+            &mut stats,
+        )?;
+    }
+
+    let rejecting_nodes: Vec<u32> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.decision() == Decision::Reject)
+        .map(|(v, _)| v as u32)
+        .collect();
+    let decision = if rejecting_nodes.is_empty() {
+        Decision::Accept
+    } else {
+        Decision::Reject
+    };
+    Ok((
+        RunReport {
+            rounds,
+            supersteps,
+            congestion: stats,
+            decision,
+            rejecting_nodes,
+            cut_words: cut.map(|_| cut_words),
+        },
+        nodes,
+    ))
+}

@@ -1,15 +1,12 @@
 //! The logical-superstep executor.
 
 use congest_graph::{Graph, NodeId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
+use crate::core::{run_loop, SeqPhase};
 use crate::cut::CutMeter;
-use crate::derive_seed;
 use crate::error::SimError;
-use crate::message::MessageSize;
-use crate::metrics::{CongestionStats, RunReport};
-use crate::program::{Control, Ctx, Decision, Outbox, Program};
+use crate::metrics::RunReport;
+use crate::program::Program;
 
 /// Executes a [`Program`] on every vertex of a network in synchronous
 /// supersteps, charging CONGEST rounds from per-edge word loads.
@@ -78,192 +75,28 @@ impl<'g, P: Program> Executor<'g, P> {
     /// [`SimError::NotANeighbor`] if a node sends to a non-neighbor;
     /// [`SimError::StepLimitExceeded`] if any node is still running after
     /// `max_supersteps`.
-    pub fn run<F>(&mut self, mut factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
+    pub fn run<F>(&mut self, factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
     where
         F: FnMut(NodeId, usize) -> P,
     {
-        let n = self.graph.node_count();
-        self.nodes = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
-        let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
-            .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
-            .collect();
-
-        let mut halted = vec![false; n];
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut stats = CongestionStats::default();
-        let mut cut_words: u64 = if self.cut.is_some() { 0 } else { u64::MAX };
-        let mut edge_words: Vec<u64> = vec![0; self.graph.directed_edge_count()];
-        let mut touched_edges: Vec<usize> = Vec::new();
-
-        let mut rounds: u64 = 0;
-        let mut supersteps: u64 = 0;
-
-        // Init phase: superstep-0 sends.
-        let mut pending: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
-        for (v, rng) in rngs.iter_mut().enumerate() {
-            let mut out = Outbox::new();
-            let mut ctx = Ctx {
-                node: NodeId::new(v as u32),
-                n,
-                neighbors: self.graph.neighbors(NodeId::new(v as u32)),
-                rng,
-            };
-            self.nodes[v].init(&mut ctx, &mut out);
-            pending.push(out);
-        }
-        let any_sent = pending.iter().any(|o| !o.is_empty());
-        if any_sent {
-            rounds += self.deliver(
-                &mut pending,
-                &mut inboxes,
-                &mut stats,
-                &mut cut_words,
-                &mut edge_words,
-                &mut touched_edges,
-            )?;
-        }
-
-        loop {
-            let all_halted = halted.iter().all(|&h| h);
-            let inbox_empty = inboxes.iter().all(Vec::is_empty);
-            if all_halted && inbox_empty {
-                break;
-            }
-            if supersteps >= max_supersteps {
-                return Err(SimError::StepLimitExceeded {
-                    limit: max_supersteps,
-                });
-            }
-
-            pending.clear();
-            for v in 0..n {
-                let mut out = Outbox::new();
-                if !halted[v] {
-                    let inbox = std::mem::take(&mut inboxes[v]);
-                    let mut ctx = Ctx {
-                        node: NodeId::new(v as u32),
-                        n,
-                        neighbors: self.graph.neighbors(NodeId::new(v as u32)),
-                        rng: &mut rngs[v],
-                    };
-                    let control =
-                        self.nodes[v].step(&mut ctx, supersteps as usize, &inbox, &mut out);
-                    if control == Control::Halt {
-                        halted[v] = true;
-                    }
-                } else {
-                    // Messages to halted nodes are dropped.
-                    inboxes[v].clear();
-                }
-                pending.push(out);
-            }
-            supersteps += 1;
-            rounds += self.deliver(
-                &mut pending,
-                &mut inboxes,
-                &mut stats,
-                &mut cut_words,
-                &mut edge_words,
-                &mut touched_edges,
-            )?;
-        }
-
-        let rejecting_nodes: Vec<u32> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.decision() == Decision::Reject)
-            .map(|(v, _)| v as u32)
-            .collect();
-        let decision = if rejecting_nodes.is_empty() {
-            Decision::Accept
-        } else {
-            Decision::Reject
-        };
-        Ok(RunReport {
-            rounds,
-            supersteps,
-            congestion: stats,
-            decision,
-            rejecting_nodes,
-            cut_words: self.cut.as_ref().map(|_| cut_words),
-        })
-    }
-
-    /// Delivers all pending outboxes, returning the round cost of the
-    /// superstep: `max(1, max_edge ⌈words/B⌉)`.
-    fn deliver(
-        &self,
-        pending: &mut [Outbox<P::Msg>],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        stats: &mut CongestionStats,
-        cut_words: &mut u64,
-        edge_words: &mut [u64],
-        touched_edges: &mut Vec<usize>,
-    ) -> Result<u64, SimError> {
-        for &e in touched_edges.iter() {
-            edge_words[e] = 0;
-        }
-        touched_edges.clear();
-
-        let mut account = |from: NodeId, to: NodeId, words: u64| -> Result<(), SimError> {
-            let idx = self
-                .graph
-                .directed_edge_index(from, to)
-                .ok_or(SimError::NotANeighbor { from, to })?;
-            if edge_words[idx] == 0 {
-                touched_edges.push(idx);
-            }
-            edge_words[idx] += words;
-            stats.total_words += words;
-            stats.total_messages += 1;
-            if let Some(cut) = &self.cut {
-                if cut.crosses(from, to) {
-                    *cut_words += words;
-                }
-            }
-            Ok(())
-        };
-
-        for (v, out) in pending.iter().enumerate() {
-            let from = NodeId::new(v as u32);
-            if let Some(msg) = &out.broadcast {
-                let words = msg.words() as u64;
-                for &to in self.graph.neighbors(from) {
-                    account(from, to, words)?;
-                }
-            }
-            for (to, msg) in &out.messages {
-                account(from, *to, msg.words() as u64)?;
-            }
-        }
-
-        // Deliver (sender order => deterministic inbox order).
-        for (v, out) in pending.iter_mut().enumerate() {
-            let from = NodeId::new(v as u32);
-            if let Some(msg) = out.broadcast.take() {
-                for &to in self.graph.neighbors(from) {
-                    inboxes[to.index()].push((from, msg.clone()));
-                }
-            }
-            for (to, msg) in out.messages.drain(..) {
-                inboxes[to.index()].push((from, msg));
-            }
-        }
-
-        let max_load = touched_edges
-            .iter()
-            .map(|&e| edge_words[e])
-            .max()
-            .unwrap_or(0);
-        stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
-        Ok(max_load.div_ceil(self.bandwidth).max(1))
+        let (report, nodes) = run_loop(
+            self.graph,
+            self.seed,
+            self.bandwidth,
+            self.cut.as_ref(),
+            &SeqPhase,
+            factory,
+            max_supersteps,
+        )?;
+        self.nodes = nodes;
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{Control, Ctx, Decision, Outbox};
     use congest_graph::generators;
 
     /// Every node broadcasts its id once, then halts after hearing all

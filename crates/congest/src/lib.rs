@@ -68,6 +68,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+mod core;
 mod cut;
 mod error;
 mod executor;
@@ -79,12 +81,61 @@ pub mod strict;
 pub mod trace;
 pub mod wire;
 
+pub use backend::Backend;
 pub use cut::CutMeter;
 pub use error::SimError;
 pub use executor::Executor;
 pub use message::MessageSize;
 pub use metrics::{CongestionStats, RunReport};
 pub use program::{Control, Ctx, Decision, Outbox, Program};
+
+use congest_graph::{Graph, NodeId};
+
+/// Runs a program under the given [`Backend`], returning the report
+/// and the final per-node states. This is the one entry point every
+/// detector hot loop routes through: the [`Executor`] /
+/// [`parallel::ParallelExecutor`] pair share a single superstep core,
+/// so the report and node states are byte-identical whatever the
+/// backend or thread count.
+///
+/// # Errors
+///
+/// Same as [`Executor::run`].
+pub fn run_with_backend<P, F>(
+    graph: &Graph,
+    seed: u64,
+    backend: Backend,
+    bandwidth: u64,
+    cut: Option<CutMeter>,
+    factory: F,
+    max_supersteps: u64,
+) -> Result<(RunReport, Vec<P>), SimError>
+where
+    P: Program + Send,
+    P::Msg: Send,
+    F: FnMut(NodeId, usize) -> P,
+{
+    match backend.effective_threads(graph.node_count()) {
+        0 | 1 => core::run_loop(
+            graph,
+            seed,
+            bandwidth,
+            cut.as_ref(),
+            &core::SeqPhase,
+            factory,
+            max_supersteps,
+        ),
+        threads => core::run_loop(
+            graph,
+            seed,
+            bandwidth,
+            cut.as_ref(),
+            &core::ParPhase { threads },
+            factory,
+            max_supersteps,
+        ),
+    }
+}
 
 /// Derives a stream-specific 64-bit seed from a master seed and a stream
 /// label, via SplitMix64 finalization. Used everywhere a sub-component

@@ -9,14 +9,13 @@
 //! equivalence with the sequential executor.
 
 use congest_graph::{Graph, NodeId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-use crate::derive_seed;
+use crate::backend;
+use crate::core::{run_loop, ParPhase};
+use crate::cut::CutMeter;
 use crate::error::SimError;
-use crate::message::MessageSize;
-use crate::metrics::{CongestionStats, RunReport};
-use crate::program::{Control, Ctx, Decision, Outbox, Program};
+use crate::metrics::RunReport;
+use crate::program::Program;
 
 /// A parallel CONGEST executor; see [`crate::Executor`] for the model
 /// semantics. Programs must be `Send` (they live on worker threads).
@@ -26,6 +25,7 @@ pub struct ParallelExecutor<'g, P: Program> {
     seed: u64,
     bandwidth: u64,
     threads: usize,
+    cut: Option<CutMeter>,
     nodes: Vec<P>,
 }
 
@@ -33,17 +33,18 @@ impl<'g, P: Program + Send> ParallelExecutor<'g, P>
 where
     P::Msg: Send,
 {
-    /// Creates a parallel executor with as many workers as available
-    /// parallelism (at least 1).
+    /// Creates a parallel executor. The default worker count honors the
+    /// `EVEN_CYCLE_SIM_THREADS` environment variable (validated through
+    /// the same parsing path as the experiment engine's
+    /// `EVEN_CYCLE_WORKERS`), falling back to available parallelism
+    /// (at least 1).
     pub fn new(graph: &'g Graph, seed: u64) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
         ParallelExecutor {
             graph,
             seed,
             bandwidth: 1,
-            threads,
+            threads: backend::default_parallel_threads(),
+            cut: None,
             nodes: Vec::new(),
         }
     }
@@ -70,202 +71,51 @@ where
         self
     }
 
+    /// Installs a [`CutMeter`]; the run report will include the words
+    /// that crossed it — exactly as in [`crate::Executor::set_cut`]
+    /// (delivery is sequential in both executors, so cut accounting is
+    /// thread-count-independent).
+    pub fn set_cut(&mut self, cut: CutMeter) -> &mut Self {
+        self.cut = Some(cut);
+        self
+    }
+
     /// The per-node program states after the last run.
     pub fn nodes(&self) -> &[P] {
         &self.nodes
     }
 
     /// Runs the program to completion; semantics identical to
-    /// [`crate::Executor::run`].
+    /// [`crate::Executor::run`] (the two executors share one superstep
+    /// core and differ only in how the node-step phase is scheduled).
     ///
     /// # Errors
     ///
     /// Same as [`crate::Executor::run`].
-    pub fn run<F>(&mut self, mut factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
+    pub fn run<F>(&mut self, factory: F, max_supersteps: u64) -> Result<RunReport, SimError>
     where
         F: FnMut(NodeId, usize) -> P,
     {
-        let n = self.graph.node_count();
-        self.nodes = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
-        let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
-            .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(self.seed, v)))
-            .collect();
-
-        let mut halted = vec![false; n];
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut stats = CongestionStats::default();
-        let mut edge_words: Vec<u64> = vec![0; self.graph.directed_edge_count()];
-        let mut rounds: u64 = 0;
-        let mut supersteps: u64 = 0;
-
-        // Init phase (parallel over nodes).
-        let mut pending = self.parallel_phase(&mut rngs, &mut halted, &mut inboxes, None)?;
-        if pending.iter().any(|o| !o.is_empty()) {
-            rounds += self.deliver(&mut pending, &mut inboxes, &mut stats, &mut edge_words)?;
-        }
-
-        loop {
-            let all_halted = halted.iter().all(|&h| h);
-            let inbox_empty = inboxes.iter().all(Vec::is_empty);
-            if all_halted && inbox_empty {
-                break;
-            }
-            if supersteps >= max_supersteps {
-                return Err(SimError::StepLimitExceeded {
-                    limit: max_supersteps,
-                });
-            }
-            let mut pending = self.parallel_phase(
-                &mut rngs,
-                &mut halted,
-                &mut inboxes,
-                Some(supersteps as usize),
-            )?;
-            supersteps += 1;
-            rounds += self.deliver(&mut pending, &mut inboxes, &mut stats, &mut edge_words)?;
-        }
-
-        let rejecting_nodes: Vec<u32> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.decision() == Decision::Reject)
-            .map(|(v, _)| v as u32)
-            .collect();
-        let decision = if rejecting_nodes.is_empty() {
-            Decision::Accept
-        } else {
-            Decision::Reject
-        };
-        Ok(RunReport {
-            rounds,
-            supersteps,
-            congestion: stats,
-            decision,
-            rejecting_nodes,
-            cut_words: None,
-        })
-    }
-
-    /// Steps all live nodes (or inits them when `superstep` is `None`)
-    /// across worker threads; returns the outboxes in node order.
-    fn parallel_phase(
-        &mut self,
-        rngs: &mut [ChaCha8Rng],
-        halted: &mut [bool],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        superstep: Option<usize>,
-    ) -> Result<Vec<Outbox<P::Msg>>, SimError> {
-        let n = self.graph.node_count();
-        let graph = self.graph;
-        let chunk = n.div_ceil(self.threads).max(1);
-
-        let mut outboxes: Vec<Outbox<P::Msg>> = (0..n).map(|_| Outbox::new()).collect();
-        // Split all per-node state into disjoint chunks for the workers.
-        let node_chunks = self.nodes.chunks_mut(chunk);
-        let rng_chunks = rngs.chunks_mut(chunk);
-        let halted_chunks = halted.chunks_mut(chunk);
-        let inbox_chunks = inboxes.chunks_mut(chunk);
-        let out_chunks = outboxes.chunks_mut(chunk);
-
-        std::thread::scope(|scope| {
-            for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in node_chunks
-                .zip(rng_chunks)
-                .zip(halted_chunks)
-                .zip(inbox_chunks)
-                .zip(out_chunks)
-                .enumerate()
-            {
-                let base = chunk_idx * chunk;
-                scope.spawn(move || {
-                    for (off, node) in nodes.iter_mut().enumerate() {
-                        let v = base + off;
-                        let id = NodeId::new(v as u32);
-                        let mut ctx = Ctx {
-                            node: id,
-                            n,
-                            neighbors: graph.neighbors(id),
-                            rng: &mut rngs[off],
-                        };
-                        match superstep {
-                            None => node.init(&mut ctx, &mut outs[off]),
-                            Some(s) => {
-                                if halted[off] {
-                                    inboxes[off].clear();
-                                    continue;
-                                }
-                                let inbox = std::mem::take(&mut inboxes[off]);
-                                if node.step(&mut ctx, s, &inbox, &mut outs[off]) == Control::Halt {
-                                    halted[off] = true;
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        Ok(outboxes)
-    }
-
-    /// Sequential delivery in sender order (identical to the sequential
-    /// executor's, so transcripts match bit for bit).
-    fn deliver(
-        &self,
-        pending: &mut [Outbox<P::Msg>],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        stats: &mut CongestionStats,
-        edge_words: &mut [u64],
-    ) -> Result<u64, SimError> {
-        for w in edge_words.iter_mut() {
-            *w = 0;
-        }
-        let mut max_load = 0u64;
-        for (v, out) in pending.iter().enumerate() {
-            let from = NodeId::new(v as u32);
-            if let Some(msg) = &out.broadcast {
-                let words = msg.words() as u64;
-                for &to in self.graph.neighbors(from) {
-                    let idx = self
-                        .graph
-                        .directed_edge_index(from, to)
-                        .ok_or(SimError::NotANeighbor { from, to })?;
-                    edge_words[idx] += words;
-                    max_load = max_load.max(edge_words[idx]);
-                    stats.total_words += words;
-                    stats.total_messages += 1;
-                }
-            }
-            for (to, msg) in &out.messages {
-                let idx = self
-                    .graph
-                    .directed_edge_index(from, *to)
-                    .ok_or(SimError::NotANeighbor { from, to: *to })?;
-                let words = msg.words() as u64;
-                edge_words[idx] += words;
-                max_load = max_load.max(edge_words[idx]);
-                stats.total_words += words;
-                stats.total_messages += 1;
-            }
-        }
-        stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
-        for (v, out) in pending.iter_mut().enumerate() {
-            let from = NodeId::new(v as u32);
-            if let Some(msg) = out.broadcast.take() {
-                for &to in self.graph.neighbors(from) {
-                    inboxes[to.index()].push((from, msg.clone()));
-                }
-            }
-            for (to, msg) in out.messages.drain(..) {
-                inboxes[to.index()].push((from, msg));
-            }
-        }
-        Ok(max_load.div_ceil(self.bandwidth).max(1))
+        let (report, nodes) = run_loop(
+            self.graph,
+            self.seed,
+            self.bandwidth,
+            self.cut.as_ref(),
+            &ParPhase {
+                threads: self.threads,
+            },
+            factory,
+            max_supersteps,
+        )?;
+        self.nodes = nodes;
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{Control, Ctx, Outbox};
     use crate::Executor;
     use congest_graph::generators;
     use rand::Rng;
@@ -351,6 +201,61 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.supersteps, 3);
+    }
+
+    #[test]
+    fn cut_meter_matches_sequential() {
+        use crate::CutMeter;
+        // Broadcast gossip across a bisected ER graph: the words that
+        // cross the cut must agree between the executors at every
+        // thread count (delivery is sequential in both).
+        for seed in 0..3u64 {
+            let g = generators::erdos_renyi(40, 0.15, seed);
+            let side: Vec<bool> = (0..g.node_count()).map(|v| v >= 20).collect();
+            let build = |_: NodeId, _: usize| Gossip {
+                steps: 4,
+                log: vec![],
+            };
+            let mut seq = Executor::new(&g, seed);
+            seq.set_cut(CutMeter::new(&g, side.clone()));
+            let sr = seq.run(build, 16).unwrap();
+            assert!(sr.cut_words.is_some_and(|w| w > 0), "cut must be crossed");
+            for threads in [1usize, 2, 4] {
+                let mut par = ParallelExecutor::new(&g, seed);
+                par.set_threads(threads)
+                    .set_cut(CutMeter::new(&g, side.clone()));
+                let pr = par.run(build, 16).unwrap();
+                assert_eq!(sr.cut_words, pr.cut_words, "seed {seed}, {threads} threads");
+                assert_eq!(sr, pr, "full reports must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_entry_point_matches_executors() {
+        use crate::{run_with_backend, Backend};
+        let g = generators::erdos_renyi(50, 0.12, 9);
+        let build = |_: NodeId, _: usize| Gossip {
+            steps: 5,
+            log: vec![],
+        };
+        let mut seq = Executor::new(&g, 9);
+        let sr = seq.run(build, 16).unwrap();
+        let sl: Vec<_> = seq.nodes().iter().map(|p| p.log.clone()).collect();
+        for backend in [
+            Backend::Sequential,
+            Backend::Parallel { threads: 2 },
+            Backend::Parallel { threads: 5 },
+            Backend::Auto { node_threshold: 1 },
+            Backend::Auto {
+                node_threshold: usize::MAX,
+            },
+        ] {
+            let (report, nodes) = run_with_backend(&g, 9, backend, 1, None, build, 16).unwrap();
+            assert_eq!(report, sr, "{backend}");
+            let bl: Vec<_> = nodes.iter().map(|p| p.log.clone()).collect();
+            assert_eq!(bl, sl, "{backend}: transcripts must match bit for bit");
+        }
     }
 
     #[test]

@@ -26,10 +26,39 @@
 //! which can see the baselines as well; the trait and outcome types live
 //! here so every algorithm crate can implement them.
 
-use congest_graph::{CycleWitness, Graph};
-use congest_sim::{RunReport, SimError};
+use congest_graph::{CycleWitness, Graph, NodeId};
+use congest_sim::{Backend, CutMeter, Program, RunReport, SimError};
 
 use crate::theory::Table1Row;
+
+/// Runs a CONGEST node program under a [`Backend`] — the single entry
+/// point every detector hot loop in the workspace (and the baselines)
+/// routes through, so one knob switches all of them between the
+/// sequential and parallel superstep cores. Returns the run report and
+/// the final per-node states; both are byte-identical whatever the
+/// backend or thread count.
+///
+/// # Errors
+///
+/// Same as [`congest_sim::Executor::run`]: step-limit overruns and
+/// model violations surface as [`SimError`]s.
+#[allow(clippy::too_many_arguments)]
+pub fn run_program<P, F>(
+    g: &Graph,
+    seed: u64,
+    backend: Backend,
+    bandwidth: u64,
+    cut: Option<CutMeter>,
+    factory: F,
+    max_supersteps: u64,
+) -> Result<(RunReport, Vec<P>), SimError>
+where
+    P: Program + Send,
+    P::Msg: Send,
+    F: FnMut(NodeId, usize) -> P,
+{
+    congest_sim::run_with_backend(g, seed, backend, bandwidth, cut, factory, max_supersteps)
+}
 
 /// Which CONGEST model an algorithm runs in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +159,12 @@ pub struct Budget {
     /// cost-model comparators report `messages = 0`, so a message cap
     /// never binds them — cap rounds to bound those.
     pub max_messages: Option<u64>,
+    /// The simulation backend every simulated superstep of the run
+    /// uses ([`Backend::Sequential`] by default). Purely an execution
+    /// knob: transcripts, verdicts, and costs are byte-identical
+    /// across backends and thread counts, which is why the experiment
+    /// store's unit key deliberately excludes it.
+    pub backend: Backend,
 }
 
 impl Default for Budget {
@@ -140,6 +175,7 @@ impl Default for Budget {
             run_to_budget: false,
             max_rounds: None,
             max_messages: None,
+            backend: Backend::Sequential,
         }
     }
 }
@@ -198,6 +234,12 @@ impl Budget {
     pub fn with_message_cap(mut self, max_messages: u64) -> Self {
         assert!(max_messages > 0, "message cap must be positive");
         self.max_messages = Some(max_messages);
+        self
+    }
+
+    /// Selects the simulation backend (see [`Budget::backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 

@@ -2,9 +2,10 @@
 //! `O(log²(1/ε)·2^{3k}·k^{2k+3}·n^{1-1/k})` rounds (Theorem 1).
 
 use congest_graph::{CycleWitness, Graph, NodeId};
-use congest_sim::{derive_seed, Control, Ctx, Decision, Executor, Outbox, Program, RunReport};
+use congest_sim::{derive_seed, Backend, Control, Ctx, Decision, Outbox, Program, RunReport};
 use rand::Rng;
 
+use crate::api::run_program;
 use crate::color_bfs::ColorBfs;
 use crate::params::{Instance, Params};
 use crate::witness::{extract_even_witness, DetectionOutcome, Phase, SetsSummary};
@@ -29,6 +30,10 @@ pub struct RunOptions {
     pub round_cap: Option<u64>,
     /// Hard cap on accumulated messages; same abort semantics.
     pub message_cap: Option<u64>,
+    /// The simulation backend driving every superstep of the run; see
+    /// [`crate::Budget::backend`]. Transcripts are byte-identical
+    /// across backends.
+    pub backend: Backend,
 }
 
 impl Default for RunOptions {
@@ -40,6 +45,7 @@ impl Default for RunOptions {
             bandwidth: 1,
             round_cap: None,
             message_cap: None,
+            backend: Backend::Sequential,
         }
     }
 }
@@ -159,23 +165,25 @@ impl CycleDetector {
             .map(|v| (g.degree(v) as f64) <= inst.degree_threshold)
             .collect();
 
-        let mut exec = Executor::new(g, derive_seed(seed, 0x5E7));
-        exec.set_bandwidth(options.bandwidth);
         let forced = options.forced_selection.clone();
-        let setup_report = exec
-            .run(
-                |v, _| SetupProgram {
-                    selection_probability: inst.selection_probability,
-                    k_squared: inst.k_squared,
-                    forced: forced.as_ref().map(|f| f[v.index()]),
-                    in_s: false,
-                    in_w: false,
-                },
-                4,
-            )
-            .expect("setup protocol cannot fail");
-        let s_mask: Vec<bool> = exec.nodes().iter().map(|p| p.in_s).collect();
-        let w_mask: Vec<bool> = exec.nodes().iter().map(|p| p.in_w).collect();
+        let (setup_report, nodes) = run_program(
+            g,
+            derive_seed(seed, 0x5E7),
+            options.backend,
+            options.bandwidth,
+            None,
+            |v, _| SetupProgram {
+                selection_probability: inst.selection_probability,
+                k_squared: inst.k_squared,
+                forced: forced.as_ref().map(|f| f[v.index()]),
+                in_s: false,
+                in_w: false,
+            },
+            4,
+        )
+        .expect("setup protocol cannot fail");
+        let s_mask: Vec<bool> = nodes.iter().map(|p| p.in_s).collect();
+        let w_mask: Vec<bool> = nodes.iter().map(|p| p.in_w).collect();
         (
             inst,
             Memberships {
@@ -222,7 +230,7 @@ impl CycleDetector {
                 (Phase::Heavy, &not_s_mask, &sets.w_mask),
             ];
             for (idx, (phase, h_mask, x_mask)) in phases.into_iter().enumerate() {
-                let result = run_color_bfs_bw(
+                let result = run_color_bfs_backend(
                     g,
                     k,
                     &colors,
@@ -231,6 +239,7 @@ impl CycleDetector {
                     None,
                     inst.tau,
                     options.bandwidth,
+                    options.backend,
                     derive_seed(seed, 0xF000 + r * 3 + idx as u64),
                 );
                 total.absorb(&result.report);
@@ -286,6 +295,7 @@ impl crate::Detector for CycleDetector {
             continue_after_reject: budget.run_to_budget,
             round_cap: budget.max_rounds,
             message_cap: budget.max_messages,
+            backend: budget.backend,
             ..Default::default()
         };
         Ok(budget.enforce(
@@ -347,6 +357,36 @@ pub fn run_color_bfs_bw(
     bandwidth: u64,
     seed: u64,
 ) -> ColorBfsResult {
+    run_color_bfs_backend(
+        g,
+        k,
+        colors,
+        h_mask,
+        x_mask,
+        activation,
+        tau,
+        bandwidth,
+        Backend::Sequential,
+        seed,
+    )
+}
+
+/// [`run_color_bfs_bw`] on an explicit simulation [`Backend`] — the
+/// form the detector hot loops call. The result is byte-identical
+/// whatever the backend.
+#[allow(clippy::too_many_arguments)]
+pub fn run_color_bfs_backend(
+    g: &Graph,
+    k: usize,
+    colors: &[u8],
+    h_mask: &[bool],
+    x_mask: &[bool],
+    activation: Option<f64>,
+    tau: u64,
+    bandwidth: u64,
+    backend: Backend,
+    seed: u64,
+) -> ColorBfsResult {
     // Activation coins are per-node, derived from the seed (equivalent to
     // the local coin of Algorithm 2, Instruction 1, but replayable).
     let active: Vec<bool> = match activation {
@@ -357,38 +397,35 @@ pub fn run_color_bfs_bw(
             (0..g.node_count()).map(|_| rng.gen_bool(q)).collect()
         }
     };
-    let mut exec = Executor::new(g, seed);
-    exec.set_bandwidth(bandwidth);
-    let report = exec
-        .run(
-            |v, _| {
-                ColorBfs::new(
-                    k,
-                    colors[v.index()],
-                    h_mask[v.index()],
-                    x_mask[v.index()],
-                    active[v.index()],
-                    tau,
-                )
-            },
-            (k + 3) as u64,
-        )
-        .expect("color-BFS cannot violate the model");
+    let (report, nodes) = run_program(
+        g,
+        seed,
+        backend,
+        bandwidth,
+        None,
+        |v, _| {
+            ColorBfs::new(
+                k,
+                colors[v.index()],
+                h_mask[v.index()],
+                x_mask[v.index()],
+                active[v.index()],
+                tau,
+            )
+        },
+        (k + 3) as u64,
+    )
+    .expect("color-BFS cannot violate the model");
     let rejection = report.rejecting_nodes.first().map(|&v| {
         let node = NodeId::new(v);
-        let origin = exec.nodes()[v as usize]
+        let origin = nodes[v as usize]
             .evidence()
             .expect("rejecting node has evidence")
             .origin;
         (node, NodeId::new(origin))
     });
-    let any_overflow = exec.nodes().iter().any(ColorBfs::overflowed);
-    let max_collected = exec
-        .nodes()
-        .iter()
-        .map(|p| p.collected().len())
-        .max()
-        .unwrap_or(0);
+    let any_overflow = nodes.iter().any(ColorBfs::overflowed);
+    let max_collected = nodes.iter().map(|p| p.collected().len()).max().unwrap_or(0);
     ColorBfsResult {
         report,
         rejection,

@@ -12,10 +12,11 @@
 
 use congest_graph::{CycleWitness, Graph, NodeId};
 use congest_sim::{
-    derive_seed, Control, Ctx, Decision, Executor, MessageSize, Outbox, Program, RunReport,
+    derive_seed, Backend, Control, Ctx, Decision, MessageSize, Outbox, Program, RunReport,
 };
 use rand::Rng;
 
+use crate::api::run_program;
 use crate::detector::random_coloring;
 use crate::witness::find_colored_path;
 
@@ -380,7 +381,19 @@ impl F2kDetector {
 
     /// [`F2kDetector::run`] at per-edge bandwidth `B` (words per round).
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> F2kOutcome {
-        self.run_capped(g, seed, bandwidth, None, None)
+        self.run_capped(g, seed, bandwidth, Backend::Sequential, None, None)
+    }
+
+    /// [`F2kDetector::run_with_bandwidth`] on an explicit simulation
+    /// [`Backend`]; the outcome is byte-identical whatever the backend.
+    pub fn run_on_backend(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        backend: Backend,
+    ) -> F2kOutcome {
+        self.run_capped(g, seed, bandwidth, backend, None, None)
     }
 
     /// [`F2kDetector::run_with_bandwidth`] with hard round/message caps:
@@ -391,6 +404,7 @@ impl F2kDetector {
         g: &Graph,
         seed: u64,
         bandwidth: u64,
+        backend: Backend,
         round_cap: Option<u64>,
         message_cap: Option<u64>,
     ) -> F2kOutcome {
@@ -436,7 +450,8 @@ impl F2kDetector {
                         (None, tau)
                     };
                     let (report, rejection) = run_pair_call(
-                        g, l, &colors, h_mask, x_mask, activation, call_tau, bandwidth, call_seed,
+                        g, l, &colors, h_mask, x_mask, activation, call_tau, bandwidth, backend,
+                        call_seed,
                     );
                     total.absorb(&report);
                     if let Some((v, evidence)) = rejection {
@@ -514,6 +529,7 @@ fn run_pair_call(
     activation: Option<f64>,
     tau: u64,
     bandwidth: u64,
+    backend: Backend,
     seed: u64,
 ) -> (RunReport, Option<(NodeId, PairEvidence)>) {
     let active: Vec<bool> = match activation {
@@ -524,29 +540,31 @@ fn run_pair_call(
             (0..g.node_count()).map(|_| rng.gen_bool(q)).collect()
         }
     };
-    let mut exec = Executor::new(g, seed);
-    exec.set_bandwidth(bandwidth);
-    let report = exec
-        .run(
-            |v, _| PairColorBfs {
-                l,
-                color: colors[v.index()],
-                in_h: h_mask[v.index()],
-                active_source: x_mask[v.index()]
-                    && h_mask[v.index()]
-                    && colors[v.index()] == 0
-                    && active[v.index()],
-                tau,
-                nbr_color: Vec::new(),
-                nbr_in_h: Vec::new(),
-                my_ids: Vec::new(),
-                evidence: None,
-            },
-            (l + 4) as u64,
-        )
-        .expect("pair color-BFS cannot violate the model");
+    let (report, nodes) = run_program(
+        g,
+        seed,
+        backend,
+        bandwidth,
+        None,
+        |v, _| PairColorBfs {
+            l,
+            color: colors[v.index()],
+            in_h: h_mask[v.index()],
+            active_source: x_mask[v.index()]
+                && h_mask[v.index()]
+                && colors[v.index()] == 0
+                && active[v.index()],
+            tau,
+            nbr_color: Vec::new(),
+            nbr_in_h: Vec::new(),
+            my_ids: Vec::new(),
+            evidence: None,
+        },
+        (l + 4) as u64,
+    )
+    .expect("pair color-BFS cannot violate the model");
     let rejection = report.rejecting_nodes.first().map(|&v| {
-        let evidence = exec.nodes()[v as usize].evidence.expect("evidence");
+        let evidence = nodes[v as usize].evidence.expect("evidence");
         (NodeId::new(v), evidence)
     });
     (report, rejection)
@@ -632,6 +650,7 @@ impl crate::Detector for F2kDetector {
             g,
             seed,
             budget.bandwidth,
+            budget.backend,
             budget.max_rounds,
             budget.max_messages,
         );

@@ -45,11 +45,13 @@ pub mod theory;
 mod witness;
 
 pub use api::{
-    Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target, Verdict,
+    run_program, Budget, Descriptor, DetectResult, Detection, Detector, Model, RunCost, Target,
+    Verdict,
 };
+pub use congest_sim::Backend;
 pub use detector::{
-    random_coloring, run_color_bfs, run_color_bfs_bw, ColorBfsResult, CycleDetector, Memberships,
-    RunOptions,
+    random_coloring, run_color_bfs, run_color_bfs_backend, run_color_bfs_bw, ColorBfsResult,
+    CycleDetector, Memberships, RunOptions,
 };
 pub use f2k::{F2kDetector, F2kMc, F2kOutcome};
 pub use odd::OddCycleDetector;

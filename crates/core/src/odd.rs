@@ -4,9 +4,10 @@
 
 use congest_graph::{CycleWitness, Graph, NodeId};
 use congest_quantum::{McOutcome, MonteCarloAlgorithm};
-use congest_sim::{derive_seed, Control, Ctx, Decision, Executor, MessageSize, Outbox, Program};
+use congest_sim::{derive_seed, Backend, Control, Ctx, Decision, MessageSize, Outbox, Program};
 use rand::Rng;
 
+use crate::api::run_program;
 use crate::detector::random_coloring;
 use crate::witness::{extract_odd_witness, DetectionOutcome, SetsSummary};
 
@@ -232,7 +233,20 @@ impl OddCycleDetector {
     /// round); the protocol is unchanged, supersteps are charged
     /// `⌈load/B⌉` rounds.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> DetectionOutcome {
-        self.run_capped(g, seed, bandwidth, None, None)
+        self.run_capped(g, seed, bandwidth, Backend::Sequential, None, None)
+    }
+
+    /// [`OddCycleDetector::run_with_bandwidth`] on an explicit
+    /// simulation [`Backend`]; the outcome is byte-identical whatever
+    /// the backend.
+    pub fn run_on_backend(
+        &self,
+        g: &Graph,
+        seed: u64,
+        bandwidth: u64,
+        backend: Backend,
+    ) -> DetectionOutcome {
+        self.run_capped(g, seed, bandwidth, backend, None, None)
     }
 
     /// [`OddCycleDetector::run_with_bandwidth`] with hard round/message
@@ -243,6 +257,7 @@ impl OddCycleDetector {
         g: &Graph,
         seed: u64,
         bandwidth: u64,
+        backend: Backend,
         round_cap: Option<u64>,
         message_cap: Option<u64>,
     ) -> DetectionOutcome {
@@ -266,26 +281,28 @@ impl OddCycleDetector {
                 let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(derive_seed(call_seed, 0xAC7));
                 (0..n).map(|_| rng.gen_bool(activation)).collect()
             };
-            let mut exec = Executor::new(g, call_seed);
-            exec.set_bandwidth(bandwidth);
-            let report = exec
-                .run(
-                    |v, _| OddColorBfs {
-                        k,
-                        color: colors[v.index()],
-                        active_source: colors[v.index()] == 0 && active[v.index()],
-                        tau: 4,
-                        nbr_color: Vec::new(),
-                        low_ids: Vec::new(),
-                        reject: None,
-                    },
-                    (k + 4) as u64,
-                )
-                .expect("odd color-BFS cannot violate the model");
+            let (report, nodes) = run_program(
+                g,
+                call_seed,
+                backend,
+                bandwidth,
+                None,
+                |v, _| OddColorBfs {
+                    k,
+                    color: colors[v.index()],
+                    active_source: colors[v.index()] == 0 && active[v.index()],
+                    tau: 4,
+                    nbr_color: Vec::new(),
+                    low_ids: Vec::new(),
+                    reject: None,
+                },
+                (k + 4) as u64,
+            )
+            .expect("odd color-BFS cannot violate the model");
             total.absorb(&report);
             if let Some(&v) = report.rejecting_nodes.first() {
                 decision = Decision::Reject;
-                let origin = exec.nodes()[v as usize].reject.expect("evidence");
+                let origin = nodes[v as usize].reject.expect("evidence");
                 let w =
                     extract_odd_witness(g, &all, &colors, k, NodeId::new(origin), NodeId::new(v))
                         .expect("rejection must be certifiable");
@@ -366,6 +383,7 @@ impl crate::Detector for OddCycleDetector {
             g,
             seed,
             budget.bandwidth,
+            budget.backend,
             budget.max_rounds,
             budget.max_messages,
         );

@@ -14,7 +14,7 @@
 use congest_graph::{CycleWitness, Graph};
 use congest_quantum::decomposition::{decompose, reduced_components};
 use congest_quantum::{GroverMode, McOutcome, MonteCarloAlgorithm, MonteCarloAmplifier};
-use congest_sim::derive_seed;
+use congest_sim::{derive_seed, Backend};
 
 use crate::params::Params;
 use crate::randomized::LowProbDetector;
@@ -91,11 +91,12 @@ impl QuantumOutcome {
 /// A constant-congestion classical base detector the quantum pipeline
 /// can amplify over a decomposition component.
 trait PipelineBase {
-    /// One run on `g`: `(rejected, rounds)` at the given bandwidth.
-    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64);
+    /// One run on `g`: `(rejected, rounds)` at the given bandwidth and
+    /// simulation backend.
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64, backend: Backend) -> (bool, u64);
 
     /// Re-runs the witness seed and extracts the certified cycle.
-    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness>;
+    fn witness_of(&self, g: &Graph, seed: u64, backend: Backend) -> Option<CycleWitness>;
 
     /// Round upper bound of one run at the given bandwidth.
     fn round_bound(&self, g: &Graph, bandwidth: u64) -> u64;
@@ -106,17 +107,22 @@ trait PipelineBase {
 }
 
 impl PipelineBase for LowProbDetector {
-    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64, backend: Backend) -> (bool, u64) {
         let opts = crate::RunOptions {
             bandwidth,
+            backend,
             ..Default::default()
         };
         let o = self.run_with(g, seed, &opts);
         (o.rejected(), o.report.rounds)
     }
 
-    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
-        self.run(g, seed).witness
+    fn witness_of(&self, g: &Graph, seed: u64, backend: Backend) -> Option<CycleWitness> {
+        let opts = crate::RunOptions {
+            backend,
+            ..Default::default()
+        };
+        self.run_with(g, seed, &opts).witness
     }
 
     fn round_bound(&self, g: &Graph, bandwidth: u64) -> u64 {
@@ -129,13 +135,13 @@ impl PipelineBase for LowProbDetector {
 }
 
 impl PipelineBase for crate::OddCycleDetector {
-    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
-        let o = self.run_with_bandwidth(g, seed, bandwidth);
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64, backend: Backend) -> (bool, u64) {
+        let o = self.run_on_backend(g, seed, bandwidth, backend);
         (o.rejected(), o.report.rounds)
     }
 
-    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
-        self.run(g, seed).witness
+    fn witness_of(&self, g: &Graph, seed: u64, backend: Backend) -> Option<CycleWitness> {
+        self.run_on_backend(g, seed, 1, backend).witness
     }
 
     fn round_bound(&self, _g: &Graph, _bandwidth: u64) -> u64 {
@@ -149,13 +155,13 @@ impl PipelineBase for crate::OddCycleDetector {
 }
 
 impl PipelineBase for crate::F2kDetector {
-    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64) -> (bool, u64) {
-        let o = self.run_with_bandwidth(g, seed, bandwidth);
+    fn run_once(&self, g: &Graph, seed: u64, bandwidth: u64, backend: Backend) -> (bool, u64) {
+        let o = self.run_on_backend(g, seed, bandwidth, backend);
         (o.rejected, o.report.rounds)
     }
 
-    fn witness_of(&self, g: &Graph, seed: u64) -> Option<CycleWitness> {
-        self.run(g, seed).witness
+    fn witness_of(&self, g: &Graph, seed: u64, backend: Backend) -> Option<CycleWitness> {
+        self.run_on_backend(g, seed, 1, backend).witness
     }
 
     fn round_bound(&self, _g: &Graph, _bandwidth: u64) -> u64 {
@@ -174,11 +180,14 @@ struct ComponentMc<'a, B: PipelineBase> {
     g: &'a Graph,
     declared: f64,
     bandwidth: u64,
+    backend: Backend,
 }
 
 impl<B: PipelineBase> MonteCarloAlgorithm for ComponentMc<'_, B> {
     fn run(&self, seed: u64) -> McOutcome {
-        let (rejected, rounds) = self.base.run_once(self.g, seed, self.bandwidth);
+        let (rejected, rounds) = self
+            .base
+            .run_once(self.g, seed, self.bandwidth, self.backend);
         McOutcome { rejected, rounds }
     }
 
@@ -216,6 +225,10 @@ struct PipelineSpec {
     /// decomposition (see
     /// [`Decomposition::round_cost_at`](congest_quantum::decomposition::Decomposition::round_cost_at)).
     bandwidth: u64,
+    /// Simulation backend driving the classical base runs (see
+    /// [`crate::Budget::backend`]); outcomes are byte-identical
+    /// across backends.
+    backend: Backend,
     /// Hard cap on accumulated quantum rounds: the component loop
     /// aborts once the charge so far passes it.
     round_cap: Option<u64>,
@@ -265,6 +278,7 @@ fn run_pipeline<B: PipelineBase>(
             g: &comp.graph,
             declared,
             bandwidth: spec.bandwidth,
+            backend: spec.backend,
         };
         let diameter = congest_graph::analysis::diameter(&comp.graph)
             .expect("components are connected") as u64;
@@ -285,7 +299,7 @@ fn run_pipeline<B: PipelineBase>(
             // witness back to the original ids.
             let ws = report.witness_seed.expect("rejected implies witness seed");
             let local_witness = base
-                .witness_of(&comp.graph, ws)
+                .witness_of(&comp.graph, ws, spec.backend)
                 .expect("witness seed reproduces the rejection");
             let mapped = CycleWitness::new(
                 local_witness
@@ -391,7 +405,7 @@ impl QuantumCycleDetector {
     /// amplified base runs and the decomposition — charged at per-edge
     /// bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
-        self.run_capped(g, seed, bandwidth, None)
+        self.run_capped(g, seed, bandwidth, Backend::Sequential, None)
     }
 
     fn run_capped(
@@ -399,6 +413,7 @@ impl QuantumCycleDetector {
         g: &Graph,
         seed: u64,
         bandwidth: u64,
+        backend: Backend,
         round_cap: Option<u64>,
     ) -> QuantumOutcome {
         let k = self.params.k;
@@ -415,6 +430,7 @@ impl QuantumCycleDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            backend,
             round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
@@ -438,7 +454,7 @@ impl Detector for QuantumCycleDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.backend, budget.max_rounds);
         Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
@@ -510,7 +526,7 @@ impl QuantumOddCycleDetector {
     /// [`QuantumOddCycleDetector::run`] with the whole pipeline charged
     /// at per-edge bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
-        self.run_capped(g, seed, bandwidth, None)
+        self.run_capped(g, seed, bandwidth, Backend::Sequential, None)
     }
 
     fn run_capped(
@@ -518,6 +534,7 @@ impl QuantumOddCycleDetector {
         g: &Graph,
         seed: u64,
         bandwidth: u64,
+        backend: Backend,
         round_cap: Option<u64>,
     ) -> QuantumOutcome {
         let k = self.k;
@@ -534,6 +551,7 @@ impl QuantumOddCycleDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            backend,
             round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
@@ -557,7 +575,7 @@ impl Detector for QuantumOddCycleDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.backend, budget.max_rounds);
         Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }
@@ -626,7 +644,7 @@ impl QuantumF2kDetector {
     /// [`QuantumF2kDetector::run`] with the whole pipeline charged at
     /// per-edge bandwidth `B`.
     pub fn run_with_bandwidth(&self, g: &Graph, seed: u64, bandwidth: u64) -> QuantumOutcome {
-        self.run_capped(g, seed, bandwidth, None)
+        self.run_capped(g, seed, bandwidth, Backend::Sequential, None)
     }
 
     fn run_capped(
@@ -634,6 +652,7 @@ impl QuantumF2kDetector {
         g: &Graph,
         seed: u64,
         bandwidth: u64,
+        backend: Backend,
         round_cap: Option<u64>,
     ) -> QuantumOutcome {
         let k = self.k;
@@ -650,6 +669,7 @@ impl QuantumF2kDetector {
             mode: self.mode,
             declared_success: self.declared_success,
             bandwidth,
+            backend,
             round_cap,
         };
         run_pipeline(g, seed, &base, &spec)
@@ -673,7 +693,7 @@ impl Detector for QuantumF2kDetector {
             Some(r) => self.clone().with_repetitions(r),
             None => self.clone(),
         };
-        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.max_rounds);
+        let outcome = det.run_capped(g, seed, budget.bandwidth, budget.backend, budget.max_rounds);
         Ok(budget.enforce(outcome.into_detection(self.descriptor())))
     }
 }

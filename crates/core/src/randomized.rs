@@ -14,7 +14,7 @@ use congest_graph::{CycleWitness, Graph};
 use congest_quantum::{McOutcome, MonteCarloAlgorithm};
 use congest_sim::{derive_seed, Decision};
 
-use crate::detector::{random_coloring, run_color_bfs_bw, CycleDetector, RunOptions};
+use crate::detector::{random_coloring, run_color_bfs_backend, CycleDetector, RunOptions};
 use crate::params::Params;
 use crate::witness::{extract_even_witness, DetectionOutcome, Phase, SetsSummary};
 
@@ -92,7 +92,7 @@ impl LowProbDetector {
                 (Phase::Heavy, &not_s_mask, &sets.w_mask),
             ];
             for (idx, (phase, h_mask, x_mask)) in phases.into_iter().enumerate() {
-                let result = run_color_bfs_bw(
+                let result = run_color_bfs_backend(
                     g,
                     k,
                     &colors,
@@ -101,6 +101,7 @@ impl LowProbDetector {
                     Some(activation),
                     RANDOMIZED_THRESHOLD,
                     options.bandwidth,
+                    options.backend,
                     derive_seed(seed, 0xF000 + r * 3 + idx as u64),
                 );
                 total.absorb(&result.report);
@@ -189,6 +190,7 @@ impl crate::Detector for LowProbDetector {
             continue_after_reject: budget.run_to_budget,
             round_cap: budget.max_rounds,
             message_cap: budget.max_messages,
+            backend: budget.backend,
             ..Default::default()
         };
         Ok(budget.enforce(

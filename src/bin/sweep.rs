@@ -35,6 +35,8 @@ struct Args {
     seeds: Option<std::ops::Range<u64>>,
     metric: Metric,
     workers: Option<usize>,
+    backend: Option<String>,
+    sim_threads: Option<usize>,
     store: Option<String>,
     schedule: Option<ScheduleOrder>,
     max_seconds: Option<u64>,
@@ -47,6 +49,7 @@ fn usage() -> &'static str {
      \x20            [--sizes N1,N2,...] [--seeds A..B] \n\
      \x20            [--metric rounds|rounds-per-iter|congestion|messages|words]\n\
      \x20            [--workers W] [--store DIR] [--json]\n\
+     \x20            [--backend sequential|parallel[:T]|auto[:N]] [--sim-threads T]\n\
      \x20            [--schedule in-order|cheapest-first] [--max-seconds S]"
 }
 
@@ -60,6 +63,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         seeds: None,
         metric: Metric::Rounds,
         workers: None,
+        backend: None,
+        sim_threads: None,
         store: None,
         schedule: None,
         max_seconds: None,
@@ -115,6 +120,17 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err("--workers must be positive".to_string());
                 }
                 args.workers = Some(w);
+            }
+            "--backend" => args.backend = Some(value("--backend")?),
+            "--sim-threads" => {
+                let v = value("--sim-threads")?;
+                let t: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --sim-threads value {v:?}"))?;
+                if t == 0 {
+                    return Err("--sim-threads must be positive".to_string());
+                }
+                args.sim_threads = Some(t);
             }
             "--store" => args.store = Some(value("--store")?),
             "--schedule" => {
@@ -199,6 +215,26 @@ fn main() -> ExitCode {
         None => GraphFamily::planted_cycle(2 * args.k),
     };
 
+    // Resolve --sim-threads before the backend spec: it feeds the
+    // default thread count of `parallel` and `auto` backends (the same
+    // knob EVEN_CYCLE_SIM_THREADS sets from the environment).
+    if let Some(t) = args.sim_threads {
+        std::env::set_var(
+            even_cycle_congest::sim::backend::SIM_THREADS_ENV,
+            t.to_string(),
+        );
+    }
+    let backend = match &args.backend {
+        Some(spec) => match even_cycle_congest::sim::Backend::parse(spec) {
+            Some(b) => Some(b),
+            None => {
+                eprintln!("unknown backend {spec:?} (want sequential, parallel[:T], or auto[:N])");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let registry = args.profile.registry(args.k);
     let sizes = args.sizes.unwrap_or_else(|| args.profile.default_sizes());
     let seeds = args.seeds.unwrap_or_else(|| args.profile.default_seeds());
@@ -207,6 +243,9 @@ fn main() -> ExitCode {
         .seeds(seeds)
         .metric(args.metric)
         .budget(args.profile.budget());
+    if let Some(b) = backend {
+        scenario = scenario.backend(b);
+    }
     if let Some(w) = args.workers {
         scenario = scenario.workers(w);
     }

@@ -134,6 +134,20 @@ impl Engine {
     /// silently dropped store would turn the next resume into a silent
     /// full re-run).
     pub fn run(&self, scenario: &Scenario, detectors: &[&dyn Detector]) -> ScenarioReport {
+        // Split the machine's thread budget between pool workers and
+        // the intra-run simulation threads of the scenario's backend,
+        // so a parallel sweep of parallel simulations never
+        // oversubscribes (workers × sim_threads ≤ available
+        // parallelism). Backends do not change results — transcripts
+        // are byte-identical — so neither clamp can move the report.
+        let available = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let max_size = scenario.sizes.iter().copied().max().unwrap_or(0);
+        let (workers, backend) =
+            split_thread_budget(self.workers, scenario.budget.backend, max_size, available);
+        let budget = scenario.budget.clone().with_backend(backend);
+
         let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
         let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
         let exponents: Vec<f64> = detectors.iter().map(|d| d.descriptor().exponent).collect();
@@ -213,7 +227,7 @@ impl Engine {
         // there.
         let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
         let shared_store = std::sync::Mutex::new(store.take());
-        let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), self.workers, |j| {
+        let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), workers, |j| {
             let t = &todo[j];
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 // Cap elapsed: skip (do not start) this unit, but still
@@ -223,6 +237,7 @@ impl Engine {
             }
             let record = execute_unit(
                 scenario,
+                &budget,
                 &graphs,
                 detectors[t.di],
                 &ids[t.di],
@@ -261,10 +276,35 @@ impl Engine {
     }
 }
 
+/// Splits the machine's thread budget between pool workers and
+/// intra-run simulation threads: explicit backend thread counts are
+/// clamped to the machine, then the worker count is reduced until
+/// `workers × sim_threads ≤ available` (both stay ≥ 1). The sim-thread
+/// budget is what the backend will actually use on the sweep's largest
+/// requested size, not its worst case — so an `Auto` backend whose
+/// threshold no grid size reaches (every unit runs sequentially, e.g.
+/// the `paper-exact` defaults) costs the pool nothing. Sizes are the
+/// *requested* n; families that snap sizes move them by at most a few
+/// nodes, which cannot flip a threshold comparison that matters.
+fn split_thread_budget(
+    workers: usize,
+    backend: even_cycle::Backend,
+    max_size: usize,
+    available: usize,
+) -> (usize, even_cycle::Backend) {
+    let available = available.max(1);
+    let backend = backend.clamped(available);
+    let sim = backend.effective_threads(max_size).max(1);
+    (workers.clamp(1, (available / sim).max(1)), backend)
+}
+
 /// Executes one work unit: build (or fetch) the instance, run the
-/// detector, extract the metric.
+/// detector, extract the metric. `budget` is the scenario's budget
+/// with the backend already split against the worker count.
+#[allow(clippy::too_many_arguments)]
 fn execute_unit(
     scenario: &Scenario,
+    budget: &even_cycle::Budget,
     graphs: &GraphCache<'_>,
     detector: &dyn Detector,
     id: &str,
@@ -289,7 +329,7 @@ fn execute_unit(
         max_congestion: 0,
         iterations: 0,
     };
-    match detector.detect(&g, seed, &scenario.budget) {
+    match detector.detect(&g, seed, budget) {
         Ok(detection) => {
             record.status = if detection.budget_exceeded() {
                 UnitStatus::BudgetExceeded
@@ -418,7 +458,68 @@ fn aggregate(
 mod tests {
     use super::*;
     use crate::scenario::{GraphFamily, Metric};
-    use even_cycle::{CycleDetector, Params};
+    use even_cycle::{Backend, CycleDetector, Params};
+
+    #[test]
+    fn thread_budget_split_never_oversubscribes() {
+        for (workers, backend, max_size, avail) in [
+            (8, Backend::Sequential, 64, 4),
+            (8, Backend::Parallel { threads: 2 }, 64, 4),
+            (8, Backend::Parallel { threads: 16 }, 64, 4),
+            (1, Backend::Parallel { threads: 3 }, 64, 8),
+            (3, Backend::auto(), 64, 1),
+            (3, Backend::auto(), 1_000_000, 1),
+        ] {
+            let (w, b) = split_thread_budget(workers, backend, max_size, avail);
+            assert!(w >= 1);
+            assert!(
+                w * b.effective_threads(max_size) <= avail.max(1),
+                "({workers}, {backend}, {max_size}, {avail}) -> ({w}, {b}) oversubscribes"
+            );
+        }
+        // Sequential backends leave the worker budget alone.
+        assert_eq!(
+            split_thread_budget(6, Backend::Sequential, 64, 8),
+            (6, Backend::Sequential)
+        );
+        // An Auto backend below its threshold runs every unit
+        // sequentially, so it must not cost the pool anything (the
+        // paper-exact default grid tops out far below the threshold).
+        let small = Backend::DEFAULT_AUTO_NODE_THRESHOLD - 1;
+        assert_eq!(
+            split_thread_budget(6, Backend::auto(), small, 8),
+            (6, Backend::auto())
+        );
+        // At or above the threshold it budgets for the parallel flip.
+        let (w, _) = split_thread_budget(6, Backend::auto(), small + 1, 8);
+        assert!(w * Backend::auto().effective_threads(small + 1) <= 8);
+        // An explicit per-run thread count is clamped to the machine.
+        let (w, b) = split_thread_budget(4, Backend::Parallel { threads: 64 }, 64, 4);
+        assert_eq!(b, Backend::Parallel { threads: 4 });
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn backend_choice_cannot_move_the_report() {
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+        let dets: Vec<&dyn Detector> = vec![&det];
+        let scenario = |backend: Backend| {
+            Scenario::new("backend smoke", GraphFamily::planted_cycle(4))
+                .sizes(&[24, 32])
+                .seeds(0..2)
+                .metric(Metric::Rounds)
+                .budget(even_cycle::Budget::classical().with_backend(backend))
+        };
+        let seq = Engine::from_env().run(&scenario(Backend::Sequential), &dets);
+        for backend in [
+            Backend::Parallel { threads: 2 },
+            Backend::Parallel { threads: 4 },
+            Backend::Auto { node_threshold: 1 },
+        ] {
+            let par = Engine::from_env().run(&scenario(backend), &dets);
+            assert_eq!(seq.to_json(), par.to_json(), "{backend}");
+        }
+    }
 
     #[test]
     fn worker_counts_agree() {

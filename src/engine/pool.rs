@@ -69,15 +69,12 @@ where
 
 /// Parses an `EVEN_CYCLE_WORKERS` value: a positive integer, with a
 /// diagnosable error for everything else (zero would deadlock, and a
-/// typo like `"fuor"` must not silently serialize a sweep).
+/// typo like `"fuor"` must not silently serialize a sweep). This is
+/// the same validation path the simulator's `EVEN_CYCLE_SIM_THREADS`
+/// (and thus `ParallelExecutor::new`) goes through — one rule for
+/// every thread-count knob in the stack.
 pub fn parse_workers(raw: &str) -> Result<usize, String> {
-    match raw.trim().parse::<usize>() {
-        Ok(0) => Err("EVEN_CYCLE_WORKERS is 0; the worker count must be positive".to_string()),
-        Ok(w) => Ok(w),
-        Err(_) => Err(format!(
-            "EVEN_CYCLE_WORKERS is not a positive integer: {raw:?}"
-        )),
-    }
+    congest_sim::backend::parse_thread_count("EVEN_CYCLE_WORKERS", raw)
 }
 
 /// The worker-count override the environment asks for: `Ok(Some(w))`

@@ -21,7 +21,7 @@
 
 use std::ops::Range;
 
-use even_cycle::Budget;
+use even_cycle::{Backend, Budget};
 
 use crate::engine::schedule::Schedule;
 use crate::registry::DetectorRegistry;
@@ -80,13 +80,30 @@ impl RunProfile {
     /// The default resource budget of the profile. `fast-ci` carries
     /// hard round/message caps so a runaway detector aborts with
     /// [`Verdict::BudgetExceeded`](even_cycle::Verdict::BudgetExceeded)
-    /// instead of stalling the pipeline.
+    /// instead of stalling the pipeline. Every budget carries the
+    /// profile's [`RunProfile::backend`] default.
     pub fn budget(self) -> Budget {
-        match self {
+        let base = match self {
             RunProfile::PaperExact | RunProfile::Practical => Budget::classical(),
             RunProfile::FastCi => Budget::classical()
                 .with_round_cap(2_000_000)
                 .with_message_cap(50_000_000),
+        };
+        base.with_backend(self.backend())
+    }
+
+    /// The default simulation backend of the profile. `paper-exact`
+    /// sweeps climb to the largest instances (that is what they are
+    /// priced for), so they default to [`Backend::auto`]: sequential on
+    /// small graphs, parallel supersteps once an instance crosses the
+    /// auto threshold. The other profiles stay sequential — their grids
+    /// are small and the engine already parallelizes across units.
+    /// Transcripts are byte-identical across backends, so this is
+    /// purely a wall-clock knob.
+    pub fn backend(self) -> Backend {
+        match self {
+            RunProfile::PaperExact => Backend::auto(),
+            RunProfile::Practical | RunProfile::FastCi => Backend::Sequential,
         }
     }
 
@@ -147,6 +164,14 @@ mod tests {
         assert!(RunProfile::FastCi.budget().has_caps());
         assert!(!RunProfile::Practical.budget().has_caps());
         assert!(!RunProfile::PaperExact.budget().has_caps());
+    }
+
+    #[test]
+    fn paper_exact_defaults_to_the_auto_backend() {
+        assert_eq!(RunProfile::PaperExact.budget().backend, Backend::auto());
+        for p in [RunProfile::Practical, RunProfile::FastCi] {
+            assert_eq!(p.budget().backend, Backend::Sequential, "{p}");
+        }
     }
 
     #[test]

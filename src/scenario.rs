@@ -38,7 +38,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use congest_graph::{generators, Graph};
-use even_cycle::{Budget, Descriptor, Detector};
+use even_cycle::{Backend, Budget, Descriptor, Detector};
 
 use crate::engine::store::{json_escape, json_f64};
 use crate::engine::{Engine, Schedule};
@@ -250,9 +250,20 @@ impl Scenario {
     }
 
     /// Sets the resource budget (bandwidth, repetition override, hard
-    /// round/message caps).
+    /// round/message caps, simulation backend).
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the simulation backend every detector run uses
+    /// ([`Backend::Sequential`] | [`Backend::Parallel`] |
+    /// [`Backend::Auto`]). Purely a wall-clock knob: reports are
+    /// byte-identical across backends and thread counts, and the
+    /// engine clamps the worker pool so `workers × sim_threads` never
+    /// exceeds the machine's parallelism.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.budget.backend = backend;
         self
     }
 

@@ -46,6 +46,37 @@ fn parallel_executor_runs_color_bfs_identically() {
 }
 
 #[test]
+fn parallel_cut_meter_matches_sequential_on_color_bfs() {
+    use even_cycle_congest::sim::CutMeter;
+    // The §3.3 reductions meter the words crossing a bipartition; the
+    // parallel path must count exactly what the sequential path does
+    // (it used to silently report `cut_words: None`).
+    for seed in 0..3u64 {
+        let (g, _, colors) = planted_instance(seed);
+        let tau = Params::practical(2).instantiate(g.node_count()).tau;
+        let build = |v: NodeId, _| ColorBfs::new(2, colors[v.index()], true, true, true, tau);
+        let side: Vec<bool> = (0..g.node_count()).map(|v| v % 2 == 0).collect();
+
+        let mut seq = Executor::new(&g, seed);
+        seq.set_cut(CutMeter::new(&g, side.clone()));
+        let sr = seq.run(build, 8).unwrap();
+        assert!(sr.cut_words.is_some_and(|w| w > 0), "cut must be crossed");
+
+        for threads in [2usize, 4] {
+            let mut par = ParallelExecutor::new(&g, seed);
+            par.set_threads(threads);
+            par.set_cut(CutMeter::new(&g, side.clone()));
+            let pr = par.run(build, 8).unwrap();
+            assert_eq!(
+                sr.cut_words, pr.cut_words,
+                "cut words diverged (seed {seed}, {threads} threads)"
+            );
+            assert_eq!(sr, pr, "full report must agree (seed {seed})");
+        }
+    }
+}
+
+#[test]
 fn trace_agrees_with_congestion_accounting_on_color_bfs() {
     let (g, _, colors) = planted_instance(5);
     let tau = Params::practical(2).instantiate(g.node_count()).tau;
