@@ -18,14 +18,15 @@
 //!   (one-sidedness never depends on it) — the constant buys the
 //!   completeness argument (Lemma 3 / Fact 3), not safety.
 
-use congest_graph::generators;
+use congest_graph::{generators, FamilySpec};
 use even_cycle::{random_coloring, run_color_bfs, CycleDetector, Params, RunOptions};
 use even_cycle_bench::render_table;
 
 fn main() {
     // ---------- A1: threshold sensitivity ----------
-    let host = generators::polarity_graph(11);
-    let (g, _) = generators::plant_cycle(&host, 4, 5);
+    // planted-polarity:4 at n = 133 is the ER_11 host with a planted C4
+    // (the shared catalog family; no ad-hoc construction).
+    let g = FamilySpec::PlantedPolarity { l: 4 }.build(133, 5);
     let n = g.node_count();
     let trials = 20u64;
     let mut rows = Vec::new();
@@ -79,8 +80,7 @@ fn main() {
     );
 
     // ---------- A2: the congestion/success frontier ----------
-    let host = generators::polarity_graph(11);
-    let (g, _) = generators::plant_cycle(&host, 4, 9);
+    let g = FamilySpec::PlantedPolarity { l: 4 }.build(133, 9);
     let n = g.node_count();
     let inst = Params::practical(2).instantiate(n);
     let mut rows = Vec::new();

@@ -10,15 +10,19 @@
 //! the trade quantum amplification then wins back quadratically. Both
 //! detectors are driven through the unified `Detector` surface.
 
-use congest_graph::generators;
+use congest_graph::FamilySpec;
 use even_cycle::{Budget, CycleDetector, Detector, LowProbDetector, Params};
 use even_cycle_bench::{render_table, Sample, Series};
 
 fn main() {
-    let primes = [11u64, 17, 23, 31];
-    let hosts: Vec<_> = primes
+    // The polarity catalog family snaps a requested size n down to the
+    // largest prime q with q² + q + 1 ≤ n; these sizes hit q = 11, 17,
+    // 23, 31 exactly (the instance ladder the old per-prime loop
+    // hard-coded).
+    let sizes = [133usize, 307, 553, 993];
+    let hosts: Vec<_> = sizes
         .iter()
-        .map(|&q| generators::polarity_graph(q))
+        .map(|&n| FamilySpec::Polarity.build(n, 0))
         .collect();
 
     // Congestion of Algorithm 1 (threshold τ) vs Algorithm 2 (threshold
@@ -66,8 +70,7 @@ fn main() {
 
     // The success-probability side of the trade: empirical rejection
     // rate of single low-probability runs on a yes-instance vs 1/(3τ).
-    let host = generators::polarity_graph(11);
-    let (g, _) = generators::plant_cycle(&host, 4, 5);
+    let g = FamilySpec::PlantedPolarity { l: 4 }.build(133, 5);
     let n = g.node_count();
     let low = LowProbDetector::new(Params::practical(2));
     let single = Budget::classical().with_repetitions(1);

@@ -10,6 +10,7 @@
 //! * On planted-cycle inputs at the paper's `K = ⌈ln(3/ε)(2k)^{2k}⌉`,
 //!   the rejection rate must be at least `1 - ε`.
 
+use congest_graph::FamilySpec;
 use even_cycle::{Budget, CycleDetector, Detector, Params};
 use even_cycle_bench::render_table;
 
@@ -17,18 +18,16 @@ fn main() {
     let trials = 30u64;
     let budget = Budget::classical();
 
-    // Soundness: free inputs.
+    // Soundness: free inputs — all built through the shared family
+    // catalog (`trees`, `polarity`, `cycle`), no ad-hoc constructions.
     let mut rows = Vec::new();
     let free_inputs: Vec<(&str, congest_graph::Graph)> = vec![
-        (
-            "random tree (n=96)",
-            congest_graph::generators::random_tree(96, 2),
-        ),
+        ("random tree (n=96)", FamilySpec::RandomTrees.build(96, 2)),
         (
             "polarity ER_11 (C4-free)",
-            congest_graph::generators::polarity_graph(11),
+            FamilySpec::Polarity.build(133, 0),
         ),
-        ("C9 (girth 9)", congest_graph::generators::cycle(9)),
+        ("C9 (girth 9)", FamilySpec::Cycle.build(9, 0)),
     ];
     let det = CycleDetector::new(Params::practical(2).with_repetitions(64));
     for (name, g) in &free_inputs {
@@ -61,8 +60,7 @@ fn main() {
     for eps in [1.0 / 3.0, 0.1] {
         let params = Params::paper(2, eps);
         let det = CycleDetector::new(params.clone());
-        let host = congest_graph::generators::random_tree(128, 7);
-        let (g, _) = congest_graph::generators::plant_cycle(&host, 4, 7);
+        let g = FamilySpec::Planted { l: 4 }.build(128, 7);
         let detected = (0..trials)
             .filter(|&s| {
                 det.detect(&g, s, &budget)
@@ -99,8 +97,7 @@ fn main() {
     );
 
     // The per-iteration detection probability underlying Fact 1.
-    let host = congest_graph::generators::random_tree(128, 7);
-    let (g, _) = congest_graph::generators::plant_cycle(&host, 4, 7);
+    let g = FamilySpec::Planted { l: 4 }.build(128, 7);
     let single = CycleDetector::new(Params::practical(2));
     let one_rep = Budget::classical().with_repetitions(1);
     let hits = (0..400u64)

@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use congest_graph::{generators, NodeId};
 use congest_sim::{run_with_backend, Backend, Control, Ctx, Outbox, Program};
+use even_cycle_congest::engine::store::json_escape;
 use even_cycle_congest::registry::DetectorRegistry;
 use even_cycle_congest::scenario::GraphFamily;
 use even_cycle_congest::{Budget, RunProfile};
@@ -88,19 +89,6 @@ impl Program for QuietPing {
     }
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Some(a)) => a,
@@ -121,53 +109,77 @@ fn main() -> ExitCode {
     };
     let backends = [Backend::Sequential, Backend::Parallel { threads: 2 }];
     let registry = DetectorRegistry::with_profile(2, RunProfile::FastCi);
-    let family = GraphFamily::planted_cycle(4);
+    // The families the grid times, parsed through the shared catalog:
+    // the standard planted yes-instance for the full registry, plus a
+    // small-world row (one detector) so BENCH_sim.json tracks the new
+    // catalog families release over release.
+    let grid_family = GraphFamily::parse("planted:4").expect("catalog family");
+    let extra_family = GraphFamily::parse("ws:4:0.1").expect("catalog family");
 
     // --- per-detector wall time and supersteps/sec over the grid ---
     let mut detector_rows: Vec<String> = Vec::new();
+    let mut bench_one = |entry: &even_cycle_congest::registry::RegistryEntry,
+                         family: &GraphFamily,
+                         n: usize|
+     -> Result<(), String> {
+        let g = family.build(n, SEED);
+        for backend in backends {
+            let budget = Budget::classical().with_backend(backend);
+            // One unmeasured warm-up, then one timed run (the runs
+            // are seed-deterministic, so a single sample is exact
+            // up to scheduler noise).
+            let _ = entry.detector.detect(&g, SEED, &budget);
+            let t = Instant::now();
+            let detection = entry
+                .detector
+                .detect(&g, SEED, &budget)
+                .map_err(|e| format!("{}: n = {n}: {e}", entry.id))?;
+            let wall_ns = t.elapsed().as_nanos();
+            let supersteps = detection.cost.supersteps;
+            let sps = if wall_ns > 0 && supersteps > 0 {
+                format!("{:.1}", supersteps as f64 / (wall_ns as f64 / 1e9))
+            } else {
+                "null".to_string()
+            };
+            detector_rows.push(format!(
+                "{{\"id\":\"{}\",\"family\":\"{}\",\"n\":{},\"node_count\":{},\"backend\":\"{}\",\"wall_ns\":{},\"rounds\":{},\"supersteps\":{},\"supersteps_per_sec\":{}}}",
+                json_escape(&entry.id),
+                json_escape(family.name()),
+                n,
+                g.node_count(),
+                backend.label(),
+                wall_ns,
+                detection.cost.rounds,
+                supersteps,
+                sps,
+            ));
+            eprintln!(
+                "{:<44} {:<12} n {:>4}  {:<12} {:>10} ns",
+                entry.id,
+                family.name(),
+                n,
+                backend.label(),
+                wall_ns
+            );
+        }
+        Ok(())
+    };
     for entry in registry.iter() {
         for &n in sizes {
-            let g = family.build(n, SEED);
-            for backend in backends {
-                let budget = Budget::classical().with_backend(backend);
-                // One unmeasured warm-up, then one timed run (the runs
-                // are seed-deterministic, so a single sample is exact
-                // up to scheduler noise).
-                let _ = entry.detector.detect(&g, SEED, &budget);
-                let t = Instant::now();
-                let detection = match entry.detector.detect(&g, SEED, &budget) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        eprintln!("{}: n = {n}: {e}", entry.id);
-                        return ExitCode::FAILURE;
-                    }
-                };
-                let wall_ns = t.elapsed().as_nanos();
-                let supersteps = detection.cost.supersteps;
-                let sps = if wall_ns > 0 && supersteps > 0 {
-                    format!("{:.1}", supersteps as f64 / (wall_ns as f64 / 1e9))
-                } else {
-                    "null".to_string()
-                };
-                detector_rows.push(format!(
-                    "{{\"id\":\"{}\",\"n\":{},\"node_count\":{},\"backend\":\"{}\",\"wall_ns\":{},\"rounds\":{},\"supersteps\":{},\"supersteps_per_sec\":{}}}",
-                    json_str(&entry.id),
-                    n,
-                    g.node_count(),
-                    backend.label(),
-                    wall_ns,
-                    detection.cost.rounds,
-                    supersteps,
-                    sps,
-                ));
-                eprintln!(
-                    "{:<44} n {:>4}  {:<12} {:>10} ns",
-                    entry.id,
-                    n,
-                    backend.label(),
-                    wall_ns
-                );
+            if let Err(msg) = bench_one(entry, &grid_family, n) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
             }
+        }
+    }
+    // The new-family row: the classical C4 detector over the
+    // small-world grid (one entry keeps the added cost a single row
+    // per size × backend).
+    let first = registry.iter().next().expect("registry is never empty");
+    for &n in sizes {
+        if let Err(msg) = bench_one(first, &extra_family, n) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
         }
     }
 

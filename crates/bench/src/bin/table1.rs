@@ -22,22 +22,6 @@ use even_cycle_congest::engine::RunProfile;
 use even_cycle_congest::registry::DetectorRegistry;
 use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario, ScenarioReport};
 
-/// Polarity-graph family: for a requested size `n`, uses the largest
-/// prime `q` with `q² + q + 1 ≤ n` (the extremal C4-free hosts).
-fn polarity_family() -> GraphFamily {
-    GraphFamily::new("polarity ER_q (C4-free)", |n, _| {
-        let mut best = 3u64;
-        let mut q = 3u64;
-        while (q * q + q + 1) as usize <= n {
-            if congest_graph::generators::is_prime(q) {
-                best = q;
-            }
-            q += 1;
-        }
-        congest_graph::generators::polarity_graph(best)
-    })
-}
-
 fn main() {
     // Rendered tables go to stdout; every measured report additionally
     // lands in a JSONL stream (fresh per invocation).
@@ -98,7 +82,7 @@ fn main() {
 
     // E1: this paper, k = 2, on extremal C4-free hosts.
     let ours_k2 = CycleDetector::new(Params::practical(2));
-    let report = Scenario::new("this paper, C4 (k=2)", polarity_family())
+    let report = Scenario::new("this paper, C4 (k=2)", GraphFamily::polarity())
         .sizes(&[150, 330, 560, 1000])
         .seeds(11..12)
         .budget(Budget::classical().with_repetitions(4).exhaustive())
@@ -148,7 +132,7 @@ fn main() {
     // E2: the [10] local-threshold baseline at k = 2 (attempt count is
     // the n-dependent factor; per-attempt cost is constant).
     let local = LocalThresholdDetector::new(2).with_attempts(1.0, 1 << 20);
-    let report = Scenario::new("[10] local threshold, C4", polarity_family())
+    let report = Scenario::new("[10] local threshold, C4", GraphFamily::polarity())
         .sizes(&[150, 330, 560, 1000])
         .seeds(3..4)
         .metric(Metric::Rounds)

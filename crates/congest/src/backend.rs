@@ -176,17 +176,23 @@ pub fn sim_threads_env_override() -> Result<Option<usize>, String> {
 /// [`SIM_THREADS_ENV`] when set to a positive integer (an invalid
 /// value warns on stderr instead of being silently coerced), else the
 /// machine's available parallelism (at least 1).
+///
+/// The environment value is capped at the machine's parallelism: this
+/// is the count [`Backend::Auto`] resolves *at run time* — after the
+/// experiment engine has already budgeted its workers — so an
+/// over-the-machine override here would bypass every scheduler clamp
+/// and oversubscribe (explicit `Parallel { threads }` counts are
+/// clamped by the engine instead, where the whole budget is visible).
 pub fn default_parallel_threads() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     match sim_threads_env_override() {
-        Ok(Some(t)) => t,
-        Ok(None) => std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1),
+        Ok(Some(t)) => t.min(available),
+        Ok(None) => available,
         Err(msg) => {
             eprintln!("warning: {msg}; using available parallelism");
-            std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(1)
+            available
         }
     }
 }

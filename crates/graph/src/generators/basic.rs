@@ -79,6 +79,32 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     b.build()
 }
 
+/// The `rows × cols` torus: the grid graph with wrap-around edges in
+/// both dimensions, so every vertex has degree exactly 4 (for
+/// `rows, cols ≥ 3`). Tori are vertex-transitive, girth-4 (C4 at every
+/// vertex), and bipartite iff both dimensions are even — the bounded-
+/// degree, high-diameter regime broadcast-CONGEST lower bounds stress.
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (smaller wrap-arounds create
+/// multi-edges, which the simple-graph builder would silently merge).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
+    let id = |r: usize, c: usize| NodeId::new((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
 /// The `d`-dimensional hypercube `Q_d` on `2^d` vertices.
 ///
 /// # Panics
@@ -174,6 +200,26 @@ mod tests {
         assert_eq!(g.node_count(), 12);
         assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
         assert_eq!(analysis::girth(&g), Some(4));
+    }
+
+    #[test]
+    fn torus_is_four_regular_with_girth_four() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(analysis::girth(&g), Some(4));
+        // Odd × anything is non-bipartite (an odd wrap-around cycle).
+        assert!(!analysis::is_bipartite(&torus(3, 4)));
+        assert!(analysis::is_bipartite(&torus(4, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn torus_rejects_degenerate_dimensions() {
+        torus(2, 5);
     }
 
     #[test]

@@ -14,10 +14,16 @@ mod extremal;
 mod planted;
 mod random;
 
-pub use basic::{complete, complete_bipartite, cycle, empty, grid, hypercube, path, star, theta};
+pub use basic::{
+    complete, complete_bipartite, cycle, empty, grid, hypercube, path, star, theta, torus,
+};
 pub use compose::{disjoint_union, join_with_matching};
 pub use extremal::{is_prime, polarity_graph, smallest_prime_at_least};
-pub use planted::{cycle_with_chords, funnel, plant_cycle, plant_cycle_on_heavy_hub};
+pub use planted::{
+    cycle_with_chords, funnel, noisy_planted, plant_cycle, plant_cycle_on_heavy_hub,
+    plant_disjoint_cycles,
+};
 pub use random::{
-    erdos_renyi, erdos_renyi_m, high_girth, random_bipartite, random_regular_ish, random_tree,
+    erdos_renyi, erdos_renyi_m, high_girth, preferential_attachment, random_bipartite,
+    random_regular_ish, random_tree, watts_strogatz,
 };

@@ -67,6 +67,82 @@ pub fn plant_cycle_on_heavy_hub(
     (b.build(), CycleWitness::new(chosen))
 }
 
+/// Plants `copies` vertex-disjoint cycles `C_ℓ` on uniformly random
+/// vertices of `host`, returning the new graph and one witness per
+/// planted copy.
+///
+/// Multi-copy instances are the regime where detection cost provably
+/// depends on the *number* of copies (Censor-Hillel–Even–Vassilevska
+/// Williams): a single-planted family cannot distinguish algorithms
+/// that exploit copy multiplicity from those that cannot.
+///
+/// # Panics
+///
+/// Panics if `copies == 0`, `ℓ < 3`, or `host.node_count() < copies·ℓ`.
+pub fn plant_disjoint_cycles(
+    host: &Graph,
+    copies: usize,
+    l: usize,
+    seed: u64,
+) -> (Graph, Vec<CycleWitness>) {
+    assert!(copies >= 1, "need at least one copy");
+    assert!(l >= 3, "cycle length must be at least 3");
+    assert!(
+        host.node_count() >= copies * l,
+        "host too small for {copies} disjoint C{l}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..host.node_count() as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(host.node_count());
+    for (u, v) in host.edges() {
+        b.add_edge(u, v);
+    }
+    let mut witnesses = Vec::with_capacity(copies);
+    for c in 0..copies {
+        let chosen: Vec<NodeId> = ids[c * l..(c + 1) * l]
+            .iter()
+            .copied()
+            .map(NodeId::new)
+            .collect();
+        for i in 0..l {
+            b.add_edge(chosen[i], chosen[(i + 1) % l]);
+        }
+        witnesses.push(CycleWitness::new(chosen));
+    }
+    (b.build(), witnesses)
+}
+
+/// A planted cycle buried in noise: one `C_ℓ` planted on a random-tree
+/// host, plus independent Erdős–Rényi edges at rate `p` (each of the
+/// `n(n-1)/2` pairs, independently). At `p = 0` this is the standard
+/// planted family; growing `p` drowns the signal in incidental cycles
+/// of many lengths — the robustness regime clean planted instances
+/// never probe.
+///
+/// # Panics
+///
+/// Panics if `ℓ < 3`, `n < ℓ + 1`, or `p ∉ [0, 1]`.
+pub fn noisy_planted(n: usize, l: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let host = crate::generators::random_tree(n, seed);
+    let (planted, _) = plant_cycle(&host, l, seed);
+    if p == 0.0 {
+        return planted;
+    }
+    // Overlay ER noise (independent seed stream); the builder merges
+    // any noise edge that duplicates a host or cycle edge.
+    let noise = crate::generators::erdos_renyi(n, p, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in planted.edges() {
+        b.add_edge(u, v);
+    }
+    for (u, v) in noise.edges() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
 /// A cycle `C_n` with `chords` random chords added — a cheap family whose
 /// members contain many cycles of many lengths, for stress tests.
 pub fn cycle_with_chords(n: usize, chords: usize, seed: u64) -> Graph {
@@ -182,6 +258,47 @@ mod tests {
         for (u, v) in host.edges() {
             assert!(g.has_edge(u, v));
         }
+    }
+
+    #[test]
+    fn disjoint_copies_are_disjoint_and_certified() {
+        let host = generators::random_tree(60, 3);
+        let (g, witnesses) = plant_disjoint_cycles(&host, 3, 6, 11);
+        assert_eq!(witnesses.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for w in &witnesses {
+            assert!(w.is_valid(&g), "{w:?} invalid");
+            assert_eq!(w.len(), 6);
+            for v in w.nodes() {
+                assert!(seen.insert(*v), "copies must be vertex-disjoint");
+            }
+        }
+        assert!(analysis::find_cycle_exact(&g, 6, None).is_some());
+        // Determinism.
+        assert_eq!(g, plant_disjoint_cycles(&host, 3, 6, 11).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn disjoint_copies_need_room() {
+        let host = generators::random_tree(10, 1);
+        let _ = plant_disjoint_cycles(&host, 3, 4, 1);
+    }
+
+    #[test]
+    fn noisy_planted_keeps_the_signal() {
+        // p = 0 is exactly the clean planted family.
+        let clean = noisy_planted(48, 4, 0.0, 7);
+        let host = generators::random_tree(48, 7);
+        assert_eq!(clean, plant_cycle(&host, 4, 7).0);
+        // Noise only adds edges, and the planted C4 stays present.
+        let noisy = noisy_planted(48, 4, 0.05, 7);
+        assert!(noisy.edge_count() >= clean.edge_count());
+        for (u, v) in clean.edges() {
+            assert!(noisy.has_edge(u, v), "noise must not remove edges");
+        }
+        assert!(analysis::find_cycle_exact(&noisy, 4, None).is_some());
+        assert_eq!(noisy, noisy_planted(48, 4, 0.05, 7), "deterministic");
     }
 
     #[test]

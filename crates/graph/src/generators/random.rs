@@ -172,6 +172,117 @@ pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
     builder.build()
 }
 
+/// A preferential-attachment (Barabási–Albert style) graph: starting
+/// from a small seed clique, each new vertex attaches `m` edges to
+/// existing vertices chosen proportionally to their current degree
+/// (sampled from the running endpoint list, so high-degree hubs keep
+/// attracting edges). The resulting degree sequence is heavy-tailed —
+/// the power-law regime none of the near-regular or ER families probe.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each new vertex needs at least one edge");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let core = (m + 1).min(n);
+    // Seed clique on the first m+1 vertices (every early vertex has a
+    // positive degree, so the endpoint list is never empty).
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for u in 0..core as u32 {
+        for v in (u + 1)..core as u32 {
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut rng = rng_from(seed);
+    for v in core..n {
+        // Sample m distinct targets by degree (rejecting duplicates);
+        // a bounded retry budget keeps degenerate cases terminating.
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        let mut attempts = 0;
+        while targets.len() < m.min(v) && attempts < 20 * m + 50 {
+            attempts += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId::new(v as u32), NodeId::new(t));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where every
+/// vertex connects to its `k` nearest neighbors (`k/2` on each side,
+/// `k` rounded up to even), then each lattice edge is rewired with
+/// probability `p` to a uniformly random non-neighbor. `p = 0` is the
+/// pure lattice (girth 3, high clustering); small `p` adds the
+/// long-range shortcuts that collapse the diameter while keeping the
+/// local cycle structure — a regime neither ER nor the regular-ish
+/// family reaches.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1` and `k ≥ 2`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(k >= 2, "lattice degree must be at least 2");
+    let half = k.div_ceil(2).min(n.saturating_sub(1) / 2).max(1);
+    let mut b = GraphBuilder::new(n);
+    if n < 3 {
+        if n == 2 {
+            b.add_edge(NodeId::new(0), NodeId::new(1));
+        }
+        return b.build();
+    }
+    let mut rng = rng_from(seed);
+    // The lattice edges, each possibly rewired at its lower endpoint.
+    let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    for u in 0..n as u32 {
+        for d in 1..=half as u32 {
+            let v = (u + d) % n as u32;
+            if u == v {
+                continue;
+            }
+            edges.insert(key(u, v));
+        }
+    }
+    let mut lattice: Vec<(u32, u32)> = edges.iter().copied().collect();
+    lattice.sort_unstable();
+    for (u, v) in lattice {
+        if rng.gen_bool(p) {
+            // Rewire v's end to a fresh random target (keep the edge on
+            // failure to find one; the graph stays connected-ish).
+            let mut attempts = 0;
+            while attempts < 32 {
+                attempts += 1;
+                let w = rng.gen_range(0..n as u32);
+                if w != u && !edges.contains(&key(u, w)) {
+                    edges.remove(&key(u, v));
+                    edges.insert(key(u, w));
+                    break;
+                }
+            }
+        }
+    }
+    let mut final_edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    final_edges.sort_unstable();
+    for (u, v) in final_edges {
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    b.build()
+}
+
 /// A random connected graph with `extra` non-tree edges and girth
 /// strictly greater than `min_girth`: starts from a random tree and adds
 /// random edges, skipping any that would close a cycle of length
@@ -318,6 +429,52 @@ mod tests {
         }
         // Most stubs survive collision removal.
         assert!(g.edge_count() >= 100);
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed_and_deterministic() {
+        let a = preferential_attachment(200, 2, 9);
+        let b = preferential_attachment(200, 2, 9);
+        assert_eq!(a, b, "same seed must rebuild the same graph");
+        assert_eq!(a.node_count(), 200);
+        // Every post-seed vertex attaches ≥ 1 edge: connected-ish size.
+        assert!(a.edge_count() >= 200);
+        // The hub premium: the max degree far exceeds the attachment
+        // parameter (an ER graph at the same density concentrates).
+        assert!(
+            a.max_degree() >= 8,
+            "expected a hub, max degree {}",
+            a.max_degree()
+        );
+        assert_ne!(a, preferential_attachment(200, 2, 10));
+    }
+
+    #[test]
+    fn preferential_attachment_tiny() {
+        assert_eq!(preferential_attachment(0, 2, 1).node_count(), 0);
+        assert_eq!(preferential_attachment(1, 2, 1).edge_count(), 0);
+        let g = preferential_attachment(2, 3, 1);
+        assert_eq!(g.edge_count(), 1, "seed clique clamps to n");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_p_is_the_lattice() {
+        let g = watts_strogatz(24, 4, 0.0, 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "pure ring lattice is 4-regular");
+        }
+        assert_eq!(g.edge_count(), 48);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_is_deterministic_and_bounded() {
+        let a = watts_strogatz(60, 6, 0.2, 5);
+        let b = watts_strogatz(60, 6, 0.2, 5);
+        assert_eq!(a, b);
+        // Rewiring moves endpoints, it does not add edges.
+        assert!(a.edge_count() <= 60 * 3);
+        assert!(a.edge_count() >= 60 * 2, "most edges survive rewiring");
+        assert_ne!(a, watts_strogatz(60, 6, 0.2, 6));
     }
 
     #[test]

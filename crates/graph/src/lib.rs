@@ -38,8 +38,10 @@ mod witness;
 pub mod analysis;
 pub mod generators;
 pub mod serialize;
+pub mod spec;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NodeId};
+pub use spec::FamilySpec;
 pub use witness::CycleWitness;

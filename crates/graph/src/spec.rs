@@ -1,0 +1,683 @@
+//! First-class graph-family specifications: families as *data*, not
+//! closures.
+//!
+//! A [`FamilySpec`] names a generator and its parameters. Unlike a
+//! builder closure it can be parsed from a command line or a suite
+//! file, rendered back to a canonical label, compared, and — crucially
+//! — [fingerprinted](FamilySpec::fingerprint): the experiment engine
+//! keys its persisted result store by the fingerprint, so changing a
+//! family *parameter* (say `planted:4` → `planted:6`) changes every
+//! affected unit key and can never silently replay stale results.
+//!
+//! The catalog spans the regimes the literature says matter for cycle
+//! detection: planted yes-instances (single, multi-copy, and
+//! noise-buried), extremal `C4`-free hosts, near-regular degree
+//! boundaries, power-law and small-world topologies, tori, and
+//! adversarial congestion funnels.
+//!
+//! ```
+//! use congest_graph::spec::FamilySpec;
+//!
+//! let spec = FamilySpec::parse("planted:4").unwrap();
+//! assert_eq!(spec, FamilySpec::Planted { l: 4 });
+//! assert_eq!(spec.canonical_label(), "planted:4");
+//! let g = spec.build(64, 7);
+//! assert_eq!(g, spec.build(64, 7)); // deterministic in (n, seed)
+//! // Parameters move the fingerprint.
+//! assert_ne!(
+//!     spec.fingerprint(),
+//!     FamilySpec::parse("planted:6").unwrap().fingerprint()
+//! );
+//! ```
+
+use crate::{generators, Graph};
+
+/// A typed, serializable graph-family specification. Every variant is
+/// a deterministic, seedable family: [`build`](FamilySpec::build)`(n,
+/// seed)` produces a graph of approximately `n` vertices (families
+/// snap sizes — primes, parities, grid factorizations — by at most a
+/// few nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilySpec {
+    /// `trees` — uniform random labelled trees (sparse, cycle-free
+    /// hosts; the soundness control).
+    RandomTrees,
+    /// `cycle` — the single cycle `C_n` (girth exactly `n`).
+    Cycle,
+    /// `torus` — the near-square wrap-around grid (4-regular, girth 4,
+    /// high diameter).
+    Torus,
+    /// `polarity` — Erdős–Rényi polarity graphs `ER_q` for the largest
+    /// prime `q` with `q² + q + 1 ≤ n` (dense extremal `C4`-free
+    /// hosts).
+    Polarity,
+    /// `planted:L` — random trees with one planted `C_L` (the standard
+    /// yes-instance).
+    Planted {
+        /// Planted cycle length.
+        l: usize,
+    },
+    /// `multi:C:L` — `C` vertex-disjoint planted copies of `C_L` on a
+    /// random tree (detection cost provably depends on the copy
+    /// count).
+    MultiPlanted {
+        /// Number of disjoint planted copies.
+        copies: usize,
+        /// Planted cycle length.
+        l: usize,
+    },
+    /// `noisy:L:P` — one planted `C_L` on a random tree plus
+    /// Erdős–Rényi noise at edge rate `P` (robustness under incidental
+    /// cycles).
+    NoisyPlanted {
+        /// Planted cycle length.
+        l: usize,
+        /// Independent edge-noise probability.
+        p: f64,
+    },
+    /// `planted-polarity:L` — one planted `C_L` on the extremal
+    /// polarity host (a yes-instance inside the densest admissible
+    /// no-instance).
+    PlantedPolarity {
+        /// Planted cycle length.
+        l: usize,
+    },
+    /// `er:DEG` — Erdős–Rényi graphs with expected average degree
+    /// `DEG`.
+    ErdosRenyi {
+        /// Expected average degree.
+        deg: f64,
+    },
+    /// `bipartite:P` — random balanced bipartite graphs with edge
+    /// probability `P` (odd-cycle-free controls).
+    Bipartite {
+        /// Cross-part edge probability.
+        p: f64,
+    },
+    /// `regular:K` — near-regular graphs of degree `≈ n^{1/K}` (the
+    /// light/heavy boundary of Algorithm 1).
+    RegularBoundary {
+        /// Family parameter `K` (degree exponent `1/K`).
+        k: usize,
+    },
+    /// `funnel:B:K` — `B` parallel congestion funnels with chains of
+    /// length `K` (the adversarial hosts realizing the `Θ(n^{1-1/k})`
+    /// per-edge load).
+    Funnel {
+        /// Number of parallel funnel branches.
+        branches: usize,
+        /// Chain length per branch (the algorithm parameter `k`).
+        k: usize,
+    },
+    /// `pa:M` — preferential attachment, `M` edges per new vertex
+    /// (heavy-tailed power-law degrees).
+    PreferentialAttachment {
+        /// Edges attached per arriving vertex.
+        m: usize,
+    },
+    /// `ws:K:P` — Watts–Strogatz small world: ring lattice of degree
+    /// `K`, rewiring probability `P`.
+    WattsStrogatz {
+        /// Lattice degree (nearest neighbors per vertex).
+        k: usize,
+        /// Per-edge rewiring probability.
+        p: f64,
+    },
+}
+
+/// One catalog row: spec syntax, and what regime the family probes.
+pub struct CatalogEntry {
+    /// The spec syntax (`planted:L`, `ws:K:P`, …).
+    pub syntax: &'static str,
+    /// What the family is / which regime it probes.
+    pub describes: &'static str,
+}
+
+impl FamilySpec {
+    /// The full catalog, in documentation order: spec syntax and the
+    /// regime each family probes. This is the single source of the
+    /// shared unknown-family error message and the README table.
+    pub const CATALOG: &'static [CatalogEntry] = &[
+        CatalogEntry {
+            syntax: "trees",
+            describes: "uniform random trees — cycle-free soundness control",
+        },
+        CatalogEntry {
+            syntax: "cycle",
+            describes: "the single cycle C_n — girth exactly n",
+        },
+        CatalogEntry {
+            syntax: "torus",
+            describes: "wrap-around grid — 4-regular, girth 4, high diameter",
+        },
+        CatalogEntry {
+            syntax: "polarity",
+            describes: "extremal C4-free polarity graphs ER_q — densest no-instances",
+        },
+        CatalogEntry {
+            syntax: "planted:L",
+            describes: "one C_L planted on a random tree — the standard yes-instance",
+        },
+        CatalogEntry {
+            syntax: "multi:C:L",
+            describes: "C disjoint planted C_L copies — copy-count-sensitive regime",
+        },
+        CatalogEntry {
+            syntax: "noisy:L:P",
+            describes: "planted C_L + ER noise at rate P — signal under incidental cycles",
+        },
+        CatalogEntry {
+            syntax: "planted-polarity:L",
+            describes: "C_L planted on the extremal polarity host — dense yes-instance",
+        },
+        CatalogEntry {
+            syntax: "er:DEG",
+            describes: "Erdős–Rényi at average degree DEG",
+        },
+        CatalogEntry {
+            syntax: "bipartite:P",
+            describes: "random balanced bipartite — odd-cycle-free control",
+        },
+        CatalogEntry {
+            syntax: "regular:K",
+            describes: "near-regular degree n^(1/K) — Algorithm 1's light/heavy boundary",
+        },
+        CatalogEntry {
+            syntax: "funnel:B:K",
+            describes: "B congestion funnels, chain length K — worst-case edge load",
+        },
+        CatalogEntry {
+            syntax: "pa:M",
+            describes: "preferential attachment, M edges per vertex — power-law degrees",
+        },
+        CatalogEntry {
+            syntax: "ws:K:P",
+            describes: "Watts–Strogatz lattice degree K, rewiring P — small world",
+        },
+    ];
+
+    /// The comma-separated syntax list of the whole catalog (the body
+    /// of every unknown-family error).
+    pub fn catalog_summary() -> String {
+        let syntaxes: Vec<&str> = Self::CATALOG.iter().map(|e| e.syntax).collect();
+        syntaxes.join(", ")
+    }
+
+    /// One representative instance of *every* catalog variant, with
+    /// small parameters — the determinism sweeps, conformance tests,
+    /// and smoke suites iterate this so no family can join the catalog
+    /// without being exercised.
+    pub fn examples() -> Vec<FamilySpec> {
+        vec![
+            FamilySpec::RandomTrees,
+            FamilySpec::Cycle,
+            FamilySpec::Torus,
+            FamilySpec::Polarity,
+            FamilySpec::Planted { l: 4 },
+            FamilySpec::MultiPlanted { copies: 2, l: 4 },
+            FamilySpec::NoisyPlanted { l: 4, p: 0.02 },
+            FamilySpec::PlantedPolarity { l: 4 },
+            FamilySpec::ErdosRenyi { deg: 3.0 },
+            FamilySpec::Bipartite { p: 0.1 },
+            FamilySpec::RegularBoundary { k: 2 },
+            FamilySpec::Funnel { branches: 4, k: 2 },
+            FamilySpec::PreferentialAttachment { m: 2 },
+            FamilySpec::WattsStrogatz { k: 4, p: 0.1 },
+        ]
+    }
+
+    /// Parses a spec string (`planted:4`, `ws:6:0.1`, …). This is the
+    /// ONE family parser: every binary and suite file routes through
+    /// it, so the error message format — unknown families list the
+    /// full catalog — is shared everywhere.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending spec; unknown
+    /// family names additionally list the whole catalog.
+    pub fn parse(spec: &str) -> Result<FamilySpec, String> {
+        let spec = spec.trim();
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or_default();
+        let params: Vec<&str> = parts.collect();
+        let arity = |want: usize, shape: &str| -> Result<(), String> {
+            if params.len() == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "family {name:?} expects the form {shape:?}, got {spec:?}"
+                ))
+            }
+        };
+        let int = |raw: &str, what: &str| -> Result<usize, String> {
+            raw.parse::<usize>()
+                .map_err(|_| format!("bad {what} {raw:?} in family spec {spec:?}"))
+        };
+        let float = |raw: &str, what: &str| -> Result<f64, String> {
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad {what} {raw:?} in family spec {spec:?}"))?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("bad {what} {raw:?} in family spec {spec:?}"))
+            }
+        };
+        let prob = |raw: &str, what: &str| -> Result<f64, String> {
+            let v = float(raw, what)?;
+            if (0.0..=1.0).contains(&v) {
+                Ok(v)
+            } else {
+                Err(format!(
+                    "{what} must be in [0, 1], got {raw:?} in family spec {spec:?}"
+                ))
+            }
+        };
+        let cycle_len = |raw: &str| -> Result<usize, String> {
+            let l = int(raw, "cycle length")?;
+            if l >= 3 {
+                Ok(l)
+            } else {
+                Err(format!(
+                    "cycle length must be at least 3, got {l} in family spec {spec:?}"
+                ))
+            }
+        };
+        match name {
+            "trees" => {
+                arity(0, "trees")?;
+                Ok(FamilySpec::RandomTrees)
+            }
+            "cycle" => {
+                arity(0, "cycle")?;
+                Ok(FamilySpec::Cycle)
+            }
+            "torus" => {
+                arity(0, "torus")?;
+                Ok(FamilySpec::Torus)
+            }
+            "polarity" => {
+                arity(0, "polarity")?;
+                Ok(FamilySpec::Polarity)
+            }
+            "planted" => {
+                arity(1, "planted:L")?;
+                Ok(FamilySpec::Planted {
+                    l: cycle_len(params[0])?,
+                })
+            }
+            "multi" => {
+                arity(2, "multi:C:L")?;
+                let copies = int(params[0], "copy count")?;
+                if copies == 0 {
+                    return Err(format!(
+                        "copy count must be positive in family spec {spec:?}"
+                    ));
+                }
+                Ok(FamilySpec::MultiPlanted {
+                    copies,
+                    l: cycle_len(params[1])?,
+                })
+            }
+            "noisy" => {
+                arity(2, "noisy:L:P")?;
+                Ok(FamilySpec::NoisyPlanted {
+                    l: cycle_len(params[0])?,
+                    p: prob(params[1], "noise rate")?,
+                })
+            }
+            "planted-polarity" => {
+                arity(1, "planted-polarity:L")?;
+                Ok(FamilySpec::PlantedPolarity {
+                    l: cycle_len(params[0])?,
+                })
+            }
+            "er" => {
+                arity(1, "er:DEG")?;
+                let deg = float(params[0], "average degree")?;
+                if deg < 0.0 {
+                    return Err(format!(
+                        "average degree must be non-negative in family spec {spec:?}"
+                    ));
+                }
+                Ok(FamilySpec::ErdosRenyi { deg })
+            }
+            "bipartite" => {
+                arity(1, "bipartite:P")?;
+                Ok(FamilySpec::Bipartite {
+                    p: prob(params[0], "edge probability")?,
+                })
+            }
+            "regular" => {
+                arity(1, "regular:K")?;
+                let k = int(params[0], "k")?;
+                if k == 0 {
+                    return Err(format!("k must be positive in family spec {spec:?}"));
+                }
+                Ok(FamilySpec::RegularBoundary { k })
+            }
+            "funnel" => {
+                arity(2, "funnel:B:K")?;
+                let branches = int(params[0], "branch count")?;
+                let k = int(params[1], "k")?;
+                if branches == 0 || k == 0 {
+                    return Err(format!(
+                        "funnel branches and k must be positive in family spec {spec:?}"
+                    ));
+                }
+                Ok(FamilySpec::Funnel { branches, k })
+            }
+            "pa" => {
+                arity(1, "pa:M")?;
+                let m = int(params[0], "attachment count")?;
+                if m == 0 {
+                    return Err(format!(
+                        "attachment count must be positive in family spec {spec:?}"
+                    ));
+                }
+                Ok(FamilySpec::PreferentialAttachment { m })
+            }
+            "ws" => {
+                arity(2, "ws:K:P")?;
+                let k = int(params[0], "lattice degree")?;
+                if k < 2 {
+                    return Err(format!(
+                        "lattice degree must be at least 2 in family spec {spec:?}"
+                    ));
+                }
+                Ok(FamilySpec::WattsStrogatz {
+                    k,
+                    p: prob(params[1], "rewiring probability")?,
+                })
+            }
+            _ => Err(format!(
+                "unknown family {name:?}; known families: {}",
+                Self::catalog_summary()
+            )),
+        }
+    }
+
+    /// The canonical spec string: parses back to an equal spec
+    /// (`parse(canonical_label()) == self`), and is the human-readable
+    /// half of the family's identity (the machine half is the
+    /// [`fingerprint`](FamilySpec::fingerprint)).
+    pub fn canonical_label(&self) -> String {
+        match self {
+            FamilySpec::RandomTrees => "trees".to_string(),
+            FamilySpec::Cycle => "cycle".to_string(),
+            FamilySpec::Torus => "torus".to_string(),
+            FamilySpec::Polarity => "polarity".to_string(),
+            FamilySpec::Planted { l } => format!("planted:{l}"),
+            FamilySpec::MultiPlanted { copies, l } => format!("multi:{copies}:{l}"),
+            FamilySpec::NoisyPlanted { l, p } => format!("noisy:{l}:{p}"),
+            FamilySpec::PlantedPolarity { l } => format!("planted-polarity:{l}"),
+            FamilySpec::ErdosRenyi { deg } => format!("er:{deg}"),
+            FamilySpec::Bipartite { p } => format!("bipartite:{p}"),
+            FamilySpec::RegularBoundary { k } => format!("regular:{k}"),
+            FamilySpec::Funnel { branches, k } => format!("funnel:{branches}:{k}"),
+            FamilySpec::PreferentialAttachment { m } => format!("pa:{m}"),
+            FamilySpec::WattsStrogatz { k, p } => format!("ws:{k}:{p}"),
+        }
+    }
+
+    /// A stable 128-bit fingerprint of the family's full identity —
+    /// name *and* parameters. FNV-1a over a versioned rendering of the
+    /// canonical label: any parameter change moves the fingerprint, so
+    /// result stores keyed by it can never replay one parameterization
+    /// against another. Bump the version tag here if a generator's
+    /// construction ever changes behavior for the same label.
+    pub fn fingerprint(&self) -> u128 {
+        let canonical = format!("family-spec-v1|{}", self.canonical_label());
+        let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        for b in canonical.as_bytes() {
+            h ^= u128::from(*b);
+            h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+        }
+        h
+    }
+
+    /// The fingerprint as 32 hex characters (the form the result store
+    /// embeds in unit keys).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:032x}", self.fingerprint())
+    }
+
+    /// Builds the instance of (approximately) size `n` for `seed`.
+    /// Deterministic in `(n, seed)`: two calls yield byte-identical
+    /// graphs, which the engine's graph cache and result store rely
+    /// on. Families snap degenerate sizes up to their minimum viable
+    /// instance instead of panicking.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        match *self {
+            FamilySpec::RandomTrees => generators::random_tree(n.max(2), seed),
+            FamilySpec::Cycle => generators::cycle(n.max(3)),
+            FamilySpec::Torus => {
+                let n = n.max(9);
+                let mut rows = (n as f64).sqrt().floor() as usize;
+                rows = rows.max(3);
+                let cols = (n / rows).max(3);
+                generators::torus(rows, cols)
+            }
+            FamilySpec::Polarity => polarity_for(n),
+            FamilySpec::Planted { l } => {
+                let host = generators::random_tree(n.max(l + 1), seed);
+                generators::plant_cycle(&host, l, seed).0
+            }
+            FamilySpec::MultiPlanted { copies, l } => {
+                let host = generators::random_tree(n.max(copies * l + 1), seed);
+                generators::plant_disjoint_cycles(&host, copies, l, seed).0
+            }
+            FamilySpec::NoisyPlanted { l, p } => {
+                generators::noisy_planted(n.max(l + 1), l, p, seed)
+            }
+            FamilySpec::PlantedPolarity { l } => {
+                let mut host = polarity_for(n);
+                if host.node_count() < l {
+                    // The requested size snaps below the cycle: grow the
+                    // host to the smallest polarity graph that fits it.
+                    let q = generators::smallest_prime_at_least((l as f64).sqrt().ceil() as u64);
+                    host = generators::polarity_graph(q);
+                }
+                generators::plant_cycle(&host, l, seed).0
+            }
+            FamilySpec::ErdosRenyi { deg } => {
+                let n = n.max(4);
+                generators::erdos_renyi(n, (deg / n as f64).min(1.0), seed)
+            }
+            FamilySpec::Bipartite { p } => {
+                let half = (n / 2).max(2);
+                generators::random_bipartite(half, half, p, seed)
+            }
+            FamilySpec::RegularBoundary { k } => {
+                let d = (n as f64).powf(1.0 / k as f64).ceil() as usize + 1;
+                let n = n.max(d + 1);
+                let n_even = n + (n * d) % 2;
+                generators::random_regular_ish(n_even, d, seed)
+            }
+            FamilySpec::Funnel { branches, k } => {
+                // Every branch needs its chain plus at least one source.
+                generators::funnel(n.max(branches * (k + 2)), branches, k)
+            }
+            FamilySpec::PreferentialAttachment { m } => {
+                generators::preferential_attachment(n.max(m + 2), m, seed)
+            }
+            FamilySpec::WattsStrogatz { k, p } => generators::watts_strogatz(n.max(4), k, p, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for FamilySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_label())
+    }
+}
+
+/// The polarity graph `ER_q` for the largest prime `q` with
+/// `q² + q + 1 ≤ n` (never below `q = 3`, so tiny requests snap up to
+/// the 13-vertex `ER_3`).
+fn polarity_for(n: usize) -> Graph {
+    let mut best = 3u64;
+    let mut q = 3u64;
+    while (q * q + q + 1) as usize <= n {
+        if generators::is_prime(q) {
+            best = q;
+        }
+        q += 1;
+    }
+    generators::polarity_graph(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn every_variant_has_a_catalog_row_and_an_example() {
+        // The examples list and the catalog must cover each other: a
+        // variant added without a catalog row (or vice versa) fails
+        // here, not in a downstream binary.
+        assert_eq!(FamilySpec::examples().len(), FamilySpec::CATALOG.len());
+        for (example, row) in FamilySpec::examples().iter().zip(FamilySpec::CATALOG) {
+            let label = example.canonical_label();
+            let name = label.split(':').next().unwrap();
+            assert!(
+                row.syntax.starts_with(name),
+                "catalog row {:?} out of order with example {label:?}",
+                row.syntax
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_labels_roundtrip_through_parse() {
+        for spec in FamilySpec::examples() {
+            let label = spec.canonical_label();
+            let parsed = FamilySpec::parse(&label)
+                .unwrap_or_else(|e| panic!("label {label:?} must parse: {e}"));
+            assert_eq!(parsed, spec, "{label:?}");
+        }
+        // Float parameters round-trip through the shortest decimal.
+        let spec = FamilySpec::parse("ws:6:0.05").unwrap();
+        assert_eq!(spec.canonical_label(), "ws:6:0.05");
+    }
+
+    #[test]
+    fn whole_catalog_builds_deterministically() {
+        // The determinism sweep: for EVERY variant, build(n, seed)
+        // twice yields byte-identical graphs, and a different seed is
+        // allowed (not required) to differ.
+        for spec in FamilySpec::examples() {
+            for n in [16usize, 48] {
+                let a = spec.build(n, 7);
+                let b = spec.build(n, 7);
+                assert_eq!(a, b, "{spec} must be deterministic at n = {n}");
+                assert!(a.node_count() >= 2, "{spec} built a degenerate graph");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_families_and_parameters() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in FamilySpec::examples() {
+            assert!(
+                seen.insert(spec.fingerprint()),
+                "fingerprint collision at {spec}"
+            );
+        }
+        // Parameter changes move the fingerprint (the store footgun).
+        for (a, b) in [
+            ("planted:4", "planted:6"),
+            ("multi:2:4", "multi:3:4"),
+            ("noisy:4:0.02", "noisy:4:0.05"),
+            ("ws:4:0.1", "ws:6:0.1"),
+            ("funnel:4:2", "funnel:4:3"),
+        ] {
+            assert_ne!(
+                FamilySpec::parse(a).unwrap().fingerprint(),
+                FamilySpec::parse(b).unwrap().fingerprint(),
+                "{a} vs {b}"
+            );
+        }
+        // And the fingerprint is stable across calls.
+        let spec = FamilySpec::Planted { l: 4 };
+        assert_eq!(spec.fingerprint_hex(), spec.fingerprint_hex());
+        assert_eq!(spec.fingerprint_hex().len(), 32);
+    }
+
+    #[test]
+    fn unknown_family_error_lists_the_catalog() {
+        let err = FamilySpec::parse("nope").unwrap_err();
+        assert!(err.contains("unknown family"), "{err}");
+        for entry in FamilySpec::CATALOG {
+            assert!(err.contains(entry.syntax), "{err} missing {}", entry.syntax);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in [
+            "planted",     // missing parameter
+            "planted:x",   // non-numeric
+            "planted:2",   // cycle too short
+            "noisy:4",     // missing noise rate
+            "noisy:4:1.5", // probability out of range
+            "ws:1:0.1",    // lattice degree too small
+            "funnel:0:2",  // zero branches
+            "er:-1",       // negative degree
+            "trees:3",     // unexpected parameter
+            "multi:0:4",   // zero copies
+            "pa:0",        // zero attachment
+        ] {
+            let err = FamilySpec::parse(bad).unwrap_err();
+            assert!(
+                err.contains(bad) || err.contains("must be"),
+                "error for {bad:?} lacks context: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_families_contain_their_cycle() {
+        for (spec, l) in [
+            (FamilySpec::Planted { l: 4 }, 4),
+            (FamilySpec::MultiPlanted { copies: 2, l: 4 }, 4),
+            (FamilySpec::NoisyPlanted { l: 4, p: 0.02 }, 4),
+            (FamilySpec::PlantedPolarity { l: 6 }, 6),
+        ] {
+            let g = spec.build(48, 3);
+            assert!(
+                analysis::find_cycle_exact(&g, l, None).is_some(),
+                "{spec} must contain C{l}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_controls_hold() {
+        // Trees and funnels are cycle-free; bipartite has no odd cycle;
+        // the torus is 4-regular with girth 4; polarity is C4-free.
+        assert_eq!(analysis::girth(&FamilySpec::RandomTrees.build(64, 1)), None);
+        assert_eq!(
+            analysis::girth(&FamilySpec::Funnel { branches: 4, k: 2 }.build(64, 1)),
+            None
+        );
+        assert!(analysis::is_bipartite(
+            &FamilySpec::Bipartite { p: 0.2 }.build(48, 2)
+        ));
+        let torus = FamilySpec::Torus.build(25, 0);
+        assert_eq!(analysis::girth(&torus), Some(4));
+        assert!(torus.nodes().all(|v| torus.degree(v) == 4));
+        let polarity = FamilySpec::Polarity.build(150, 0);
+        assert!(analysis::find_cycle_exact(&polarity, 4, None).is_none());
+    }
+
+    #[test]
+    fn degenerate_sizes_snap_instead_of_panicking() {
+        for spec in FamilySpec::examples() {
+            let g = spec.build(1, 0);
+            assert!(g.node_count() >= 2, "{spec} must snap n = 1 up");
+        }
+    }
+}

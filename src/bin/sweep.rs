@@ -12,28 +12,45 @@
 //! Every flag is optional: the profile decides the default grid,
 //! budget, and schedule, the family defaults to planted `C_{2k}`
 //! yes-instances, the worker count falls back to `EVEN_CYCLE_WORKERS`
-//! (then 1). The store is per-unit content-addressed: re-running an
-//! identical invocation with `--store` replays it and invokes no
-//! detector, and *extending* the grid (a size rung, a seed, a
-//! detector) executes only the new cells. `--schedule cheapest-first`
-//! orders pending units by estimated cost and `--max-seconds S` stops
-//! dispatching once the cap elapses — skipped units are reported and
-//! resumed on the next run, so an expensive `paper-exact` sweep
-//! refines progressively across capped runs.
+//! (then 1). Families are parsed by the shared catalog parser
+//! (`FamilySpec::parse`) — `sweep --family help` lists every family.
+//! `--seeds` accepts a range (`0..3`) or an explicit list (`0,7,42`).
+//!
+//! **Suite mode** (`--suite FILE`) replaces the single-scenario flags
+//! with a line-oriented suite file — one stanza per line
+//! (`family=...; sizes=...; seeds=...; detectors=...`) — and runs
+//! every stanza through ONE shared engine pass: one worker pool, one
+//! graph cache, one result store, one schedule and thread budget. The
+//! work summary (`executed E, replayed R of T unit(s)`) goes to
+//! stderr, so a replayed suite is machine-checkable (`executed 0`).
+//!
+//! The store is per-unit content-addressed by the family fingerprint:
+//! re-running an identical invocation with `--store` replays it and
+//! invokes no detector, *extending* the grid (a size rung, a seed, a
+//! detector) executes only the new cells, and changing a family
+//! parameter (say `planted:4` → `planted:6`) invalidates exactly its
+//! own units. `--schedule cheapest-first` orders pending units by
+//! estimated cost and `--max-seconds S` stops dispatching once the cap
+//! elapses — skipped units are reported and resumed on the next run,
+//! so an expensive `paper-exact` sweep refines progressively across
+//! capped runs.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use even_cycle_congest::engine::{pool, RunProfile, ScheduleOrder};
 use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
+use even_cycle_congest::suite::{parse_seed_spec, parse_size_spec, Suite};
+use even_cycle_congest::FamilySpec;
 
 struct Args {
     profile: RunProfile,
     k: usize,
+    suite: Option<String>,
     family: Option<String>,
     sizes: Option<Vec<usize>>,
-    seeds: Option<std::ops::Range<u64>>,
-    metric: Metric,
+    seeds: Option<Vec<u64>>,
+    metric: Option<Metric>,
     workers: Option<usize>,
     backend: Option<String>,
     sim_threads: Option<usize>,
@@ -43,14 +60,18 @@ struct Args {
     json: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: sweep [--profile paper-exact|practical|fast-ci] [--k K]\n\
-     \x20            [--family trees|planted:L|er:DEG|bipartite:P|regular:K|funnel:B]\n\
-     \x20            [--sizes N1,N2,...] [--seeds A..B] \n\
-     \x20            [--metric rounds|rounds-per-iter|congestion|messages|words]\n\
-     \x20            [--workers W] [--store DIR] [--json]\n\
-     \x20            [--backend sequential|parallel[:T]|auto[:N]] [--sim-threads T]\n\
-     \x20            [--schedule in-order|cheapest-first] [--max-seconds S]"
+fn usage() -> String {
+    format!(
+        "usage: sweep [--profile paper-exact|practical|fast-ci] [--k K]\n\
+         \x20            [--suite FILE | --family SPEC]\n\
+         \x20            [--sizes N1,N2,...] [--seeds A..B | --seeds S1,S2,...]\n\
+         \x20            [--metric rounds|rounds-per-iter|congestion|messages|words]\n\
+         \x20            [--workers W] [--store DIR] [--json]\n\
+         \x20            [--backend sequential|parallel[:T]|auto[:N]] [--sim-threads T]\n\
+         \x20            [--schedule in-order|cheapest-first] [--max-seconds S]\n\
+         families: {}",
+        FamilySpec::catalog_summary()
+    )
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit success.
@@ -58,10 +79,11 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         profile: RunProfile::Practical,
         k: 2,
+        suite: None,
         family: None,
         sizes: None,
         seeds: None,
-        metric: Metric::Rounds,
+        metric: None,
         workers: None,
         backend: None,
         sim_threads: None,
@@ -89,27 +111,20 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err("--k must be at least 2 (the registry needs k >= 2)".to_string());
                 }
             }
+            "--suite" => args.suite = Some(value("--suite")?),
             "--family" => args.family = Some(value("--family")?),
             "--sizes" => {
                 let v = value("--sizes")?;
-                let sizes: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
-                args.sizes = Some(sizes.map_err(|_| format!("bad --sizes value {v:?}"))?);
+                args.sizes = Some(parse_size_spec(&v)?);
             }
             "--seeds" => {
                 let v = value("--seeds")?;
-                let (a, b) = v
-                    .split_once("..")
-                    .ok_or_else(|| format!("--seeds expects A..B, got {v:?}"))?;
-                let a: u64 = a.parse().map_err(|_| format!("bad seed start {a:?}"))?;
-                let b: u64 = b.parse().map_err(|_| format!("bad seed end {b:?}"))?;
-                if a >= b {
-                    return Err(format!("empty seed range {v:?}"));
-                }
-                args.seeds = Some(a..b);
+                args.seeds = Some(parse_seed_spec(&v)?);
             }
             "--metric" => {
                 let v = value("--metric")?;
-                args.metric = Metric::parse(&v).ok_or_else(|| format!("unknown metric {v:?}"))?;
+                args.metric =
+                    Some(Metric::parse(&v).ok_or_else(|| format!("unknown metric {v:?}"))?);
             }
             "--workers" => {
                 let v = value("--workers")?;
@@ -151,32 +166,19 @@ fn parse_args() -> Result<Option<Args>, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok(Some(args))
-}
-
-/// Resolves a `--family` spec against the built-in families. `L`, `DEG`,
-/// `P`, `K`, `B` are the colon-separated parameters shown in the usage
-/// string.
-fn parse_family(spec: &str, k: usize) -> Result<GraphFamily, String> {
-    let (name, param) = match spec.split_once(':') {
-        Some((n, p)) => (n, Some(p)),
-        None => (spec, None),
-    };
-    let num = |what: &str| -> Result<f64, String> {
-        param
-            .ok_or_else(|| format!("family {name:?} needs a parameter ({what})"))?
-            .parse::<f64>()
-            .map_err(|_| format!("bad {what} in family spec {spec:?}"))
-    };
-    match name {
-        "trees" => Ok(GraphFamily::random_trees()),
-        "planted" => Ok(GraphFamily::planted_cycle(num("cycle length")? as usize)),
-        "er" => Ok(GraphFamily::erdos_renyi(num("average degree")?)),
-        "bipartite" => Ok(GraphFamily::random_bipartite(num("edge probability")?)),
-        "regular" => Ok(GraphFamily::regularish_boundary(num("k")? as usize)),
-        "funnel" => Ok(GraphFamily::funnel(num("branches")? as usize, k)),
-        _ => Err(format!("unknown family {name:?}")),
+    if args.suite.is_some()
+        && (args.family.is_some()
+            || args.sizes.is_some()
+            || args.seeds.is_some()
+            || args.metric.is_some())
+    {
+        return Err(
+            "--suite replaces --family/--sizes/--seeds/--metric (per-stanza fields live in \
+             the suite file)"
+                .to_string(),
+        );
     }
+    Ok(Some(args))
 }
 
 fn main() -> ExitCode {
@@ -204,17 +206,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let family = match &args.family {
-        Some(spec) => match parse_family(spec, args.k) {
-            Ok(f) => f,
-            Err(msg) => {
-                eprintln!("{msg}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => GraphFamily::planted_cycle(2 * args.k),
-    };
-
     // Resolve --sim-threads before the backend spec: it feeds the
     // default thread count of `parallel` and `auto` backends (the same
     // knob EVEN_CYCLE_SIM_THREADS sets from the environment).
@@ -235,22 +226,14 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let registry = args.profile.registry(args.k);
-    let sizes = args.sizes.unwrap_or_else(|| args.profile.default_sizes());
-    let seeds = args.seeds.unwrap_or_else(|| args.profile.default_seeds());
-    let mut scenario = Scenario::new(format!("{} sweep (k = {})", args.profile, args.k), family)
-        .sizes(&sizes)
-        .seeds(seeds)
-        .metric(args.metric)
-        .budget(args.profile.budget());
-    if let Some(b) = backend {
-        scenario = scenario.backend(b);
-    }
+    // The engine every mode shares: worker pool, result store,
+    // schedule (the profile default layered with the CLI overrides).
+    let mut engine = even_cycle_congest::Engine::from_env();
     if let Some(w) = args.workers {
-        scenario = scenario.workers(w);
+        engine = engine.with_workers(w);
     }
     if let Some(dir) = &args.store {
-        scenario = scenario.store(dir);
+        engine = engine.with_store(dir);
     }
     let mut schedule = args.profile.schedule();
     if let Some(order) = args.schedule {
@@ -259,7 +242,7 @@ fn main() -> ExitCode {
     if let Some(secs) = args.max_seconds {
         schedule = schedule.with_wall_clock_cap(Duration::from_secs(secs));
     }
-    scenario = scenario.schedule(schedule);
+    engine = engine.with_schedule(schedule);
     if args.max_seconds.is_some() && args.store.is_none() {
         eprintln!(
             "note: --max-seconds without --store: units skipped at the cap \
@@ -267,7 +250,76 @@ fn main() -> ExitCode {
         );
     }
 
-    let report = scenario.run_registry(&registry);
+    // ---------- suite mode: every stanza through one engine pass ----------
+    if let Some(path) = &args.suite {
+        let suite = match Suite::from_file(path) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let prepared = match suite.prepare(args.profile, args.k, backend) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = prepared.run(&engine);
+        for report in &outcome.reports {
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.render());
+            }
+        }
+        eprintln!(
+            "suite: {} scenario(s); executed {}, replayed {} of {} unit(s)",
+            outcome.reports.len(),
+            outcome.executed_units,
+            outcome.replayed_units,
+            outcome.total_units,
+        );
+        let skipped = outcome.skipped_units();
+        if skipped > 0 {
+            eprintln!(
+                "wall-clock cap hit: {skipped} unit(s) skipped; re-run the same \
+                 command to resume from the store"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // ---------- single-scenario mode ----------
+    let family = match &args.family {
+        Some(spec) => match GraphFamily::parse(spec) {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => GraphFamily::planted_cycle(2 * args.k),
+    };
+
+    let registry = args.profile.registry(args.k);
+    let sizes = args.sizes.unwrap_or_else(|| args.profile.default_sizes());
+    let seeds = args
+        .seeds
+        .unwrap_or_else(|| args.profile.default_seeds().collect());
+    let mut scenario = Scenario::new(format!("{} sweep (k = {})", args.profile, args.k), family)
+        .sizes(&sizes)
+        .seeds(seeds)
+        .metric(args.metric.unwrap_or(Metric::Rounds))
+        .budget(args.profile.budget());
+    if let Some(b) = backend {
+        scenario = scenario.backend(b);
+    }
+
+    let dets: Vec<&dyn even_cycle_congest::Detector> =
+        registry.iter().map(|e| e.detector.as_ref()).collect();
+    let report = engine.run(&scenario, &dets);
     if args.json {
         println!("{}", report.to_json());
     } else {

@@ -1,5 +1,5 @@
-//! The shared graph cache: one build per `(size, seed)` instance,
-//! whatever the worker count, with refcount-based eviction.
+//! The shared graph cache: one build per `(family, size, seed)`
+//! instance, whatever the worker count, with refcount-based eviction.
 //!
 //! The sequential scenario runner built each `(size, seed)` graph once,
 //! handed it to every detector, and dropped it before the next
@@ -18,6 +18,11 @@
 //!   `Arc<Graph>`, bounding peak memory by the working set instead of
 //!   the whole grid. Keys fetched without a declared refcount (direct
 //!   library use) are never auto-evicted, preserving the old behavior.
+//!
+//! Since the suite runner, keys carry the **family store key** as well
+//! as `(n, seed)`: one cache serves every scenario of a suite — two
+//! stanzas over the same family share each instance build, while equal
+//! `(n, seed)` pairs from *different* families never collide.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,6 +31,9 @@ use std::sync::{Arc, Mutex};
 use congest_graph::Graph;
 
 use crate::scenario::GraphFamily;
+
+/// The cache key of one instance: `(family store key, n, seed)`.
+pub type InstanceKey = (String, usize, u64);
 
 /// Refcount sentinel for keys with no declared pending count: cached
 /// forever (never auto-evicted).
@@ -48,18 +56,23 @@ impl Entry {
     }
 }
 
-/// A concurrent memo of `(n, seed) → Graph` for one family.
-pub struct GraphCache<'a> {
-    family: &'a GraphFamily,
-    map: Mutex<HashMap<(usize, u64), Entry>>,
+/// A concurrent memo of `(family, n, seed) → Graph`, shared by every
+/// scenario of a run (or a whole suite).
+pub struct GraphCache {
+    map: Mutex<HashMap<InstanceKey, Entry>>,
     builds: AtomicUsize,
 }
 
-impl<'a> GraphCache<'a> {
-    /// Creates an empty cache over `family`.
-    pub fn new(family: &'a GraphFamily) -> Self {
+impl Default for GraphCache {
+    fn default() -> Self {
+        GraphCache::new()
+    }
+}
+
+impl GraphCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
         GraphCache {
-            family,
             map: Mutex::new(HashMap::new()),
             builds: AtomicUsize::new(0),
         }
@@ -68,13 +81,13 @@ impl<'a> GraphCache<'a> {
     /// Declares how many pending units will [`release`](Self::release)
     /// each instance. Counts add to any previously declared balance,
     /// and only declared keys are ever evicted.
-    pub fn expect_pending(&self, counts: &HashMap<(usize, u64), usize>) {
+    pub fn expect_pending(&self, counts: &HashMap<InstanceKey, usize>) {
         let mut map = self.map.lock().unwrap();
-        for (&key, &count) in counts {
+        for (key, &count) in counts {
             if count == 0 {
                 continue;
             }
-            let entry = map.entry(key).or_insert_with(Entry::untracked);
+            let entry = map.entry(key.clone()).or_insert_with(Entry::untracked);
             entry.remaining = if entry.remaining == UNTRACKED {
                 count
             } else {
@@ -83,14 +96,16 @@ impl<'a> GraphCache<'a> {
         }
     }
 
-    /// The instance for `(n, seed)`, building it on first request.
-    /// Concurrent misses on the same key serialize on the key's build
-    /// slot — exactly one build per instance, whatever the worker
-    /// count.
-    pub fn get(&self, n: usize, seed: u64) -> Arc<Graph> {
+    /// The instance of `family` at `(n, seed)`, building it on first
+    /// request. Concurrent misses on the same key serialize on the
+    /// key's build slot — exactly one build per instance, whatever the
+    /// worker count.
+    pub fn get(&self, family: &GraphFamily, n: usize, seed: u64) -> Arc<Graph> {
         let slot = {
             let mut map = self.map.lock().unwrap();
-            let entry = map.entry((n, seed)).or_insert_with(Entry::untracked);
+            let entry = map
+                .entry((family.store_key(), n, seed))
+                .or_insert_with(Entry::untracked);
             Arc::clone(&entry.slot)
         };
         // Build under the per-key slot lock, not the map lock: other
@@ -98,22 +113,23 @@ impl<'a> GraphCache<'a> {
         // blocks here until the graph exists instead of rebuilding it.
         let mut graph = slot.lock().unwrap();
         if graph.is_none() {
-            *graph = Some(Arc::new(self.family.build(n, seed)));
+            *graph = Some(Arc::new(family.build(n, seed)));
             self.builds.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(graph.as_ref().expect("slot was just filled"))
     }
 
-    /// Releases one pending-unit reference on `(n, seed)`; the last
-    /// release evicts the instance. A release on an untracked or
+    /// Releases one pending-unit reference on the instance; the last
+    /// release evicts it. A release on an untracked or
     /// already-evicted key is a no-op.
-    pub fn release(&self, n: usize, seed: u64) {
+    pub fn release(&self, family_key: &str, n: usize, seed: u64) {
         let mut map = self.map.lock().unwrap();
-        if let Some(entry) = map.get_mut(&(n, seed)) {
+        let key = (family_key.to_string(), n, seed);
+        if let Some(entry) = map.get_mut(&key) {
             if entry.remaining != UNTRACKED {
                 entry.remaining -= 1;
                 if entry.remaining == 0 {
-                    map.remove(&(n, seed));
+                    map.remove(&key);
                 }
             }
         }
@@ -146,33 +162,37 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     #[test]
-    fn caches_by_size_and_seed() {
-        let family = GraphFamily::random_trees();
-        let cache = GraphCache::new(&family);
-        let a = cache.get(32, 1);
-        let b = cache.get(32, 1);
+    fn caches_by_family_size_and_seed() {
+        let trees = GraphFamily::random_trees();
+        let cache = GraphCache::new();
+        let a = cache.get(&trees, 32, 1);
+        let b = cache.get(&trees, 32, 1);
         assert!(Arc::ptr_eq(&a, &b), "same key must share one graph");
-        let c = cache.get(32, 2);
+        let c = cache.get(&trees, 32, 2);
         assert!(!Arc::ptr_eq(&a, &c));
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.builds(), 2);
+        // A different family at the same (n, seed) is a different key.
+        let planted = GraphFamily::planted_cycle(4);
+        let d = cache.get(&planted, 32, 1);
+        assert!(!Arc::ptr_eq(&a, &d), "families must not collide");
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.builds(), 3);
     }
 
     #[test]
     fn concurrent_misses_build_once() {
         let built = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&built);
-        let family = GraphFamily::new("counting trees", move |n, seed| {
+        let family = GraphFamily::custom("counting trees", "v1", move |n, seed| {
             counter.fetch_add(1, Ordering::SeqCst);
             // A slow-ish build widens the race window.
             std::thread::sleep(std::time::Duration::from_millis(20));
             congest_graph::generators::random_tree(n.max(2), seed)
         });
-        let cache = GraphCache::new(&family);
+        let cache = GraphCache::new();
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
-                    let _ = cache.get(64, 7);
+                    let _ = cache.get(&family, 64, 7);
                 });
             }
         });
@@ -186,31 +206,32 @@ mod tests {
 
     #[test]
     fn declared_refcounts_evict_on_last_release() {
-        let family = GraphFamily::random_trees();
-        let cache = GraphCache::new(&family);
+        let trees = GraphFamily::random_trees();
+        let key = trees.store_key();
+        let cache = GraphCache::new();
         let mut counts = HashMap::new();
-        counts.insert((32, 1), 2);
+        counts.insert((key.clone(), 32, 1), 2);
         cache.expect_pending(&counts);
 
-        let g = cache.get(32, 1);
+        let g = cache.get(&trees, 32, 1);
         assert_eq!(cache.len(), 1);
-        cache.release(32, 1);
+        cache.release(&key, 32, 1);
         assert_eq!(cache.len(), 1, "one pending unit left: stays resident");
-        cache.release(32, 1);
+        cache.release(&key, 32, 1);
         assert_eq!(cache.len(), 0, "last release evicts");
         // The caller's own Arc stays valid after eviction.
         assert!(g.node_count() >= 2);
         // Releasing an evicted key is a no-op.
-        cache.release(32, 1);
+        cache.release(&key, 32, 1);
         assert_eq!(cache.len(), 0);
     }
 
     #[test]
     fn untracked_keys_are_never_evicted() {
-        let family = GraphFamily::random_trees();
-        let cache = GraphCache::new(&family);
-        let _ = cache.get(32, 5);
-        cache.release(32, 5);
+        let trees = GraphFamily::random_trees();
+        let cache = GraphCache::new();
+        let _ = cache.get(&trees, 32, 5);
+        cache.release(&trees.store_key(), 32, 5);
         assert_eq!(cache.len(), 1, "no declared refcount: cached forever");
     }
 
@@ -218,12 +239,12 @@ mod tests {
     fn release_without_get_never_underflows() {
         // A wall-clock-capped engine releases skipped units without
         // fetching their graph; the entry must evict cleanly unbuilt.
-        let family = GraphFamily::random_trees();
-        let cache = GraphCache::new(&family);
+        let trees = GraphFamily::random_trees();
+        let cache = GraphCache::new();
         let mut counts = HashMap::new();
-        counts.insert((48, 0), 1);
+        counts.insert((trees.store_key(), 48, 0), 1);
         cache.expect_pending(&counts);
-        cache.release(48, 0);
+        cache.release(&trees.store_key(), 48, 0);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.builds(), 0, "skipped units build nothing");
     }

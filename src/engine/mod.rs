@@ -134,91 +134,137 @@ impl Engine {
     /// silently dropped store would turn the next resume into a silent
     /// full re-run).
     pub fn run(&self, scenario: &Scenario, detectors: &[&dyn Detector]) -> ScenarioReport {
+        self.run_suite(&[(scenario, detectors)])
+            .reports
+            .pop()
+            .expect("one scenario in, one report out")
+    }
+
+    /// Runs a whole *suite* — any number of scenarios, each with its
+    /// own detector set — through ONE shared worker pool, graph cache,
+    /// result store, schedule, and thread budget.
+    ///
+    /// The work units of every scenario are flattened into a single
+    /// dispatch queue (deduplicated by content address, so two stanzas
+    /// that share a cell execute it once), scheduled together
+    /// (cheapest-first ordering and the wall-clock cap apply across
+    /// the whole suite), and aggregated back into one report per
+    /// scenario in input order. Reports are byte-identical to running
+    /// each scenario alone with the same store.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Engine::run`] does if the result store cannot be
+    /// opened or written.
+    pub fn run_suite(&self, items: &[(&Scenario, &[&dyn Detector])]) -> SuiteOutcome {
         // Split the machine's thread budget between pool workers and
-        // the intra-run simulation threads of the scenario's backend,
+        // the intra-run simulation threads of each scenario's backend,
         // so a parallel sweep of parallel simulations never
         // oversubscribes (workers × sim_threads ≤ available
-        // parallelism). Backends do not change results — transcripts
-        // are byte-identical — so neither clamp can move the report.
+        // parallelism). The suite shares one pool, so the worker count
+        // is the tightest scenario's split. Backends do not change
+        // results — transcripts are byte-identical — so no clamp can
+        // move a report.
         let available = std::thread::available_parallelism()
             .map(|t| t.get())
             .unwrap_or(1);
-        let max_size = scenario.sizes.iter().copied().max().unwrap_or(0);
-        let (workers, backend) =
-            split_thread_budget(self.workers, scenario.budget.backend, max_size, available);
-        let budget = scenario.budget.clone().with_backend(backend);
-
-        let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
-        let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
-        let exponents: Vec<f64> = detectors.iter().map(|d| d.descriptor().exponent).collect();
-        let units = scenario.sizes.len() * scenario.seeds.len() * detectors.len();
+        let mut workers = self.workers.max(1);
+        let mut budgets: Vec<even_cycle::Budget> = Vec::with_capacity(items.len());
+        for (scenario, _) in items {
+            let max_size = scenario.sizes.iter().copied().max().unwrap_or(0);
+            let (w, backend) =
+                split_thread_budget(self.workers, scenario.budget.backend, max_size, available);
+            workers = workers.min(w);
+            budgets.push(scenario.budget.clone().with_backend(backend));
+        }
 
         let mut store = self
             .store_dir
             .as_ref()
             .map(|dir| ResultStore::open(dir).expect("result store must be writable"));
 
-        // Flatten the matrix in the canonical order (size-major, then
-        // seed, then detector), content-address every unit, and keep
-        // only the units the store cannot replay. The det/n/seed check
-        // on replay is a belt-and-suspenders guard against a 128-bit
-        // key collision.
+        // Flatten every scenario's matrix in the canonical order
+        // (scenario-major, then size, seed, detector), content-address
+        // every unit, and keep only the units the store cannot replay —
+        // deduplicated suite-wide, so a cell shared by two stanzas
+        // executes once. The det/n/seed check on replay is a
+        // belt-and-suspenders guard against a 128-bit key collision.
         struct Todo {
-            unit: usize,
+            si: usize,
+            order: usize,
             di: usize,
             n: usize,
             seed: u64,
             key: String,
             estimate: f64,
         }
-        let mut keys: Vec<String> = Vec::with_capacity(units);
+        let mut metas: Vec<ScenarioMeta> = Vec::with_capacity(items.len());
+        let family_keys: Vec<String> = items.iter().map(|(s, _)| s.family.store_key()).collect();
         let mut todo: Vec<Todo> = Vec::new();
-        let mut unit = 0usize;
-        for &n in &scenario.sizes {
-            for &seed in &scenario.seeds {
-                for di in 0..detectors.len() {
-                    let key = store::unit_key(&store::canonical_unit(
-                        scenario.family.name(),
-                        n,
-                        seed,
-                        &ids[di],
-                        &configs[di],
-                        &scenario.budget,
-                    ));
-                    let replayable = store
-                        .as_ref()
-                        .and_then(|s| s.get(&key))
-                        .is_some_and(|r| r.det == ids[di] && r.n == n && r.seed == seed);
-                    if !replayable {
-                        todo.push(Todo {
-                            unit,
-                            di,
+        let mut claimed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut total_units = 0usize;
+        for (si, (scenario, detectors)) in items.iter().enumerate() {
+            let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
+            let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
+            let exponents: Vec<f64> = detectors.iter().map(|d| d.descriptor().exponent).collect();
+            let units = scenario.sizes.len() * scenario.seeds.len() * detectors.len();
+            let mut keys: Vec<String> = Vec::with_capacity(units);
+            for &n in &scenario.sizes {
+                for &seed in &scenario.seeds {
+                    for di in 0..detectors.len() {
+                        let key = store::unit_key(&store::canonical_unit(
+                            &family_keys[si],
                             n,
                             seed,
-                            key: key.clone(),
-                            estimate: schedule::estimate_cost(n, exponents[di]),
-                        });
+                            &ids[di],
+                            &configs[di],
+                            &scenario.budget,
+                        ));
+                        let replayable = store
+                            .as_ref()
+                            .and_then(|s| s.get(&key))
+                            .is_some_and(|r| r.det == ids[di] && r.n == n && r.seed == seed);
+                        if !replayable && claimed.insert(key.clone()) {
+                            todo.push(Todo {
+                                si,
+                                order: total_units + keys.len(),
+                                di,
+                                n,
+                                seed,
+                                key: key.clone(),
+                                estimate: schedule::estimate_cost(n, exponents[di]),
+                            });
+                        }
+                        keys.push(key);
                     }
-                    keys.push(key);
-                    unit += 1;
                 }
             }
+            total_units += units;
+            metas.push(ScenarioMeta { ids, keys });
         }
 
-        // Dispatch order per the schedule. Aggregation folds records
-        // in canonical unit order regardless, so the report does not
-        // depend on this — only *which* units finish under a cap does.
+        // Dispatch order per the schedule, across the whole suite.
+        // Aggregation folds records in canonical unit order regardless,
+        // so reports do not depend on this — only *which* units finish
+        // under a cap does.
         if self.schedule.order == ScheduleOrder::CheapestFirst {
-            todo.sort_by(|a, b| a.estimate.total_cmp(&b.estimate).then(a.unit.cmp(&b.unit)));
+            todo.sort_by(|a, b| {
+                a.estimate
+                    .total_cmp(&b.estimate)
+                    .then(a.order.cmp(&b.order))
+            });
         }
 
-        // Pre-compute per-instance refcounts so the graph cache can
-        // evict each (n, seed) when its last pending unit completes.
-        let mut pending: HashMap<(usize, u64), usize> = HashMap::new();
+        // Pre-compute per-instance refcounts so the shared graph cache
+        // can evict each (family, n, seed) when its last pending unit
+        // completes.
+        let mut pending: HashMap<cache::InstanceKey, usize> = HashMap::new();
         for t in &todo {
-            *pending.entry((t.n, t.seed)).or_insert(0) += 1;
+            *pending
+                .entry((family_keys[t.si].clone(), t.n, t.seed))
+                .or_insert(0) += 1;
         }
-        let graphs = GraphCache::new(&scenario.family);
+        let graphs = GraphCache::new();
         graphs.expect_pending(&pending);
 
         // Workers append each record as it completes (serialized by the
@@ -229,23 +275,24 @@ impl Engine {
         let shared_store = std::sync::Mutex::new(store.take());
         let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), workers, |j| {
             let t = &todo[j];
+            let (scenario, detectors) = items[t.si];
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 // Cap elapsed: skip (do not start) this unit, but still
                 // release its graph reference so eviction stays exact.
-                graphs.release(t.n, t.seed);
+                graphs.release(&family_keys[t.si], t.n, t.seed);
                 return None;
             }
             let record = execute_unit(
                 scenario,
-                &budget,
+                &budgets[t.si],
                 &graphs,
                 detectors[t.di],
-                &ids[t.di],
+                &metas[t.si].ids[t.di],
                 &t.key,
                 t.n,
                 t.seed,
             );
-            graphs.release(t.n, t.seed);
+            graphs.release(&family_keys[t.si], t.n, t.seed);
             if let Some(store) = shared_store.lock().unwrap().as_mut() {
                 store
                     .append(std::slice::from_ref(&record))
@@ -254,25 +301,73 @@ impl Engine {
             Some(record)
         });
         let store = shared_store.into_inner().unwrap();
+        let executed = fresh.iter().flatten().count();
 
-        // Merge replayed and fresh records back into canonical unit
-        // order, then aggregate sequentially (one canonical f64
-        // addition order). Units skipped by the wall-clock cap stay
-        // `None` and are counted per row.
-        let mut records: Vec<Option<UnitRecord>> = (0..units).map(|_| None).collect();
-        for (j, record) in fresh.into_iter().enumerate() {
-            if let Some(record) = record {
-                records[todo[j].unit] = Some(record);
-            }
+        // Merge replayed and fresh records back into each scenario's
+        // canonical unit order, then aggregate sequentially (one
+        // canonical f64 addition order per scenario). Units skipped by
+        // the wall-clock cap stay `None` and are counted per row.
+        let mut by_key: HashMap<&str, &UnitRecord> = HashMap::new();
+        for record in fresh.iter().flatten() {
+            by_key.insert(&record.key, record);
         }
-        if let Some(store) = &store {
-            for (idx, key) in keys.iter().enumerate() {
-                if records[idx].is_none() {
-                    records[idx] = store.get(key).cloned();
-                }
-            }
+        let mut reports = Vec::with_capacity(items.len());
+        for (si, (scenario, detectors)) in items.iter().enumerate() {
+            let records: Vec<Option<UnitRecord>> = metas[si]
+                .keys
+                .iter()
+                .map(|key| {
+                    by_key
+                        .get(key.as_str())
+                        .map(|r| (*r).clone())
+                        .or_else(|| store.as_ref().and_then(|s| s.get(key)).cloned())
+                })
+                .collect();
+            reports.push(aggregate(scenario, detectors, &records));
         }
-        aggregate(scenario, detectors, &records)
+        let skipped: u64 = reports
+            .iter()
+            .map(|r: &ScenarioReport| r.skipped_units())
+            .sum();
+        SuiteOutcome {
+            reports,
+            total_units,
+            executed_units: executed,
+            replayed_units: total_units - executed - skipped as usize,
+        }
+    }
+}
+
+/// Per-scenario bookkeeping the suite runner threads through the
+/// shared pool pass.
+struct ScenarioMeta {
+    ids: Vec<String>,
+    keys: Vec<String>,
+}
+
+/// What a suite run did: the per-scenario reports plus the shared
+/// engine's work accounting — the replay guarantee made visible (a
+/// second run of an unchanged suite must show `executed_units == 0`).
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// One report per input scenario, in input order.
+    pub reports: Vec<ScenarioReport>,
+    /// Total work units across all scenarios (duplicates counted per
+    /// scenario).
+    pub total_units: usize,
+    /// Units that actually invoked a detector in this run.
+    pub executed_units: usize,
+    /// Units served without a detector invocation — from the result
+    /// store, or from a sibling stanza that already computed the same
+    /// content address this run.
+    pub replayed_units: usize,
+}
+
+impl SuiteOutcome {
+    /// Units skipped by the schedule's wall-clock cap, across all
+    /// reports.
+    pub fn skipped_units(&self) -> u64 {
+        self.reports.iter().map(|r| r.skipped_units()).sum()
     }
 }
 
@@ -305,14 +400,14 @@ fn split_thread_budget(
 fn execute_unit(
     scenario: &Scenario,
     budget: &even_cycle::Budget,
-    graphs: &GraphCache<'_>,
+    graphs: &GraphCache,
     detector: &dyn Detector,
     id: &str,
     key: &str,
     n: usize,
     seed: u64,
 ) -> UnitRecord {
-    let g = graphs.get(n, seed);
+    let g = graphs.get(&scenario.family, n, seed);
     let mut record = UnitRecord {
         key: key.to_string(),
         det: id.to_string(),

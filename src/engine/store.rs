@@ -99,8 +99,18 @@ pub fn unit_key(canonical: &str) -> String {
 /// per-unit addressing). Detector ids alone are not enough — two
 /// tunings of the same algorithm share an id — so the configuration
 /// fingerprint is folded in as well.
+///
+/// `family_key` is the family's **store key**
+/// ([`GraphFamily::store_key`](crate::scenario::GraphFamily::store_key)):
+/// the 128-bit spec fingerprint for catalog families (covering every
+/// parameter) or `name@version` for custom builders. The canonical
+/// prefix is `v3` for exactly this reason — records written by earlier
+/// releases were keyed by the family's free-form *display name*, which
+/// could not see parameter or builder changes; their keys can never
+/// equal a v3 key, so legacy entries are ignored on resume rather than
+/// misread.
 pub fn canonical_unit(
-    family: &str,
+    family_key: &str,
     n: usize,
     seed: u64,
     det_id: &str,
@@ -108,7 +118,7 @@ pub fn canonical_unit(
     budget: &even_cycle::Budget,
 ) -> String {
     format!(
-        "v2|family={family}|n={n}|seed={seed}|det={det_id}|config={det_config}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}",
+        "v3|family={family_key}|n={n}|seed={seed}|det={det_id}|config={det_config}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}",
         budget.bandwidth,
         budget.repetitions,
         budget.run_to_budget,
@@ -621,9 +631,28 @@ mod tests {
     }
 
     #[test]
+    fn legacy_name_keyed_canonicals_never_collide_with_v3() {
+        // Pre-refactor stores keyed units by the family display name
+        // under a v2 prefix; the v3 prefix + fingerprint key can never
+        // reproduce such a key, so legacy records are dead weight, not
+        // a misread hazard.
+        let legacy = "v2|family=planted C4 on trees|n=64|seed=3|det=d|config=c|bandwidth=1|repetitions=None|run_to_budget=false|max_rounds=None|max_messages=None";
+        let current = canonical_unit(
+            "spec:0123456789abcdef0123456789abcdef",
+            64,
+            3,
+            "d",
+            "c",
+            &even_cycle::Budget::classical(),
+        );
+        assert!(current.starts_with("v3|"));
+        assert_ne!(unit_key(legacy), unit_key(&current));
+    }
+
+    #[test]
     fn unit_key_is_stable_and_sensitive() {
         let canonical = canonical_unit(
-            "planted C4 on trees",
+            "spec:planted4",
             64,
             3,
             "classical/C4/color-bfs",
@@ -637,7 +666,7 @@ mod tests {
         let b = even_cycle::Budget::classical().with_bandwidth(2);
         for other in [
             canonical_unit(
-                "random trees",
+                "spec:trees",
                 64,
                 3,
                 "classical/C4/color-bfs",
@@ -645,7 +674,7 @@ mod tests {
                 &even_cycle::Budget::classical(),
             ),
             canonical_unit(
-                "planted C4 on trees",
+                "spec:planted4",
                 65,
                 3,
                 "classical/C4/color-bfs",
@@ -653,7 +682,7 @@ mod tests {
                 &even_cycle::Budget::classical(),
             ),
             canonical_unit(
-                "planted C4 on trees",
+                "spec:planted4",
                 64,
                 4,
                 "classical/C4/color-bfs",
@@ -661,7 +690,7 @@ mod tests {
                 &even_cycle::Budget::classical(),
             ),
             canonical_unit(
-                "planted C4 on trees",
+                "spec:planted4",
                 64,
                 3,
                 "classical/C6/color-bfs",
@@ -669,7 +698,7 @@ mod tests {
                 &even_cycle::Budget::classical(),
             ),
             canonical_unit(
-                "planted C4 on trees",
+                "spec:planted4",
                 64,
                 3,
                 "classical/C4/color-bfs",
@@ -677,7 +706,7 @@ mod tests {
                 &even_cycle::Budget::classical(),
             ),
             canonical_unit(
-                "planted C4 on trees",
+                "spec:planted4",
                 64,
                 3,
                 "classical/C4/color-bfs",

@@ -26,8 +26,13 @@
 //! * [`engine`] — the parallel experiment engine behind the scenario
 //!   runner: worker-pool sweep execution (byte-identical to
 //!   sequential), `paper-exact`/`practical`/`fast-ci` run profiles,
-//!   hard budget enforcement, and a resumable JSONL result store.
-//!   The `sweep` binary drives it from the command line.
+//!   hard budget enforcement, and a resumable JSONL result store
+//!   keyed by [`FamilySpec`] fingerprints. The `sweep` binary drives
+//!   it from the command line.
+//! * [`suite`] — whole campaigns as data: line-oriented suite files
+//!   (`family=...; sizes=...; seeds=...; detectors=...` per stanza)
+//!   resolved against a run profile and executed through one shared
+//!   engine pass (`sweep --suite`).
 //!
 //! # Quickstart — the unified `Detector` API
 //!
@@ -75,6 +80,7 @@
 pub mod engine;
 pub mod registry;
 pub mod scenario;
+pub mod suite;
 
 pub use congest_baselines as baselines;
 pub use congest_graph as graph;
@@ -83,7 +89,9 @@ pub use congest_quantum as quantum;
 pub use congest_sim as sim;
 pub use even_cycle as cycle;
 
-pub use engine::{Engine, RunProfile, Schedule, ScheduleOrder};
+pub use congest_graph::FamilySpec;
+pub use engine::{Engine, RunProfile, Schedule, ScheduleOrder, SuiteOutcome};
 pub use even_cycle::{Budget, Descriptor, Detection, Detector, Model, RunCost, Target, Verdict};
 pub use registry::DetectorRegistry;
 pub use scenario::{GraphFamily, Metric, Scenario, ScenarioReport};
+pub use suite::{PreparedSuite, Suite};

@@ -37,107 +37,208 @@ use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use congest_graph::{generators, Graph};
+use congest_graph::{FamilySpec, Graph};
 use even_cycle::{Backend, Budget, Descriptor, Detector};
 
 use crate::engine::store::{json_escape, json_f64};
 use crate::engine::{Engine, Schedule};
 
 /// A sized, seeded family of instances: `build(n, seed)` produces a
-/// graph of (approximately) `n` vertices. Builders are shared across
-/// the engine's worker threads, so they must be `Send + Sync` (and
-/// deterministic in `(n, seed)` — the graph cache and the result store
-/// both rely on replayability).
+/// graph of (approximately) `n` vertices.
+///
+/// Almost every family is a typed [`FamilySpec`] — parseable,
+/// comparable, and fingerprintable, which is what lets the engine's
+/// result store key work units by the family's *full identity*
+/// (name and parameters) instead of a free-form display name. The
+/// [`GraphFamily::custom`] escape hatch still admits arbitrary builder
+/// closures, but demands an explicit version string that becomes part
+/// of the store identity: bump it whenever the construction changes,
+/// or stale stored results would replay against the new graphs.
 #[derive(Clone)]
 pub struct GraphFamily {
-    name: String,
-    build: Arc<dyn Fn(usize, u64) -> Graph + Send + Sync>,
+    label: String,
+    kind: FamilyKind,
+}
+
+#[derive(Clone)]
+enum FamilyKind {
+    Spec(FamilySpec),
+    Custom {
+        version: String,
+        build: Arc<dyn Fn(usize, u64) -> Graph + Send + Sync>,
+    },
 }
 
 impl std::fmt::Debug for GraphFamily {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GraphFamily")
-            .field("name", &self.name)
-            .finish_non_exhaustive()
+        let mut s = f.debug_struct("GraphFamily");
+        s.field("label", &self.label);
+        match &self.kind {
+            FamilyKind::Spec(spec) => s.field("spec", spec).finish(),
+            FamilyKind::Custom { version, .. } => {
+                s.field("version", version).finish_non_exhaustive()
+            }
+        }
+    }
+}
+
+impl From<FamilySpec> for GraphFamily {
+    fn from(spec: FamilySpec) -> Self {
+        GraphFamily {
+            label: spec.canonical_label(),
+            kind: FamilyKind::Spec(spec),
+        }
     }
 }
 
 impl GraphFamily {
-    /// A custom family from a builder function.
+    /// Parses a family spec string (`planted:4`, `ws:6:0.1`, …) — the
+    /// shared catalog parser every binary and suite file routes
+    /// through ([`FamilySpec::parse`]).
     ///
-    /// The name is the family's identity in the engine's result-store
-    /// hash — a builder closure cannot be fingerprinted, so **changing
-    /// the builder's behavior without changing the name lets old
-    /// stored results replay against the new graphs**. Version the
-    /// name (e.g. `"polarity v2"`) whenever the construction changes.
-    pub fn new(
+    /// # Errors
+    ///
+    /// The shared error format; unknown families list the catalog.
+    pub fn parse(spec: &str) -> Result<GraphFamily, String> {
+        FamilySpec::parse(spec).map(GraphFamily::from)
+    }
+
+    /// A custom family from a builder closure — the escape hatch for
+    /// constructions outside the [`FamilySpec`] catalog.
+    ///
+    /// A closure cannot be fingerprinted, so its store identity is
+    /// `name` + the explicit `version` string: **bump the version
+    /// whenever the builder's behavior changes**, or previously stored
+    /// results would silently replay against the new graphs. (Catalog
+    /// families don't carry this risk — their fingerprint covers every
+    /// parameter.)
+    pub fn custom(
         name: impl Into<String>,
+        version: impl Into<String>,
         build: impl Fn(usize, u64) -> Graph + Send + Sync + 'static,
     ) -> Self {
+        let name = name.into();
+        let version = version.into();
+        assert!(
+            !version.trim().is_empty(),
+            "custom families require a non-empty version string (their store identity)"
+        );
         GraphFamily {
-            name: name.into(),
-            build: Arc::new(build),
+            label: name,
+            kind: FamilyKind::Custom {
+                version,
+                build: Arc::new(build),
+            },
         }
     }
 
-    /// The family's display name.
+    /// The family's display name (the canonical spec label for catalog
+    /// families).
     pub fn name(&self) -> &str {
-        &self.name
+        &self.label
     }
 
-    /// Builds the instance of size `n` for `seed`.
+    /// The typed spec, for catalog families.
+    pub fn as_spec(&self) -> Option<&FamilySpec> {
+        match &self.kind {
+            FamilyKind::Spec(spec) => Some(spec),
+            FamilyKind::Custom { .. } => None,
+        }
+    }
+
+    /// The family's identity in the engine's result store and graph
+    /// cache: the 128-bit spec fingerprint for catalog families
+    /// (parameters included — changing `planted:4` to `planted:6`
+    /// moves every affected unit key), or `name@version` for custom
+    /// builders.
+    pub fn store_key(&self) -> String {
+        match &self.kind {
+            FamilyKind::Spec(spec) => format!("spec:{}", spec.fingerprint_hex()),
+            FamilyKind::Custom { version, .. } => {
+                format!("custom:{}@{version}", self.label)
+            }
+        }
+    }
+
+    /// Builds the instance of size `n` for `seed` (deterministic in
+    /// `(n, seed)` — the graph cache and the result store both rely on
+    /// replayability).
     pub fn build(&self, n: usize, seed: u64) -> Graph {
-        (self.build)(n, seed)
+        match &self.kind {
+            FamilyKind::Spec(spec) => spec.build(n, seed),
+            FamilyKind::Custom { build, .. } => build(n, seed),
+        }
     }
 
     /// Uniform random trees (sparse, cycle-free hosts).
     pub fn random_trees() -> Self {
-        GraphFamily::new("random trees", |n, seed| {
-            generators::random_tree(n.max(2), seed)
-        })
+        FamilySpec::RandomTrees.into()
     }
 
     /// Random trees with one planted `C_ℓ` (the standard yes-instance).
     pub fn planted_cycle(l: usize) -> Self {
-        GraphFamily::new(format!("planted C{l} on trees"), move |n, seed| {
-            let host = generators::random_tree(n.max(l + 1), seed);
-            generators::plant_cycle(&host, l, seed).0
-        })
+        FamilySpec::Planted { l }.into()
     }
 
     /// Near-regular graphs of degree `≈ n^{1/k}` (the light/heavy
     /// boundary of Algorithm 1).
     pub fn regularish_boundary(k: usize) -> Self {
-        GraphFamily::new(format!("n^(1/{k})-regular"), move |n, seed| {
-            let d = (n as f64).powf(1.0 / k as f64).ceil() as usize + 1;
-            let n_even = n + (n * d) % 2;
-            generators::random_regular_ish(n_even, d, seed)
-        })
+        FamilySpec::RegularBoundary { k }.into()
     }
 
     /// Erdős–Rényi graphs with expected degree `deg`.
     pub fn erdos_renyi(deg: f64) -> Self {
-        GraphFamily::new(format!("ER (avg deg {deg})"), move |n, seed| {
-            let n = n.max(4);
-            generators::erdos_renyi(n, (deg / n as f64).min(1.0), seed)
-        })
+        FamilySpec::ErdosRenyi { deg }.into()
     }
 
     /// Random bipartite graphs (odd-cycle-free controls).
     pub fn random_bipartite(p: f64) -> Self {
-        GraphFamily::new(format!("bipartite (p = {p})"), move |n, seed| {
-            let half = (n / 2).max(2);
-            generators::random_bipartite(half, half, p, seed)
-        })
+        FamilySpec::Bipartite { p }.into()
     }
 
     /// Congestion funnels — the adversarial hosts driving the per-edge
     /// load of Algorithm 1's second color-BFS to its `Θ(n^{1-1/k})`
     /// worst case.
     pub fn funnel(branches: usize, k: usize) -> Self {
-        GraphFamily::new(format!("funnel (b = {branches}, k = {k})"), move |n, _| {
-            generators::funnel(n.max(16), branches, k)
-        })
+        FamilySpec::Funnel { branches, k }.into()
+    }
+
+    /// Extremal `C4`-free polarity hosts (`ER_q` for the largest
+    /// admissible prime).
+    pub fn polarity() -> Self {
+        FamilySpec::Polarity.into()
+    }
+}
+
+/// Seed sweeps accepted by [`Scenario::seeds`]: a `Range<u64>` (the
+/// ergonomic sugar every existing call site uses) or an explicit list
+/// (what suite files like `seeds=0,7,42` need).
+pub trait IntoSeeds {
+    /// The concrete seed list, in sweep order.
+    fn into_seeds(self) -> Vec<u64>;
+}
+
+impl IntoSeeds for Range<u64> {
+    fn into_seeds(self) -> Vec<u64> {
+        self.collect()
+    }
+}
+
+impl IntoSeeds for Vec<u64> {
+    fn into_seeds(self) -> Vec<u64> {
+        self
+    }
+}
+
+impl IntoSeeds for &[u64] {
+    fn into_seeds(self) -> Vec<u64> {
+        self.to_vec()
+    }
+}
+
+impl<const N: usize> IntoSeeds for [u64; N] {
+    fn into_seeds(self) -> Vec<u64> {
+        self.to_vec()
     }
 }
 
@@ -234,6 +335,26 @@ impl Scenario {
         }
     }
 
+    /// The scenario's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario's graph family.
+    pub fn family(&self) -> &GraphFamily {
+        &self.family
+    }
+
+    /// The configured instance sizes.
+    pub fn sizes_configured(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The configured seed sweep.
+    pub fn seeds_configured(&self) -> &[u64] {
+        &self.seeds
+    }
+
     /// Sets the instance sizes (must be non-empty and increasing for a
     /// meaningful fit).
     pub fn sizes(mut self, sizes: &[usize]) -> Self {
@@ -242,10 +363,13 @@ impl Scenario {
         self
     }
 
-    /// Sets the seed sweep; per-size values average over it.
-    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+    /// Sets the seed sweep; per-size values average over it. Accepts a
+    /// range (`0..3`) or an explicit list (`vec![0, 7, 42]`,
+    /// `[0, 7, 42]`, `&[0, 7, 42][..]`).
+    pub fn seeds(mut self, seeds: impl IntoSeeds) -> Self {
+        let seeds = seeds.into_seeds();
         assert!(!seeds.is_empty(), "need at least one seed");
-        self.seeds = seeds.collect();
+        self.seeds = seeds;
         self
     }
 
@@ -556,6 +680,69 @@ mod tests {
         assert!(json.contains("\"scenario\":\"json \\\"smoke\\\"\""));
         assert!(json.contains("\"rows\":["));
         assert!(json.contains("\"samples\":[[")); // at least one sample
+    }
+
+    #[test]
+    fn seeds_accept_ranges_and_explicit_lists() {
+        let ranged = Scenario::new("r", GraphFamily::random_trees()).seeds(0..3);
+        assert_eq!(ranged.seeds, vec![0, 1, 2]);
+        let listed = Scenario::new("l", GraphFamily::random_trees()).seeds([0u64, 7, 42]);
+        assert_eq!(listed.seeds, vec![0, 7, 42]);
+        let vec_form = Scenario::new("v", GraphFamily::random_trees()).seeds(vec![5u64, 9]);
+        assert_eq!(vec_form.seeds, vec![5, 9]);
+        let slice_form = Scenario::new("s", GraphFamily::random_trees()).seeds(&[1u64, 2][..]);
+        assert_eq!(slice_form.seeds, vec![1, 2]);
+        // A listed sweep runs end to end like a ranged one.
+        let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+        let report = Scenario::new("list smoke", GraphFamily::random_trees())
+            .sizes(&[24])
+            .seeds([0u64, 3])
+            .run(&[&det]);
+        assert_eq!(report.runs_per_size, 2);
+    }
+
+    #[test]
+    fn family_store_keys_cover_parameters_and_versions() {
+        // Catalog families: the fingerprint covers parameters.
+        let p4 = GraphFamily::planted_cycle(4).store_key();
+        let p6 = GraphFamily::planted_cycle(6).store_key();
+        assert_ne!(p4, p6, "parameters must move the store key");
+        assert!(p4.starts_with("spec:"));
+        // The key is the spec fingerprint, not the display name.
+        assert_eq!(
+            p4,
+            format!(
+                "spec:{}",
+                congest_graph::FamilySpec::Planted { l: 4 }.fingerprint_hex()
+            )
+        );
+        // Custom families: name + explicit version.
+        let v1 = GraphFamily::custom("mine", "v1", |n, s| {
+            congest_graph::generators::random_tree(n.max(2), s)
+        });
+        let v2 = GraphFamily::custom("mine", "v2", |n, s| {
+            congest_graph::generators::random_tree(n.max(2), s)
+        });
+        assert_eq!(v1.store_key(), "custom:mine@v1");
+        assert_ne!(v1.store_key(), v2.store_key());
+        assert!(v1.as_spec().is_none());
+        assert!(GraphFamily::random_trees().as_spec().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "version")]
+    fn custom_families_require_a_version() {
+        let _ = GraphFamily::custom("mine", "  ", |n, s| {
+            congest_graph::generators::random_tree(n.max(2), s)
+        });
+    }
+
+    #[test]
+    fn parse_goes_through_the_shared_catalog() {
+        let fam = GraphFamily::parse("planted:4").unwrap();
+        assert_eq!(fam.name(), "planted:4");
+        let err = GraphFamily::parse("nope").unwrap_err();
+        assert!(err.contains("known families"));
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Suite files: whole experiment campaigns as data.
+//!
+//! A suite file is line-oriented — one *stanza* per non-empty,
+//! non-comment line, each a `;`-separated list of `key=value` fields
+//! (hand-rolled parsing; the workspace has no serde):
+//!
+//! ```text
+//! # every family at smoke sizes (comments start with '#')
+//! family=planted:4; sizes=24,32; seeds=0..2
+//! family=ws:4:0.1; sizes=24,32; seeds=0,7,42; metric=congestion
+//! family=funnel:4:2; detectors=color-bfs,gather; k=2
+//! ```
+//!
+//! Fields:
+//!
+//! * `family` (required) — a [`FamilySpec`] string; the one catalog
+//!   parser, shared error message and all.
+//! * `sizes` — comma-separated instance sizes (default: the run
+//!   profile's grid).
+//! * `seeds` — `A..B` or an explicit `s1,s2,...` list (default: the
+//!   profile's sweep).
+//! * `detectors` — `all` (default) or comma-separated registry-id
+//!   fragments; each fragment selects every entry whose id contains
+//!   it, and must match at least one.
+//! * `metric` — a [`Metric`] spelling (default `rounds`).
+//! * `k` — the registry family parameter for this stanza (default: the
+//!   suite-wide `k`).
+//! * `label` — the scenario's display name (default: the family
+//!   label).
+//!
+//! [`Suite::prepare`] resolves stanzas against a [`RunProfile`] into
+//! ready scenarios + detector selections; [`PreparedSuite::run`]
+//! pushes the whole campaign through ONE engine — shared worker pool,
+//! graph cache, result store, schedule, and thread budget (see
+//! [`Engine::run_suite`]).
+
+use std::path::Path;
+
+use congest_graph::FamilySpec;
+use even_cycle::{Backend, Detector};
+
+use crate::engine::{Engine, RunProfile, SuiteOutcome};
+use crate::registry::DetectorRegistry;
+use crate::scenario::{GraphFamily, Metric, Scenario};
+
+/// Which registry entries a stanza sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorSelect {
+    /// Every entry of the stanza's registry.
+    All,
+    /// Entries whose id contains any of these fragments.
+    Ids(Vec<String>),
+}
+
+/// One parsed suite stanza (one line of the file).
+#[derive(Debug, Clone)]
+pub struct SuiteStanza {
+    /// Display name override.
+    pub label: Option<String>,
+    /// The graph family (typed, fingerprintable).
+    pub family: FamilySpec,
+    /// Instance sizes; `None` uses the profile default.
+    pub sizes: Option<Vec<usize>>,
+    /// Seed sweep; `None` uses the profile default.
+    pub seeds: Option<Vec<u64>>,
+    /// Registry selection.
+    pub detectors: DetectorSelect,
+    /// Extracted metric; `None` means [`Metric::Rounds`].
+    pub metric: Option<Metric>,
+    /// Registry family parameter; `None` uses the suite-wide default.
+    pub k: Option<usize>,
+}
+
+/// A parsed suite file.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// The stanzas, in file order.
+    pub stanzas: Vec<SuiteStanza>,
+}
+
+/// Parses a seed spec: `A..B` (half-open range) or a comma-separated
+/// explicit list (`0,7,42`). Shared by suite files and `sweep
+/// --seeds`.
+///
+/// # Errors
+///
+/// A message naming the offending spec; empty ranges and empty lists
+/// are rejected.
+pub fn parse_seed_spec(spec: &str) -> Result<Vec<u64>, String> {
+    let spec = spec.trim();
+    if let Some((a, b)) = spec.split_once("..") {
+        let a: u64 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad seed start {a:?} in {spec:?}"))?;
+        let b: u64 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad seed end {b:?} in {spec:?}"))?;
+        if a >= b {
+            return Err(format!("empty seed range {spec:?}"));
+        }
+        return Ok((a..b).collect());
+    }
+    let seeds: Result<Vec<u64>, String> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad seed {s:?} in {spec:?}"))
+        })
+        .collect();
+    let seeds = seeds?;
+    if seeds.is_empty() {
+        return Err(format!("empty seed list {spec:?}"));
+    }
+    Ok(seeds)
+}
+
+/// Parses a comma-separated size list (`24,32,48`).
+///
+/// # Errors
+///
+/// A message naming the offending spec.
+pub fn parse_size_spec(spec: &str) -> Result<Vec<usize>, String> {
+    let sizes: Result<Vec<usize>, String> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad size {s:?} in {spec:?}"))
+        })
+        .collect();
+    let sizes = sizes?;
+    if sizes.is_empty() {
+        return Err(format!("empty size list {spec:?}"));
+    }
+    Ok(sizes)
+}
+
+impl Suite {
+    /// Parses suite text. Errors carry 1-based line numbers.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed line's diagnosis.
+    pub fn parse(text: &str) -> Result<Suite, String> {
+        let mut stanzas = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let stanza =
+                parse_stanza(line).map_err(|e| format!("suite line {}: {e}", lineno + 1))?;
+            stanzas.push(stanza);
+        }
+        if stanzas.is_empty() {
+            return Err("suite file has no stanzas".to_string());
+        }
+        Ok(Suite { stanzas })
+    }
+
+    /// Reads and parses a suite file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (with the path) and parse errors.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Suite, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read suite {}: {e}", path.display()))?;
+        Suite::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Resolves the suite against a run profile: builds one registry
+    /// per distinct `k`, applies profile defaults for missing grids,
+    /// and resolves each stanza's detector selection. `backend`
+    /// overrides every scenario's simulation backend (the `--backend`
+    /// flag); `None` keeps the profile default.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable detector fragments (naming the stanza) and invalid
+    /// `k` values.
+    pub fn prepare(
+        &self,
+        profile: RunProfile,
+        default_k: usize,
+        backend: Option<Backend>,
+    ) -> Result<PreparedSuite, String> {
+        let mut registries: Vec<(usize, DetectorRegistry)> = Vec::new();
+        let mut runs = Vec::with_capacity(self.stanzas.len());
+        for (idx, stanza) in self.stanzas.iter().enumerate() {
+            let k = stanza.k.unwrap_or(default_k);
+            if k < 2 {
+                return Err(format!("stanza {}: k must be at least 2, got {k}", idx + 1));
+            }
+            let ri = match registries.iter().position(|(rk, _)| *rk == k) {
+                Some(ri) => ri,
+                None => {
+                    registries.push((k, profile.registry(k)));
+                    registries.len() - 1
+                }
+            };
+            let registry = &registries[ri].1;
+            let entries = resolve_detectors(registry, &stanza.detectors)
+                .map_err(|e| format!("stanza {} ({}): {e}", idx + 1, stanza.family))?;
+
+            let family = GraphFamily::from(stanza.family.clone());
+            let label = stanza
+                .label
+                .clone()
+                .unwrap_or_else(|| family.name().to_string());
+            let mut scenario = Scenario::new(label, family)
+                .sizes(
+                    &stanza
+                        .sizes
+                        .clone()
+                        .unwrap_or_else(|| profile.default_sizes()),
+                )
+                .seeds(
+                    stanza
+                        .seeds
+                        .clone()
+                        .unwrap_or_else(|| profile.default_seeds().collect()),
+                )
+                .metric(stanza.metric.unwrap_or(Metric::Rounds))
+                .budget(profile.budget());
+            if let Some(b) = backend {
+                scenario = scenario.backend(b);
+            }
+            runs.push(PreparedRun {
+                scenario,
+                registry: ri,
+                entries,
+            });
+        }
+        Ok(PreparedSuite { registries, runs })
+    }
+}
+
+fn parse_stanza(line: &str) -> Result<SuiteStanza, String> {
+    let mut family: Option<FamilySpec> = None;
+    let mut stanza = SuiteStanza {
+        label: None,
+        family: FamilySpec::RandomTrees, // placeholder until `family=` lands
+        sizes: None,
+        seeds: None,
+        detectors: DetectorSelect::All,
+        metric: None,
+        k: None,
+    };
+    for field in line.split(';') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+        let (key, value) = (key.trim(), value.trim());
+        if value.is_empty() {
+            return Err(format!("field {key:?} has an empty value"));
+        }
+        match key {
+            "family" => family = Some(FamilySpec::parse(value)?),
+            "sizes" => stanza.sizes = Some(parse_size_spec(value)?),
+            "seeds" => stanza.seeds = Some(parse_seed_spec(value)?),
+            "detectors" => {
+                stanza.detectors = if value == "all" {
+                    DetectorSelect::All
+                } else {
+                    DetectorSelect::Ids(
+                        value.split(',').map(|s| s.trim().to_string()).collect(),
+                    )
+                };
+            }
+            "metric" => {
+                stanza.metric =
+                    Some(Metric::parse(value).ok_or_else(|| format!("unknown metric {value:?}"))?);
+            }
+            "k" => {
+                stanza.k =
+                    Some(value.parse().map_err(|_| format!("bad k value {value:?}"))?);
+            }
+            "label" => stanza.label = Some(value.to_string()),
+            other => {
+                return Err(format!(
+                    "unknown field {other:?} (known: family, sizes, seeds, detectors, metric, k, label)"
+                ))
+            }
+        }
+    }
+    stanza.family = family.ok_or_else(|| "stanza is missing the family= field".to_string())?;
+    Ok(stanza)
+}
+
+/// Resolves a stanza's detector selection into registry entry indices
+/// (registration order, deduplicated).
+fn resolve_detectors(
+    registry: &DetectorRegistry,
+    select: &DetectorSelect,
+) -> Result<Vec<usize>, String> {
+    match select {
+        DetectorSelect::All => Ok((0..registry.len()).collect()),
+        DetectorSelect::Ids(fragments) => {
+            let mut chosen: Vec<usize> = Vec::new();
+            for fragment in fragments {
+                let matches: Vec<usize> = registry
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.id.contains(fragment.as_str()))
+                    .map(|(i, _)| i)
+                    .collect();
+                if matches.is_empty() {
+                    let ids: Vec<&str> = registry.iter().map(|e| e.id.as_str()).collect();
+                    return Err(format!(
+                        "detector fragment {fragment:?} matches no registry entry (have: {})",
+                        ids.join(", ")
+                    ));
+                }
+                for i in matches {
+                    if !chosen.contains(&i) {
+                        chosen.push(i);
+                    }
+                }
+            }
+            chosen.sort_unstable();
+            Ok(chosen)
+        }
+    }
+}
+
+/// One resolved stanza: the scenario plus its registry selection.
+#[derive(Debug)]
+struct PreparedRun {
+    scenario: Scenario,
+    registry: usize,
+    entries: Vec<usize>,
+}
+
+/// A suite resolved against a profile, ready to run on one engine.
+#[derive(Debug)]
+pub struct PreparedSuite {
+    registries: Vec<(usize, DetectorRegistry)>,
+    runs: Vec<PreparedRun>,
+}
+
+impl PreparedSuite {
+    /// Number of scenarios in the suite.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the suite is empty (never true for a parsed suite).
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The resolved scenarios, in stanza order.
+    pub fn scenarios(&self) -> impl Iterator<Item = &Scenario> {
+        self.runs.iter().map(|r| &r.scenario)
+    }
+
+    /// Runs every scenario through `engine` in ONE shared pass — one
+    /// worker pool, one graph cache, one result store, one schedule
+    /// and thread budget (see [`Engine::run_suite`]).
+    pub fn run(&self, engine: &Engine) -> SuiteOutcome {
+        let detector_lists: Vec<Vec<&dyn Detector>> = self
+            .runs
+            .iter()
+            .map(|run| {
+                run.entries
+                    .iter()
+                    .map(|&i| {
+                        self.registries[run.registry].1.entries()[i]
+                            .detector
+                            .as_ref()
+                    })
+                    .collect()
+            })
+            .collect();
+        let items: Vec<(&Scenario, &[&dyn Detector])> = self
+            .runs
+            .iter()
+            .zip(&detector_lists)
+            .map(|(run, dets)| (&run.scenario, dets.as_slice()))
+            .collect();
+        engine.run_suite(&items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_stanzas_with_defaults_and_overrides() {
+        let suite = Suite::parse(
+            "# a comment\n\
+             family=planted:4; sizes=24,32; seeds=0..2\n\
+             \n\
+             family=ws:4:0.1; seeds=0,7,42; metric=congestion; label=small world; k=3\n",
+        )
+        .unwrap();
+        assert_eq!(suite.stanzas.len(), 2);
+        let a = &suite.stanzas[0];
+        assert_eq!(a.family, FamilySpec::Planted { l: 4 });
+        assert_eq!(a.sizes, Some(vec![24, 32]));
+        assert_eq!(a.seeds, Some(vec![0, 1]));
+        assert_eq!(a.detectors, DetectorSelect::All);
+        assert_eq!(a.metric, None);
+        let b = &suite.stanzas[1];
+        assert_eq!(b.seeds, Some(vec![0, 7, 42]), "explicit seed lists");
+        assert_eq!(b.metric, Some(Metric::MaxCongestion));
+        assert_eq!(b.label.as_deref(), Some("small world"));
+        assert_eq!(b.k, Some(3));
+    }
+
+    #[test]
+    fn family_errors_carry_line_numbers_and_the_catalog() {
+        let err = Suite::parse("family=planted:4\nfamily=nope\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("known families"), "{err}");
+        let err = Suite::parse("sizes=24\n").unwrap_err();
+        assert!(err.contains("missing the family"), "{err}");
+        let err = Suite::parse("family=trees; bogus=1\n").unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+        assert!(Suite::parse("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn seed_specs_accept_ranges_and_lists() {
+        assert_eq!(parse_seed_spec("0..3").unwrap(), vec![0, 1, 2]);
+        assert_eq!(parse_seed_spec("0,7,42").unwrap(), vec![0, 7, 42]);
+        assert_eq!(parse_seed_spec(" 5 ").unwrap(), vec![5]);
+        assert!(parse_seed_spec("3..3").is_err());
+        assert!(parse_seed_spec("a..b").is_err());
+        assert!(parse_seed_spec("1,x").is_err());
+    }
+
+    #[test]
+    fn prepare_resolves_detors_and_profile_defaults() {
+        let suite = Suite::parse(
+            "family=planted:4; sizes=24; seeds=0..1; detectors=color-bfs\n\
+             family=trees\n",
+        )
+        .unwrap();
+        let prepared = suite.prepare(RunProfile::FastCi, 2, None).unwrap();
+        assert_eq!(prepared.len(), 2);
+        let scenarios: Vec<&Scenario> = prepared.scenarios().collect();
+        assert_eq!(scenarios[0].name(), "planted:4");
+        // Stanza 2 inherits the fast-ci default grid.
+        assert_eq!(
+            scenarios[1].sizes_configured(),
+            RunProfile::FastCi.default_sizes()
+        );
+        // The fragment picked a strict subset of the registry.
+        assert!(!prepared.runs[0].entries.is_empty());
+        assert!(prepared.runs[0].entries.len() < prepared.runs[1].entries.len());
+    }
+
+    #[test]
+    fn prepare_rejects_unknown_detector_fragments() {
+        let suite = Suite::parse("family=trees; detectors=not-a-detector\n").unwrap();
+        let err = suite.prepare(RunProfile::FastCi, 2, None).unwrap_err();
+        assert!(err.contains("matches no registry entry"), "{err}");
+        assert!(err.contains("stanza 1"), "{err}");
+    }
+
+    #[test]
+    fn suite_run_shares_one_engine_pass() {
+        // Two stanzas over the same family and grid: the second's units
+        // are served by the first's executions (same content address),
+        // so the shared pass executes each distinct unit once.
+        let suite = Suite::parse(
+            "family=planted:4; sizes=24; seeds=0..2; detectors=global-threshold\n\
+             family=planted:4; sizes=24; seeds=0..2; detectors=global-threshold; label=again\n",
+        )
+        .unwrap();
+        let prepared = suite.prepare(RunProfile::FastCi, 2, None).unwrap();
+        let outcome = prepared.run(&Engine::from_env());
+        assert_eq!(outcome.reports.len(), 2);
+        assert_eq!(outcome.total_units, 4);
+        assert_eq!(outcome.executed_units, 2, "shared cells execute once");
+        assert_eq!(outcome.replayed_units, 2);
+        // Identical stanzas produce identical rows (names aside).
+        assert_eq!(
+            outcome.reports[0].rows[0].samples,
+            outcome.reports[1].rows[0].samples
+        );
+    }
+}

@@ -194,14 +194,33 @@ fn backends_are_transcript_equivalent_across_the_registry() {
     // rounds, messages, congestion, iterations — is identical under
     // the sequential and parallel backends at any thread count, on
     // both a planted yes-instance and a dense extremal no-instance.
+    use congest_graph::FamilySpec;
     use even_cycle_congest::sim::Backend;
     let registry = DetectorRegistry::with_profile(2, even_cycle_congest::RunProfile::FastCi);
     let planted = planted_instance(Target::Even { k: 2 });
     // Polarity graphs are the C4-free extremal inputs (Θ(n^{3/2})
-    // edges): the densest deliver workload the detectors see.
+    // edges): the densest deliver workload the detectors see — plus
+    // one small instance of every family the spec catalog added
+    // (power-law, small-world, torus, multi-planted, noisy-planted),
+    // so a new family cannot join the catalog without passing the
+    // backend-equivalence bar.
     let extremal = generators::polarity_graph(5);
+    let new_families = [
+        FamilySpec::PreferentialAttachment { m: 2 },
+        FamilySpec::WattsStrogatz { k: 4, p: 0.1 },
+        FamilySpec::Torus,
+        FamilySpec::MultiPlanted { copies: 2, l: 4 },
+        FamilySpec::NoisyPlanted { l: 4, p: 0.05 },
+    ];
+    let mut instances: Vec<(String, congest_graph::Graph)> = vec![
+        ("planted".to_string(), planted),
+        ("extremal".to_string(), extremal),
+    ];
+    for spec in new_families {
+        instances.push((spec.canonical_label(), spec.build(16, 5)));
+    }
     for entry in registry.iter() {
-        for (gname, g) in [("planted", &planted), ("extremal", &extremal)] {
+        for (gname, g) in &instances {
             let baseline = entry
                 .detector
                 .detect(g, 3, &Budget::classical())

@@ -221,6 +221,181 @@ fn store_resume_invokes_no_detector() {
 }
 
 #[test]
+fn family_parameter_change_invalidates_exactly_its_own_units() {
+    // The store-fingerprint footgun, closed end-to-end: family
+    // parameters are part of the unit key, so re-running with
+    // planted:4 → planted:6 re-executes exactly the planted units —
+    // the trees units (same grid, same detector, same budget) replay
+    // untouched.
+    let dir = std::env::temp_dir().join(format!("ec-engine-famkey-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let calls = AtomicU64::new(0);
+    let det = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&det];
+    let scenario = |family: GraphFamily| {
+        Scenario::new("family key grid", family)
+            .sizes(&[24, 32])
+            .seeds(0..2)
+            .store(&dir)
+    };
+    let units = 2 * 2;
+
+    // Seed the store with planted:4 and trees sweeps.
+    let _ = scenario(GraphFamily::planted_cycle(4)).run(&dets);
+    let _ = scenario(GraphFamily::random_trees()).run(&dets);
+    assert_eq!(calls.load(Ordering::Relaxed), 2 * units as u64);
+
+    // Change the planted family's PARAMETER: its own units re-execute…
+    let _ = scenario(GraphFamily::planted_cycle(6)).run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        3 * units as u64,
+        "planted:6 must not replay planted:4's records"
+    );
+
+    // …and nothing else was invalidated: the other families replay.
+    let _ = scenario(GraphFamily::planted_cycle(4)).run(&dets);
+    let _ = scenario(GraphFamily::random_trees()).run(&dets);
+    let _ = scenario(GraphFamily::planted_cycle(6)).run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        3 * units as u64,
+        "every previously computed family must replay with zero invocations"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_name_keyed_records_are_ignored_not_misread() {
+    // Pre-refactor stores keyed units by the family's display name
+    // (canonical prefix v2). Those records must never replay against a
+    // fingerprint-keyed (v3) sweep — the sweep executes everything
+    // live and the legacy lines stay as dead weight in the file.
+    use even_cycle_congest::engine::store::{canonical_unit, unit_key, STORE_FILE};
+
+    let dir = std::env::temp_dir().join(format!("ec-engine-legacy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let id = inner.descriptor().id();
+    let config = inner.config_fingerprint();
+
+    // Forge a v2-era store: records keyed by the OLD canonical string
+    // (family display name, v2 prefix) for the exact grid we are about
+    // to run. If keys still matched, the sweep would replay these
+    // bogus costs; rounds=1 makes a misread detectable too.
+    let mut lines = vec!["{\"kind\":\"unit-store\",\"version\":2}".to_string()];
+    for &n in &[24usize, 32] {
+        for seed in 0..2u64 {
+            let legacy_canonical = format!(
+                "v2|family=planted C4 on trees|n={n}|seed={seed}|det={id}|config={config}|bandwidth=1|repetitions=None|run_to_budget=false|max_rounds=None|max_messages=None"
+            );
+            let key = unit_key(&legacy_canonical);
+            lines.push(format!(
+                "{{\"key\":\"{key}\",\"det\":\"{id}\",\"n\":{n},\"seed\":{seed},\"status\":\"ok\",\"rejected\":false,\"value\":1,\"node_count\":{n},\"rounds\":1,\"supersteps\":1,\"messages\":1,\"words\":1,\"max_congestion\":1,\"iterations\":1}}"
+            ));
+            // Sanity: the forged key cannot equal the v3 key of the
+            // same unit.
+            let current = unit_key(&canonical_unit(
+                &GraphFamily::planted_cycle(4).store_key(),
+                n,
+                seed,
+                &id,
+                &config,
+                &Budget::classical(),
+            ));
+            assert_ne!(key, current, "legacy keys must never collide with v3");
+        }
+    }
+    std::fs::write(dir.join(STORE_FILE), lines.join("\n") + "\n").unwrap();
+
+    let calls = AtomicU64::new(0);
+    let det = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+    let dets: Vec<&dyn Detector> = vec![&det];
+    let report = Scenario::new("legacy grid", GraphFamily::planted_cycle(4))
+        .sizes(&[24, 32])
+        .seeds(0..2)
+        .store(&dir)
+        .run(&dets);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        4,
+        "legacy name-keyed records must be ignored: every unit runs live"
+    );
+    // A misread would have aggregated the forged rounds=1 records.
+    assert!(
+        report.rows[0].samples.iter().all(|&(_, v)| v > 1.0),
+        "forged legacy costs must not reach the report: {:?}",
+        report.rows[0].samples
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn suite_reports_match_standalone_runs_and_share_the_store() {
+    // One shared engine pass over two scenarios must aggregate exactly
+    // what two standalone runs produce, and its store must serve both.
+    use even_cycle_congest::Engine;
+
+    let dir = std::env::temp_dir().join(format!("ec-engine-suitepass-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let a = CycleDetector::new(Params::practical(2).with_repetitions(3));
+    let b = OddCycleDetector::new(2, 20);
+    let calls = AtomicU64::new(0);
+    let ca = Counting {
+        inner: &a,
+        calls: &calls,
+    };
+    let cb = Counting {
+        inner: &b,
+        calls: &calls,
+    };
+    let planted = Scenario::new("planted", GraphFamily::planted_cycle(4))
+        .sizes(&[24, 32])
+        .seeds(0..2);
+    let trees = Scenario::new("trees", GraphFamily::random_trees())
+        .sizes(&[24])
+        .seeds(0..2)
+        .metric(Metric::Messages);
+    let dets_a: Vec<&dyn Detector> = vec![&ca, &cb];
+    let dets_b: Vec<&dyn Detector> = vec![&ca];
+
+    let engine = Engine::from_env().with_workers(2).with_store(&dir);
+    let outcome = engine.run_suite(&[(&planted, &dets_a), (&trees, &dets_b)]);
+    assert_eq!(outcome.reports.len(), 2);
+    assert_eq!(outcome.total_units, 8 + 2);
+    assert_eq!(outcome.executed_units, 10);
+    assert_eq!(calls.load(Ordering::Relaxed), 10);
+
+    // Standalone runs replay the suite's store and agree byte for byte.
+    let alone_a = engine.run(&planted, &dets_a);
+    let alone_b = engine.run(&trees, &dets_b);
+    assert_eq!(calls.load(Ordering::Relaxed), 10, "pure replay");
+    assert_eq!(outcome.reports[0].to_json(), alone_a.to_json());
+    assert_eq!(outcome.reports[1].to_json(), alone_b.to_json());
+
+    // And a second suite pass replays everything.
+    let replay = engine.run_suite(&[(&planted, &dets_a), (&trees, &dets_b)]);
+    assert_eq!(replay.executed_units, 0);
+    assert_eq!(replay.replayed_units, replay.total_units);
+    assert_eq!(calls.load(Ordering::Relaxed), 10);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn partial_store_resumes_only_missing_units() {
     // Simulate a killed sweep: keep the header and the first three
     // record lines, then re-run — only the missing units may execute.
