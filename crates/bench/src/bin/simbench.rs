@@ -6,7 +6,10 @@
 //! the touched-edge accounting of the superstep core: at fixed `n`,
 //! the per-superstep cost of a quiet protocol must stay flat as the
 //! total edge count grows (an `O(m)`-per-superstep deliver shows up
-//! here immediately).
+//! here immediately), plus a streaming section that replays one fixed
+//! seeded [`UpdateSchedule`] and reports edge-update throughput
+//! (updates/sec through `MutableGraph`) and per-checkpoint verdict
+//! latency (snapshot + detect at every checkpoint).
 //!
 //! ```text
 //! cargo run --release -p even-cycle-bench --bin simbench -- \
@@ -20,12 +23,12 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use congest_graph::{generators, NodeId};
+use congest_graph::{generators, MutableGraph, NodeId};
 use congest_sim::{run_with_backend, Backend, Control, Ctx, Outbox, Program};
 use even_cycle_congest::engine::store::json_escape;
 use even_cycle_congest::registry::DetectorRegistry;
 use even_cycle_congest::scenario::GraphFamily;
-use even_cycle_congest::{Budget, RunProfile};
+use even_cycle_congest::{Budget, RunProfile, UpdateSchedule};
 
 /// The seed every measurement derives from (fixed: the grid must be
 /// comparable across commits).
@@ -229,13 +232,91 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- streaming: updates/sec + checkpoint-verdict latency on one
+    // --- fixed seeded schedule ---
+    // The schedule label is part of the benchmark's identity: changing
+    // it breaks comparability across commits, exactly like SEED.
+    let schedule = UpdateSchedule::parse("planted:4@rate=32,mix=0.6,checkpoints=4")
+        .expect("fixed benchmark schedule");
+    let stream_detector = registry.iter().next().expect("registry is never empty");
+    let mut streaming_rows: Vec<String> = Vec::new();
+    for &n in sizes {
+        // Update throughput: the full seeded stream applied through
+        // MutableGraph, no snapshots in the timed region (warm-up run
+        // first, as above).
+        let (base, updates) = schedule.generate(n, SEED);
+        for _ in 0..2 {
+            let mut g = MutableGraph::from_graph(base.clone());
+            for &u in &updates {
+                g.apply(u).expect("generated updates are always in range");
+            }
+        }
+        let t = Instant::now();
+        let mut g = MutableGraph::from_graph(base.clone());
+        for &u in &updates {
+            g.apply(u).expect("generated updates are always in range");
+        }
+        let update_wall_ns = t.elapsed().as_nanos();
+        let updates_per_sec = if update_wall_ns > 0 {
+            format!(
+                "{:.1}",
+                updates.len() as f64 / (update_wall_ns as f64 / 1e9)
+            )
+        } else {
+            "null".to_string()
+        };
+
+        for backend in backends {
+            // Verdict latency: snapshot + detect at every checkpoint of
+            // the replayed stream.
+            let budget = Budget::classical().with_backend(backend);
+            let mut replay = schedule.replay(n, SEED);
+            let mut verdict_ns: Vec<u128> = Vec::new();
+            loop {
+                // The checkpoint's update batch + snapshot folds into
+                // the verdict latency: that pair IS the cost of asking
+                // "and now?" on a live stream.
+                let t = Instant::now();
+                let Some((_, snap)) = replay.next_checkpoint() else {
+                    break;
+                };
+                if let Err(e) = stream_detector.detector.detect(&snap, SEED, &budget) {
+                    eprintln!("{}: streaming n = {n}: {e}", stream_detector.id);
+                    return ExitCode::FAILURE;
+                }
+                verdict_ns.push(t.elapsed().as_nanos());
+            }
+            let mean = verdict_ns.iter().sum::<u128>() / verdict_ns.len().max(1) as u128;
+            let per_checkpoint: Vec<String> = verdict_ns.iter().map(|ns| ns.to_string()).collect();
+            streaming_rows.push(format!(
+                "{{\"schedule\":\"{}\",\"id\":\"{}\",\"n\":{},\"seed\":{},\"backend\":\"{}\",\"updates\":{},\"update_wall_ns\":{},\"updates_per_sec\":{},\"checkpoint_verdict_ns\":[{}],\"mean_verdict_ns\":{}}}",
+                json_escape(&schedule.canonical_label()),
+                json_escape(&stream_detector.id),
+                n,
+                SEED,
+                backend.label(),
+                updates.len(),
+                update_wall_ns,
+                updates_per_sec,
+                per_checkpoint.join(","),
+                mean,
+            ));
+            eprintln!(
+                "stream {:<38} n {n:>4}  {:<12} {updates_per_sec:>12} upd/s  {mean:>9} ns/verdict",
+                schedule.canonical_label(),
+                backend.label(),
+            );
+        }
+    }
+
     let json = format!(
-        "{{\"bench\":\"sim\",\"smoke\":{},\"seed\":{},\"profile\":\"{}\",\"detectors\":[{}],\"deliver_scaling\":[{}]}}",
+        "{{\"bench\":\"sim\",\"smoke\":{},\"seed\":{},\"profile\":\"{}\",\"detectors\":[{}],\"deliver_scaling\":[{}],\"streaming\":[{}]}}",
         args.smoke,
         SEED,
         RunProfile::FastCi.name(),
         detector_rows.join(","),
         deliver_rows.join(","),
+        streaming_rows.join(","),
     );
     if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
         eprintln!("cannot write {}: {e}", args.out);

@@ -13,7 +13,10 @@
 //!   degeneracy, bipartiteness, and — crucially — exact ground truth for
 //!   "does `G` contain the cycle `C_ℓ` as a subgraph?", against which all
 //!   distributed detectors are validated;
-//! * [`CycleWitness`], the certified-cycle type every rejection produces.
+//! * [`CycleWitness`], the certified-cycle type every rejection produces;
+//! * the dynamic-graph layer: [`MutableGraph`] (an adjacency-delta overlay
+//!   on the CSR base with periodic compaction) and [`UpdateSchedule`]
+//!   (seeded, fingerprintable edge-update streams with checkpoints).
 //!
 //! # Example
 //!
@@ -37,11 +40,15 @@ mod witness;
 
 pub mod analysis;
 pub mod generators;
+pub mod mutable;
 pub mod serialize;
 pub mod spec;
+pub mod stream;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NodeId};
+pub use mutable::MutableGraph;
 pub use spec::FamilySpec;
+pub use stream::{EdgeUpdate, ScheduleReplay, UpdateSchedule};
 pub use witness::CycleWitness;

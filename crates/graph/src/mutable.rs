@@ -1,0 +1,456 @@
+//! A mutable dynamic-graph overlay on the immutable CSR [`Graph`].
+//!
+//! The CSR representation is the right shape for the detectors — compact,
+//! cache-friendly, binary-searchable — and exactly the wrong shape for
+//! edge updates: a single insertion would shift half of the adjacency
+//! array. [`MutableGraph`] keeps the best of both: a frozen CSR *base*
+//! plus two small sorted delta sets (edges inserted since the base was
+//! built, edges deleted from it). Queries consult the overlay first;
+//! when the overlay grows past a threshold the deltas are *compacted* —
+//! merged into a fresh CSR base in one linear pass — so query cost
+//! stays amortized near the static structure's.
+//!
+//! The load-bearing contract is [`MutableGraph::snapshot`]: the CSR
+//! graph it produces is **byte-identical** to building a [`Graph`] from
+//! scratch out of the final edge set. Snapshots therefore hash, compare,
+//! and serialize exactly like statically built instances — which is what
+//! lets the engine's content-addressed result store treat "checkpoint
+//! `i` of a replayed update schedule" and "this graph built directly"
+//! as the same unit of work.
+//!
+//! ```
+//! use congest_graph::{Graph, MutableGraph, NodeId};
+//!
+//! let base = Graph::from_edges(4, [(0, 1), (1, 2)])?;
+//! let mut g = MutableGraph::from_graph(base);
+//! assert!(g.insert_edge(NodeId::new(2), NodeId::new(3))?);
+//! assert!(g.delete_edge(NodeId::new(0), NodeId::new(1))?);
+//! let snap = g.snapshot();
+//! assert_eq!(snap, Graph::from_edges(4, [(1, 2), (2, 3)])?);
+//! # Ok::<(), congest_graph::GraphError>(())
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::error::GraphError;
+use crate::stream::EdgeUpdate;
+use crate::{Graph, NodeId};
+
+/// Delta count above which queries start losing to the overlay scans;
+/// used when no explicit compaction threshold is configured (the
+/// effective default also scales with the base size — see
+/// [`MutableGraph::effective_compaction_threshold`]).
+const MIN_COMPACTION_THRESHOLD: usize = 64;
+
+/// An undirected simple graph that supports edge insertion and deletion
+/// on top of a frozen CSR [`Graph`] base. See the module docs for the
+/// representation and the snapshot byte-identity contract.
+#[derive(Debug, Clone)]
+pub struct MutableGraph {
+    base: Graph,
+    /// Normalized (`u < v`) edges present in the overlay but not the
+    /// base. Sorted iteration keeps compaction a linear merge.
+    inserted: BTreeSet<(NodeId, NodeId)>,
+    /// Normalized edges present in the base but deleted since.
+    deleted: BTreeSet<(NodeId, NodeId)>,
+    /// Explicit compaction threshold (`None`: adaptive default).
+    threshold: Option<usize>,
+    /// Compactions performed so far (observable for tests and stats).
+    compactions: u64,
+}
+
+impl MutableGraph {
+    /// An edgeless mutable graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        MutableGraph::from_graph(Graph::empty(n))
+    }
+
+    /// Wraps an existing immutable graph as the base (no copy of the
+    /// CSR arrays beyond the move).
+    pub fn from_graph(base: Graph) -> Self {
+        MutableGraph {
+            base,
+            inserted: BTreeSet::new(),
+            deleted: BTreeSet::new(),
+            threshold: None,
+            compactions: 0,
+        }
+    }
+
+    /// Overrides the delta count that triggers automatic compaction
+    /// after an update. `0` compacts after every mutation (useful to
+    /// exercise the compaction path exhaustively in tests).
+    pub fn with_compaction_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// The delta count above which the next update compacts: the
+    /// explicit override if set, else `max(64, m/4)` of the current
+    /// base — large enough that compaction cost amortizes, small enough
+    /// that overlay scans never dominate queries.
+    pub fn effective_compaction_threshold(&self) -> usize {
+        self.threshold
+            .unwrap_or_else(|| MIN_COMPACTION_THRESHOLD.max(self.base.edge_count() / 4))
+    }
+
+    /// Number of vertices (updates never change it).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Current number of undirected edges (base minus deletions plus
+    /// insertions).
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() - self.deleted.len() + self.inserted.len()
+    }
+
+    /// Pending overlay deltas (insertions + deletions since the last
+    /// compaction).
+    pub fn pending_deltas(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// Compactions performed so far (automatic and explicit).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Whether the edge `{u, v}` is currently present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = normalize(u, v);
+        if self.inserted.contains(&key) {
+            return true;
+        }
+        self.base.has_edge(u, v) && !self.deleted.contains(&key)
+    }
+
+    /// Current degree of `v` (base degree adjusted by the overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let gained = self
+            .inserted
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count();
+        let lost = self
+            .deleted
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count();
+        self.base.degree(v) + gained - lost
+    }
+
+    /// The current sorted neighbor list of `v`, merged across base and
+    /// overlay (allocates — the CSR base's borrowed `&[NodeId]` view is
+    /// not available through an overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors_vec(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .base
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| !self.deleted.contains(&normalize(v, w)))
+            .collect();
+        for &(a, b) in &self.inserted {
+            if a == v {
+                out.push(b);
+            } else if b == v {
+                out.push(a);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Inserts the edge `{u, v}`. Returns `true` if the graph changed
+    /// (`false`: the edge was already present).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.validate(u, v)?;
+        let key = normalize(u, v);
+        let changed = if self.base.has_edge(u, v) {
+            // Present in the base: only a prior deletion can make this
+            // insertion meaningful.
+            self.deleted.remove(&key)
+        } else {
+            self.inserted.insert(key)
+        };
+        self.maybe_compact();
+        Ok(changed)
+    }
+
+    /// Deletes the edge `{u, v}`. Returns `true` if the graph changed
+    /// (`false`: the edge was not present).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.validate(u, v)?;
+        let key = normalize(u, v);
+        let changed = if self.inserted.remove(&key) {
+            true
+        } else if self.base.has_edge(u, v) {
+            self.deleted.insert(key)
+        } else {
+            false
+        };
+        self.maybe_compact();
+        Ok(changed)
+    }
+
+    /// Applies one [`EdgeUpdate`]. Returns `true` if the graph changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of
+    /// [`insert_edge`](MutableGraph::insert_edge) /
+    /// [`delete_edge`](MutableGraph::delete_edge).
+    pub fn apply(&mut self, update: EdgeUpdate) -> Result<bool, GraphError> {
+        match update {
+            EdgeUpdate::Insert(u, v) => self.insert_edge(u, v),
+            EdgeUpdate::Delete(u, v) => self.delete_edge(u, v),
+        }
+    }
+
+    /// Merges the overlay into a fresh CSR base (one linear pass over
+    /// base adjacency plus the sorted deltas) and clears the deltas.
+    /// Queries and snapshots are unaffected — this is purely a
+    /// representation change.
+    pub fn compact(&mut self) {
+        if self.pending_deltas() == 0 {
+            return;
+        }
+        self.base = self.merged_csr();
+        self.inserted.clear();
+        self.deleted.clear();
+        self.compactions += 1;
+    }
+
+    /// The current graph as a frozen CSR [`Graph`], **byte-identical**
+    /// to building the final edge set from scratch: degrees, offsets,
+    /// and sorted adjacency all match `Graph::from_edges` of the same
+    /// edges, so snapshots serialize and compare exactly like
+    /// statically built instances.
+    pub fn snapshot(&self) -> Graph {
+        if self.pending_deltas() == 0 {
+            return self.base.clone();
+        }
+        self.merged_csr()
+    }
+
+    /// The merged CSR: per-vertex two-pointer merge of the base
+    /// adjacency (minus deletions) with the inserted deltas. Both sides
+    /// are sorted, so each output list is sorted without a final sort
+    /// pass — producing exactly the arrays `GraphBuilder::build` would.
+    fn merged_csr(&self) -> Graph {
+        let n = self.base.node_count();
+        // Scatter inserted deltas into per-vertex lists. BTreeSet
+        // iteration is lexicographic in the normalized pair, so every
+        // per-vertex list comes out sorted: a vertex first receives its
+        // smaller neighbors (as the pair's second element, in ascending
+        // first-element order), then its larger ones (as the first
+        // element, in ascending second-element order).
+        let mut ins: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in &self.inserted {
+            ins[u.index()].push(v);
+            ins[v.index()].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut adj = Vec::with_capacity(self.base.degree_sum() + 2 * self.inserted.len());
+        for v in (0..n as u32).map(NodeId::new) {
+            let kept = self
+                .base
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !self.deleted.contains(&normalize(v, w)));
+            let mut added = ins[v.index()].iter().copied().peekable();
+            for w in kept {
+                while added.next_if(|&x| x < w).map(|x| adj.push(x)).is_some() {}
+                adj.push(w);
+            }
+            adj.extend(added);
+            offsets.push(adj.len() as u32);
+        }
+        Graph::from_sorted_csr(offsets, adj)
+    }
+
+    fn validate(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let n = self.node_count();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node: w, n });
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.pending_deltas() > self.effective_compaction_threshold() {
+            self.compact();
+        }
+    }
+}
+
+fn normalize(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize;
+
+    fn id(raw: u32) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn insert_delete_and_queries_agree_with_overlay() {
+        let base = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut g = MutableGraph::from_graph(base);
+        assert_eq!(g.edge_count(), 3);
+
+        // Fresh insertion.
+        assert!(g.insert_edge(id(3), id(4)).unwrap());
+        assert!(g.has_edge(id(3), id(4)));
+        assert_eq!(g.edge_count(), 4);
+        // Duplicate insertion (overlay and base) is a no-op.
+        assert!(!g.insert_edge(id(4), id(3)).unwrap());
+        assert!(!g.insert_edge(id(0), id(1)).unwrap());
+
+        // Deletion of a base edge.
+        assert!(g.delete_edge(id(1), id(2)).unwrap());
+        assert!(!g.has_edge(id(2), id(1)));
+        assert_eq!(g.edge_count(), 3);
+        // Deleting an absent edge is a no-op.
+        assert!(!g.delete_edge(id(1), id(2)).unwrap());
+        assert!(!g.delete_edge(id(0), id(4)).unwrap());
+
+        // Deleting an overlay insertion cancels it.
+        assert!(g.delete_edge(id(3), id(4)).unwrap());
+        assert!(!g.has_edge(id(3), id(4)));
+        // Re-inserting a deleted base edge cancels the deletion.
+        assert!(g.insert_edge(id(1), id(2)).unwrap());
+        assert!(g.has_edge(id(1), id(2)));
+        assert_eq!(g.pending_deltas(), 0, "all deltas cancelled out");
+    }
+
+    #[test]
+    fn degree_and_neighbors_track_the_overlay() {
+        let base = Graph::from_edges(4, [(0, 1), (0, 2)]).unwrap();
+        let mut g = MutableGraph::from_graph(base);
+        g.insert_edge(id(0), id(3)).unwrap();
+        g.delete_edge(id(0), id(1)).unwrap();
+        assert_eq!(g.degree(id(0)), 2);
+        assert_eq!(g.neighbors_vec(id(0)), vec![id(2), id(3)]);
+        assert_eq!(g.degree(id(1)), 0);
+        assert_eq!(g.neighbors_vec(id(1)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn validation_matches_the_builder() {
+        let mut g = MutableGraph::new(3);
+        assert!(matches!(
+            g.insert_edge(id(1), id(1)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.insert_edge(id(0), id(3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.delete_edge(id(2), id(2)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.delete_edge(id(5), id(0)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_byte_identical_to_from_scratch() {
+        let base = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut g = MutableGraph::from_graph(base);
+        g.insert_edge(id(5), id(0)).unwrap();
+        g.insert_edge(id(1), id(4)).unwrap();
+        g.delete_edge(id(2), id(3)).unwrap();
+
+        let from_scratch =
+            Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 5), (1, 4)]).unwrap();
+        let snap = g.snapshot();
+        assert_eq!(snap, from_scratch);
+        assert_eq!(
+            serialize::to_text(&snap),
+            serialize::to_text(&from_scratch),
+            "serialized bytes must match exactly"
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_the_graph_and_clears_deltas() {
+        let base = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut g = MutableGraph::from_graph(base);
+        g.insert_edge(id(0), id(4)).unwrap();
+        g.delete_edge(id(1), id(2)).unwrap();
+        let before = g.snapshot();
+
+        g.compact();
+        assert_eq!(g.pending_deltas(), 0);
+        assert_eq!(g.compactions(), 1);
+        assert_eq!(g.snapshot(), before, "compaction is representation-only");
+        // Idempotent with no deltas pending.
+        g.compact();
+        assert_eq!(g.compactions(), 1);
+    }
+
+    #[test]
+    fn threshold_zero_compacts_after_every_update() {
+        let mut g = MutableGraph::new(4).with_compaction_threshold(0);
+        g.insert_edge(id(0), id(1)).unwrap();
+        g.insert_edge(id(1), id(2)).unwrap();
+        g.delete_edge(id(0), id(1)).unwrap();
+        assert_eq!(g.compactions(), 3);
+        assert_eq!(g.pending_deltas(), 0);
+        assert_eq!(g.snapshot(), Graph::from_edges(4, [(1, 2)]).unwrap());
+    }
+
+    #[test]
+    fn adaptive_threshold_scales_with_the_base() {
+        let g = MutableGraph::new(4);
+        assert_eq!(g.effective_compaction_threshold(), 64);
+        let big = Graph::from_edges(401, (0..400u32).map(|i| (i, i + 1))).unwrap();
+        let g = MutableGraph::from_graph(big);
+        assert_eq!(g.effective_compaction_threshold(), 100);
+    }
+}

@@ -1,0 +1,535 @@
+//! Edge-update streams as first-class, fingerprintable workloads.
+//!
+//! An [`UpdateSchedule`] is the dynamic-graph analogue of a
+//! [`FamilySpec`]: a *description* of a workload — base family, update
+//! rate, insert/delete mix, checkpoint count — that can be parsed from
+//! a command line, rendered back to a canonical label, and
+//! fingerprinted, so a replayed stream is store-keyable **data** rather
+//! than an opaque sequence of mutations. Two runs of the same schedule
+//! at the same `(n, seed)` produce byte-identical base graphs, update
+//! sequences, and checkpoint snapshots; the engine's content-addressed
+//! result store leans on exactly this to replay unchanged checkpoint
+//! prefixes with zero detector invocations.
+//!
+//! Syntax: `<family>@rate=R,mix=M,checkpoints=C` — e.g.
+//! `planted:4@rate=8,mix=0.7,checkpoints=4` replays 4 checkpoints on a
+//! planted-`C4` base, applying 8 seeded updates (70% insertions)
+//! before each one.
+//!
+//! ```
+//! use congest_graph::stream::UpdateSchedule;
+//!
+//! let s = UpdateSchedule::parse("planted:4@rate=8,mix=0.7,checkpoints=4").unwrap();
+//! assert_eq!(s.canonical_label(), "planted:4@rate=8,mix=0.7,checkpoints=4");
+//! let mut a = s.replay(48, 1);
+//! let mut b = s.replay(48, 1);
+//! while let Some((i, ga)) = a.next_checkpoint() {
+//!     let (j, gb) = b.next_checkpoint().unwrap();
+//!     assert_eq!((i, &ga), (j, &gb)); // deterministic in (n, seed)
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mutable::MutableGraph;
+use crate::spec::FamilySpec;
+use crate::{Graph, NodeId};
+
+/// One edge update of a stream, endpoints normalized `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Insert the edge `{u, v}`.
+    Insert(NodeId, NodeId),
+    /// Delete the edge `{u, v}`.
+    Delete(NodeId, NodeId),
+}
+
+impl EdgeUpdate {
+    /// The update's endpoints.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        match self {
+            EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this update is an insertion.
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeUpdate::Insert(..))
+    }
+}
+
+impl std::fmt::Display for EdgeUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeUpdate::Insert(u, v) => write!(f, "+{u}-{v}"),
+            EdgeUpdate::Delete(u, v) => write!(f, "-{u}-{v}"),
+        }
+    }
+}
+
+/// A seeded, fingerprintable edge-update workload: a base
+/// [`FamilySpec`] instance plus `checkpoints` batches of `rate` updates
+/// each, insertions drawn with probability `insert_mix` (deletions
+/// otherwise). See the module docs for the syntax and the determinism
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateSchedule {
+    /// The family the base instance is drawn from.
+    pub base: FamilySpec,
+    /// Updates applied before each checkpoint.
+    pub rate: usize,
+    /// Probability in `[0, 1]` that an update is an insertion.
+    pub insert_mix: f64,
+    /// Number of checkpoints (verdict positions) in the stream.
+    pub checkpoints: usize,
+}
+
+impl UpdateSchedule {
+    /// Parses a schedule label (`<family>@rate=R,mix=M,checkpoints=C`).
+    /// The family part routes through the one shared [`FamilySpec`]
+    /// parser, so unknown families list the catalog here too.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending part.
+    pub fn parse(label: &str) -> Result<UpdateSchedule, String> {
+        let label = label.trim();
+        let Some((family, params)) = label.split_once('@') else {
+            return Err(format!(
+                "update schedule {label:?} lacks an '@' section; expected \
+                 \"<family>@rate=R,mix=M,checkpoints=C\""
+            ));
+        };
+        let base = FamilySpec::parse(family)?;
+        let mut rate: Option<usize> = None;
+        let mut mix: Option<f64> = None;
+        let mut checkpoints: Option<usize> = None;
+        for part in params.split(',') {
+            let part = part.trim();
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!(
+                    "bad schedule parameter {part:?} in {label:?}; expected key=value"
+                ));
+            };
+            match key.trim() {
+                "rate" => {
+                    let v: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad rate {value:?} in schedule {label:?}"))?;
+                    if v == 0 {
+                        return Err(format!("rate must be positive in schedule {label:?}"));
+                    }
+                    rate = Some(v);
+                }
+                "mix" => {
+                    let v: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad mix {value:?} in schedule {label:?}"))?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!(
+                            "mix must be in [0, 1], got {value:?} in schedule {label:?}"
+                        ));
+                    }
+                    mix = Some(v);
+                }
+                "checkpoints" => {
+                    let v: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad checkpoints {value:?} in schedule {label:?}"))?;
+                    if v == 0 {
+                        return Err(format!(
+                            "checkpoints must be positive in schedule {label:?}"
+                        ));
+                    }
+                    checkpoints = Some(v);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown schedule parameter {other:?} in {label:?}; \
+                         known: rate, mix, checkpoints"
+                    ));
+                }
+            }
+        }
+        Ok(UpdateSchedule {
+            base,
+            rate: rate.ok_or_else(|| format!("schedule {label:?} is missing rate=R"))?,
+            insert_mix: mix.ok_or_else(|| format!("schedule {label:?} is missing mix=M"))?,
+            checkpoints: checkpoints
+                .ok_or_else(|| format!("schedule {label:?} is missing checkpoints=C"))?,
+        })
+    }
+
+    /// The canonical label: parses back to an equal schedule, and is
+    /// the human-readable half of the schedule's identity (the machine
+    /// half is the [`fingerprint`](UpdateSchedule::fingerprint)).
+    pub fn canonical_label(&self) -> String {
+        format!(
+            "{}@rate={},mix={},checkpoints={}",
+            self.base.canonical_label(),
+            self.rate,
+            self.insert_mix,
+            self.checkpoints
+        )
+    }
+
+    /// A stable 128-bit fingerprint of the schedule's full identity —
+    /// base family (with parameters), rate, mix, and checkpoint count.
+    /// FNV-1a over a versioned rendering of the canonical label, like
+    /// [`FamilySpec::fingerprint`]; bump the version tag if the replay
+    /// construction ever changes behavior for the same label.
+    pub fn fingerprint(&self) -> u128 {
+        let canonical = format!("update-schedule-v1|{}", self.canonical_label());
+        let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        for b in canonical.as_bytes() {
+            h ^= u128::from(*b);
+            h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+        }
+        h
+    }
+
+    /// The fingerprint as 32 hex characters (the form the result store
+    /// embeds in checkpoint unit keys).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:032x}", self.fingerprint())
+    }
+
+    /// Total updates across the whole stream.
+    pub fn total_updates(&self) -> usize {
+        self.rate * self.checkpoints
+    }
+
+    /// The update positions at which checkpoints fire (after
+    /// `rate, 2·rate, …, checkpoints·rate` updates).
+    pub fn checkpoint_positions(&self) -> Vec<usize> {
+        (1..=self.checkpoints).map(|c| c * self.rate).collect()
+    }
+
+    /// Generates the base instance and the full seeded update sequence
+    /// for `(n, seed)` — deterministic: two calls yield byte-identical
+    /// graphs and update vectors.
+    ///
+    /// Insertions sample uniform non-edges, deletions uniform present
+    /// edges; an impossible draw (inserting into a complete graph,
+    /// deleting from an empty one) falls back to the other kind, so the
+    /// stream always carries exactly
+    /// [`total_updates`](UpdateSchedule::total_updates) updates.
+    pub fn generate(&self, n: usize, seed: u64) -> (Graph, Vec<EdgeUpdate>) {
+        let base = self.base.build(n, seed);
+        let n = base.node_count();
+        // Mix the schedule identity into the update stream's seed, so
+        // two schedules sharing a base family draw distinct sequences.
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.fingerprint() as u64));
+        let mut edges: Vec<(NodeId, NodeId)> = base.edge_vec();
+        let mut present: std::collections::HashSet<(NodeId, NodeId)> =
+            edges.iter().copied().collect();
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        let mut updates = Vec::with_capacity(self.total_updates());
+        for _ in 0..self.total_updates() {
+            let can_insert = edges.len() < total_pairs;
+            let can_delete = !edges.is_empty();
+            debug_assert!(can_insert || can_delete, "families snap n >= 2");
+            let insert = match (can_insert, can_delete) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => rng.gen_bool(self.insert_mix),
+            };
+            if insert {
+                let (u, v) = sample_non_edge(&mut rng, n, &present);
+                present.insert((u, v));
+                edges.push((u, v));
+                updates.push(EdgeUpdate::Insert(u, v));
+            } else {
+                let i = rng.gen_range(0..edges.len());
+                let (u, v) = edges.swap_remove(i);
+                present.remove(&(u, v));
+                updates.push(EdgeUpdate::Delete(u, v));
+            }
+        }
+        (base, updates)
+    }
+
+    /// Starts a replay of the schedule at `(n, seed)`: a cursor that
+    /// applies one checkpoint batch at a time and hands out CSR
+    /// snapshots (byte-identical to building each checkpoint's edge set
+    /// from scratch — see [`MutableGraph::snapshot`]).
+    pub fn replay(&self, n: usize, seed: u64) -> ScheduleReplay {
+        let (base, updates) = self.generate(n, seed);
+        ScheduleReplay {
+            graph: MutableGraph::from_graph(base),
+            updates,
+            applied: 0,
+            rate: self.rate,
+            checkpoints: self.checkpoints,
+            emitted: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_label())
+    }
+}
+
+/// Samples a uniform non-edge. Bounded rejection sampling with a
+/// deterministic lexicographic fallback, so termination never depends
+/// on luck in near-complete graphs.
+fn sample_non_edge(
+    rng: &mut StdRng,
+    n: usize,
+    present: &std::collections::HashSet<(NodeId, NodeId)>,
+) -> (NodeId, NodeId) {
+    for _ in 0..64 {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        let key = (NodeId::new(u), NodeId::new(v));
+        if !present.contains(&key) {
+            return key;
+        }
+    }
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            let key = (NodeId::new(u), NodeId::new(v));
+            if !present.contains(&key) {
+                return key;
+            }
+        }
+    }
+    unreachable!("caller checked a non-edge exists")
+}
+
+/// A one-pass replay cursor over an [`UpdateSchedule`] instance; see
+/// [`UpdateSchedule::replay`].
+#[derive(Debug, Clone)]
+pub struct ScheduleReplay {
+    graph: MutableGraph,
+    updates: Vec<EdgeUpdate>,
+    applied: usize,
+    rate: usize,
+    checkpoints: usize,
+    emitted: usize,
+}
+
+impl ScheduleReplay {
+    /// The live mutable graph (positioned after the updates applied so
+    /// far).
+    pub fn graph(&self) -> &MutableGraph {
+        &self.graph
+    }
+
+    /// Updates applied so far.
+    pub fn updates_applied(&self) -> usize {
+        self.applied
+    }
+
+    /// The full update sequence of the stream.
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Applies the next batch of `rate` updates and returns the
+    /// 0-based checkpoint index plus the CSR snapshot at that point;
+    /// `None` once every checkpoint has fired.
+    pub fn next_checkpoint(&mut self) -> Option<(usize, Graph)> {
+        if self.emitted >= self.checkpoints {
+            return None;
+        }
+        let end = (self.applied + self.rate).min(self.updates.len());
+        for i in self.applied..end {
+            let update = self.updates[i];
+            self.graph
+                .apply(update)
+                .expect("generated updates are always in range");
+        }
+        self.applied = end;
+        let index = self.emitted;
+        self.emitted += 1;
+        Some((index, self.graph.snapshot()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for label in [
+            "planted:4@rate=8,mix=0.7,checkpoints=4",
+            "trees@rate=1,mix=0,checkpoints=1",
+            "ws:4:0.1@rate=16,mix=0.25,checkpoints=3",
+        ] {
+            let s = UpdateSchedule::parse(label).unwrap();
+            assert_eq!(s.canonical_label(), label);
+            assert_eq!(UpdateSchedule::parse(&s.canonical_label()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected_with_context() {
+        for bad in [
+            "planted:4",                                  // no '@' section
+            "planted:4@rate=8,mix=0.7",                   // missing checkpoints
+            "planted:4@rate=0,mix=0.7,checkpoints=4",     // zero rate
+            "planted:4@rate=8,mix=1.5,checkpoints=4",     // mix out of range
+            "planted:4@rate=8,mix=0.7,checkpoints=0",     // zero checkpoints
+            "planted:4@rate=8,mix=0.7,checkpoints=4,x=1", // unknown key
+            "planted:4@rate",                             // not key=value
+            "nope@rate=8,mix=0.7,checkpoints=4",          // unknown family
+        ] {
+            let err = UpdateSchedule::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?}");
+        }
+        // The family error is the shared catalog error.
+        let err = UpdateSchedule::parse("nope@rate=1,mix=0,checkpoints=1").unwrap_err();
+        assert!(err.contains("known families"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_cover_every_parameter() {
+        let base = UpdateSchedule::parse("planted:4@rate=8,mix=0.7,checkpoints=4").unwrap();
+        for other in [
+            "planted:6@rate=8,mix=0.7,checkpoints=4",
+            "planted:4@rate=9,mix=0.7,checkpoints=4",
+            "planted:4@rate=8,mix=0.5,checkpoints=4",
+            "planted:4@rate=8,mix=0.7,checkpoints=5",
+        ] {
+            assert_ne!(
+                base.fingerprint(),
+                UpdateSchedule::parse(other).unwrap().fingerprint(),
+                "{other}"
+            );
+        }
+        assert_eq!(base.fingerprint_hex().len(), 32);
+        // And it must differ from the bare family fingerprint.
+        assert_ne!(base.fingerprint(), base.base.fingerprint());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_exact_length() {
+        let s = UpdateSchedule::parse("er:3@rate=8,mix=0.6,checkpoints=3").unwrap();
+        let (g1, u1) = s.generate(40, 5);
+        let (g2, u2) = s.generate(40, 5);
+        assert_eq!(g1, g2);
+        assert_eq!(u1, u2);
+        assert_eq!(u1.len(), s.total_updates());
+        assert_eq!(s.checkpoint_positions(), vec![8, 16, 24]);
+        // A different seed is allowed to differ (and essentially always
+        // does for a stream this long).
+        let (_, u3) = s.generate(40, 6);
+        assert_ne!(u1, u3);
+    }
+
+    #[test]
+    fn updates_are_always_applicable_in_order() {
+        // Every insertion targets a non-edge, every deletion a present
+        // edge — replaying the stream through a MutableGraph must
+        // report `changed` for every single update.
+        let s = UpdateSchedule::parse("trees@rate=12,mix=0.5,checkpoints=3").unwrap();
+        let (base, updates) = s.generate(24, 2);
+        let mut g = MutableGraph::from_graph(base);
+        for u in updates {
+            assert!(g.apply(u).unwrap(), "{u} must change the graph");
+        }
+    }
+
+    #[test]
+    fn saturated_mixes_fall_back_instead_of_stalling() {
+        // All-delete on a tiny tree runs the edge set dry; the stream
+        // must fall back to insertions rather than stall or panic.
+        let s = UpdateSchedule::parse("trees@rate=30,mix=0,checkpoints=1").unwrap();
+        let (base, updates) = s.generate(8, 1);
+        assert_eq!(updates.len(), 30);
+        assert!(updates.iter().any(|u| u.is_insert()));
+        let mut g = MutableGraph::from_graph(base);
+        for u in updates {
+            g.apply(u).unwrap();
+        }
+        // All-insert on a tiny graph saturates the complete graph; the
+        // stream must fall back to deletions.
+        let s = UpdateSchedule::parse("trees@rate=30,mix=1,checkpoints=1").unwrap();
+        let (_, updates) = s.generate(4, 1);
+        assert_eq!(updates.len(), 30);
+        assert!(updates.iter().any(|u| !u.is_insert()));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_for_the_whole_catalog() {
+        // The tentpole equivalence guarantee, for EVERY family in the
+        // catalog: replay a seeded schedule through MutableGraph and
+        // compare each checkpoint snapshot against a from-scratch CSR
+        // build of the same edge set — byte-identical serialization
+        // included. A compaction threshold of 0 additionally forces the
+        // merge path after every single update.
+        for spec in FamilySpec::examples() {
+            let schedule = UpdateSchedule {
+                base: spec.clone(),
+                rate: 6,
+                insert_mix: 0.6,
+                checkpoints: 3,
+            };
+            let (base, updates) = schedule.generate(32, 7);
+            let n = base.node_count();
+            let mut incremental = MutableGraph::from_graph(base.clone());
+            let mut compacting =
+                MutableGraph::from_graph(base.clone()).with_compaction_threshold(0);
+            let mut edges: std::collections::BTreeSet<(NodeId, NodeId)> =
+                base.edge_vec().into_iter().collect();
+            for (pos, &u) in updates.iter().enumerate() {
+                incremental.apply(u).unwrap();
+                compacting.apply(u).unwrap();
+                match u {
+                    EdgeUpdate::Insert(a, b) => edges.insert((a, b)),
+                    EdgeUpdate::Delete(a, b) => edges.remove(&(a, b)),
+                };
+                if (pos + 1) % schedule.rate != 0 {
+                    continue;
+                }
+                let mut b = GraphBuilder::new(n);
+                for &(x, y) in &edges {
+                    b.add_edge(x, y);
+                }
+                let rebuilt = b.build();
+                let snap = incremental.snapshot();
+                assert_eq!(snap, rebuilt, "{spec} diverged at update {}", pos + 1);
+                assert_eq!(
+                    serialize::to_text(&snap),
+                    serialize::to_text(&rebuilt),
+                    "{spec}: serialized bytes must match exactly"
+                );
+                assert_eq!(compacting.snapshot(), rebuilt, "{spec} (compacting)");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_cursor_matches_manual_application() {
+        let s = UpdateSchedule::parse("planted:4@rate=5,mix=0.7,checkpoints=4").unwrap();
+        let (base, updates) = s.generate(36, 3);
+        let mut replay = s.replay(36, 3);
+        let mut manual = MutableGraph::from_graph(base);
+        let mut seen = 0;
+        while let Some((index, snap)) = replay.next_checkpoint() {
+            assert_eq!(index, seen);
+            for &u in &updates[seen * s.rate..(seen + 1) * s.rate] {
+                manual.apply(u).unwrap();
+            }
+            assert_eq!(snap, manual.snapshot());
+            seen += 1;
+        }
+        assert_eq!(seen, s.checkpoints);
+        assert!(replay.next_checkpoint().is_none());
+        assert_eq!(replay.updates_applied(), s.total_updates());
+    }
+}

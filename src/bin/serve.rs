@@ -1,0 +1,158 @@
+//! The long-lived detection service driver: bind a loopback port and
+//! answer line-oriented JSON detection/update requests until a
+//! `shutdown` request arrives (see [`even_cycle_congest::serve`] for
+//! the protocol).
+//!
+//! ```text
+//! cargo run --release -p even-cycle-congest --bin serve -- \
+//!     --profile fast-ci --k 2 --port 0 --port-file target/serve.port \
+//!     --store target/serve-store --max-inflight 2 --max-request-seconds 30
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; `--port-file` writes the bound
+//! port number so scripts (the CI smoke step) can find it. The store
+//! directory makes duplicate detection requests replay without
+//! invoking a detector — across connections and across restarts.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use even_cycle_congest::engine::{RunProfile, Schedule};
+use even_cycle_congest::serve::{ServeConfig, Server};
+
+struct Args {
+    profile: RunProfile,
+    k: usize,
+    host: String,
+    port: u16,
+    port_file: Option<String>,
+    store: Option<String>,
+    max_inflight: usize,
+    max_request_seconds: Option<u64>,
+}
+
+fn usage() -> &'static str {
+    "usage: serve [--profile paper-exact|practical|fast-ci] [--k K]\n\
+     \x20            [--host H] [--port P] [--port-file PATH]\n\
+     \x20            [--store DIR] [--max-inflight N] [--max-request-seconds S]"
+}
+
+/// `Ok(None)` means `--help` was requested: print usage, exit success.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        profile: RunProfile::Practical,
+        k: 2,
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        port_file: None,
+        store: None,
+        max_inflight: 2,
+        max_request_seconds: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--profile" => {
+                let v = value("--profile")?;
+                args.profile =
+                    RunProfile::parse(&v).ok_or_else(|| format!("unknown profile {v:?}"))?;
+            }
+            "--k" => {
+                let v = value("--k")?;
+                args.k = v.parse().map_err(|_| format!("bad --k value {v:?}"))?;
+                if args.k < 2 {
+                    return Err("--k must be at least 2 (the registry needs k >= 2)".to_string());
+                }
+            }
+            "--host" => args.host = value("--host")?,
+            "--port" => {
+                let v = value("--port")?;
+                args.port = v.parse().map_err(|_| format!("bad --port value {v:?}"))?;
+            }
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--store" => args.store = Some(value("--store")?),
+            "--max-inflight" => {
+                let v = value("--max-inflight")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-inflight value {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-inflight must be positive".to_string());
+                }
+                args.max_inflight = n;
+            }
+            "--max-request-seconds" => {
+                let v = value("--max-request-seconds")?;
+                args.max_request_seconds = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-request-seconds value {v:?}"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ServeConfig::new(args.profile, args.k).max_inflight(args.max_inflight);
+    if let Some(dir) = &args.store {
+        config = config.store(dir);
+    }
+    if let Some(secs) = args.max_request_seconds {
+        config =
+            config.schedule(Schedule::default().with_wall_clock_cap(Duration::from_secs(secs)));
+    }
+
+    let server = match Server::bind((args.host.as_str(), args.port), &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}:{}: {e}", args.host, args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("serve: cannot write port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "serve: listening on {addr} (profile {}, k = {}, {} detection slot(s))",
+        args.profile, args.k, args.max_inflight
+    );
+    match server.run() {
+        Ok(()) => {
+            eprintln!("serve: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -55,7 +55,8 @@ use even_cycle::Detector;
 pub use profile::RunProfile;
 pub use schedule::{Schedule, ScheduleOrder};
 
-use crate::scenario::{Scenario, ScenarioReport, ScenarioRow};
+use crate::scenario::{Metric, Scenario, ScenarioReport, ScenarioRow};
+use crate::stream::{CheckpointCell, StreamReport, StreamRow, StreamScenario};
 use cache::GraphCache;
 use store::{ResultStore, UnitRecord, UnitStatus};
 
@@ -336,6 +337,220 @@ impl Engine {
             replayed_units: total_units - executed - skipped as usize,
         }
     }
+
+    /// Replays one [`StreamScenario`] and runs every detector at every
+    /// checkpoint; see [`Engine::run_streams`] for the execution and
+    /// replay semantics.
+    pub fn run_stream(
+        &self,
+        scenario: &StreamScenario,
+        detectors: &[&dyn Detector],
+    ) -> StreamOutcome {
+        let suite = self.run_streams(&[(scenario, detectors)]);
+        StreamOutcome {
+            report: suite
+                .reports
+                .into_iter()
+                .next()
+                .expect("one stream in, one report out"),
+            total_units: suite.total_units,
+            executed_units: suite.executed_units,
+            replayed_units: suite.replayed_units,
+        }
+    }
+
+    /// Runs any number of [`StreamScenario`]s through one shared worker
+    /// pool, result store, schedule, and thread budget.
+    ///
+    /// Every checkpoint verdict is one work unit, content-addressed by
+    /// `(schedule fingerprint, checkpoint index, n, seed, detector,
+    /// budget)` via [`store::canonical_stream_unit`]. Units already in
+    /// the store are resolved **without replaying the stream at all**:
+    /// a seed whose checkpoints are all stored never regenerates its
+    /// base graph or update sequence, so a re-run of an unchanged
+    /// stream costs zero detector invocations *and* zero graph builds.
+    /// For seeds with missing units, the schedule is replayed once (on
+    /// the calling thread — replay is inherently sequential) and only
+    /// the snapshots that missing units need are materialized; the
+    /// detector runs are then dispatched across the pool like any
+    /// sweep, deduplicated suite-wide by content address, appended to
+    /// the store as they complete, and aggregated back in canonical
+    /// order (checkpoint-major, then seed, then detector) so reports
+    /// are byte-identical whatever the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Engine::run`] does if the result store cannot be
+    /// opened or written.
+    pub fn run_streams(&self, items: &[(&StreamScenario, &[&dyn Detector])]) -> StreamSuiteOutcome {
+        let available = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let mut workers = self.workers.max(1);
+        let mut budgets: Vec<even_cycle::Budget> = Vec::with_capacity(items.len());
+        for (scenario, _) in items {
+            let (w, backend) =
+                split_thread_budget(self.workers, scenario.budget.backend, scenario.n, available);
+            workers = workers.min(w);
+            budgets.push(scenario.budget.clone().with_backend(backend));
+        }
+
+        let mut store = self
+            .store_dir
+            .as_ref()
+            .map(|dir| ResultStore::open(dir).expect("result store must be writable"));
+
+        // Flatten every stream's matrix in canonical order
+        // (checkpoint-major, then seed, then detector), content-address
+        // every unit, and keep only what the store cannot replay —
+        // deduplicated suite-wide. The det/n/seed check on replay is
+        // the same key-collision guard the static path uses.
+        struct Todo {
+            si: usize,
+            order: usize,
+            di: usize,
+            ci: usize,
+            qi: usize,
+            key: String,
+            estimate: f64,
+        }
+        let mut metas: Vec<ScenarioMeta> = Vec::with_capacity(items.len());
+        let mut todo: Vec<Todo> = Vec::new();
+        let mut claimed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut total_units = 0usize;
+        for (si, (scenario, detectors)) in items.iter().enumerate() {
+            let ids: Vec<String> = detectors.iter().map(|d| d.descriptor().id()).collect();
+            let configs: Vec<String> = detectors.iter().map(|d| d.config_fingerprint()).collect();
+            let exponents: Vec<f64> = detectors.iter().map(|d| d.descriptor().exponent).collect();
+            let schedule_key = scenario.updates.fingerprint_hex();
+            let checkpoints = scenario.updates.checkpoints;
+            let mut keys: Vec<String> =
+                Vec::with_capacity(checkpoints * scenario.seeds.len() * detectors.len());
+            for ci in 0..checkpoints {
+                for (qi, &seed) in scenario.seeds.iter().enumerate() {
+                    for di in 0..detectors.len() {
+                        let key = store::unit_key(&store::canonical_stream_unit(
+                            &schedule_key,
+                            ci,
+                            scenario.n,
+                            seed,
+                            &ids[di],
+                            &configs[di],
+                            &scenario.budget,
+                        ));
+                        let replayable =
+                            store.as_ref().and_then(|s| s.get(&key)).is_some_and(|r| {
+                                r.det == ids[di] && r.n == scenario.n && r.seed == seed
+                            });
+                        if !replayable && claimed.insert(key.clone()) {
+                            todo.push(Todo {
+                                si,
+                                order: total_units + keys.len(),
+                                di,
+                                ci,
+                                qi,
+                                key: key.clone(),
+                                estimate: schedule::estimate_cost(scenario.n, exponents[di]),
+                            });
+                        }
+                        keys.push(key);
+                    }
+                }
+            }
+            total_units += keys.len();
+            metas.push(ScenarioMeta { ids, keys });
+        }
+
+        // Materialize only the snapshots that missing units need: one
+        // sequential replay per (stream, seed) with any pending work,
+        // stopped at its last needed checkpoint. Fully stored seeds are
+        // never replayed.
+        let mut needed: std::collections::BTreeMap<
+            (usize, usize),
+            std::collections::BTreeSet<usize>,
+        > = std::collections::BTreeMap::new();
+        for t in &todo {
+            needed.entry((t.si, t.qi)).or_default().insert(t.ci);
+        }
+        let mut snapshots: HashMap<(usize, usize, usize), std::sync::Arc<congest_graph::Graph>> =
+            HashMap::new();
+        for ((si, qi), checkpoints) in &needed {
+            let scenario = items[*si].0;
+            let last = *checkpoints.iter().next_back().expect("non-empty set");
+            let mut replay = scenario.updates.replay(scenario.n, scenario.seeds[*qi]);
+            while let Some((ci, snapshot)) = replay.next_checkpoint() {
+                if checkpoints.contains(&ci) {
+                    snapshots.insert((*si, *qi, ci), std::sync::Arc::new(snapshot));
+                }
+                if ci == last {
+                    break;
+                }
+            }
+        }
+
+        if self.schedule.order == ScheduleOrder::CheapestFirst {
+            todo.sort_by(|a, b| {
+                a.estimate
+                    .total_cmp(&b.estimate)
+                    .then(a.order.cmp(&b.order))
+            });
+        }
+
+        let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
+        let shared_store = std::sync::Mutex::new(store.take());
+        let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), workers, |j| {
+            let t = &todo[j];
+            let (scenario, detectors) = items[t.si];
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
+            }
+            let g = &snapshots[&(t.si, t.qi, t.ci)];
+            let record = record_detection(
+                scenario.metric,
+                g,
+                &budgets[t.si],
+                detectors[t.di],
+                &metas[t.si].ids[t.di],
+                &t.key,
+                scenario.n,
+                scenario.seeds[t.qi],
+            );
+            if let Some(store) = shared_store.lock().unwrap().as_mut() {
+                store
+                    .append(std::slice::from_ref(&record))
+                    .expect("result store must accept appended records");
+            }
+            Some(record)
+        });
+        let store = shared_store.into_inner().unwrap();
+        let executed = fresh.iter().flatten().count();
+
+        let mut by_key: HashMap<&str, &UnitRecord> = HashMap::new();
+        for record in fresh.iter().flatten() {
+            by_key.insert(&record.key, record);
+        }
+        let mut reports = Vec::with_capacity(items.len());
+        for (si, (scenario, detectors)) in items.iter().enumerate() {
+            let records: Vec<Option<UnitRecord>> = metas[si]
+                .keys
+                .iter()
+                .map(|key| {
+                    by_key
+                        .get(key.as_str())
+                        .map(|r| (*r).clone())
+                        .or_else(|| store.as_ref().and_then(|s| s.get(key)).cloned())
+                })
+                .collect();
+            reports.push(aggregate_stream(scenario, detectors, &records));
+        }
+        let skipped: u64 = reports.iter().map(StreamReport::skipped_units).sum();
+        StreamSuiteOutcome {
+            reports,
+            total_units,
+            executed_units: executed,
+            replayed_units: total_units - executed - skipped as usize,
+        }
+    }
 }
 
 /// Per-scenario bookkeeping the suite runner threads through the
@@ -369,6 +584,36 @@ impl SuiteOutcome {
     pub fn skipped_units(&self) -> u64 {
         self.reports.iter().map(|r| r.skipped_units()).sum()
     }
+}
+
+/// What one stream run did: the aggregated report plus the work
+/// accounting that makes the replay guarantee checkable — a second run
+/// of an unchanged stream must show `executed_units == 0`.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The per-checkpoint report.
+    pub report: StreamReport,
+    /// Total checkpoint units in the stream.
+    pub total_units: usize,
+    /// Units that actually invoked a detector in this run.
+    pub executed_units: usize,
+    /// Units served without a detector invocation (from the result
+    /// store, or deduplicated within the run).
+    pub replayed_units: usize,
+}
+
+/// What a multi-stream run did; see [`Engine::run_streams`].
+#[derive(Debug)]
+pub struct StreamSuiteOutcome {
+    /// One report per input stream, in input order.
+    pub reports: Vec<StreamReport>,
+    /// Total checkpoint units across all streams (duplicates counted
+    /// per stream).
+    pub total_units: usize,
+    /// Units that actually invoked a detector in this run.
+    pub executed_units: usize,
+    /// Units served without a detector invocation.
+    pub replayed_units: usize,
 }
 
 /// Splits the machine's thread budget between pool workers and
@@ -408,6 +653,26 @@ fn execute_unit(
     seed: u64,
 ) -> UnitRecord {
     let g = graphs.get(&scenario.family, n, seed);
+    record_detection(scenario.metric, &g, budget, detector, id, key, n, seed)
+}
+
+/// Runs one detector on one concrete graph and folds the detection into
+/// a [`UnitRecord`] — the one recording path shared by static sweep
+/// units (graphs from the cache), stream checkpoint units (snapshots
+/// from a schedule replay), and [`serve`](crate::serve) detection
+/// requests, so all three record and aggregate identically by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_detection(
+    metric: Metric,
+    g: &congest_graph::Graph,
+    budget: &even_cycle::Budget,
+    detector: &dyn Detector,
+    id: &str,
+    key: &str,
+    n: usize,
+    seed: u64,
+) -> UnitRecord {
     let mut record = UnitRecord {
         key: key.to_string(),
         det: id.to_string(),
@@ -424,7 +689,7 @@ fn execute_unit(
         max_congestion: 0,
         iterations: 0,
     };
-    match detector.detect(&g, seed, budget) {
+    match detector.detect(g, seed, budget) {
         Ok(detection) => {
             record.status = if detection.budget_exceeded() {
                 UnitStatus::BudgetExceeded
@@ -432,7 +697,7 @@ fn execute_unit(
                 UnitStatus::Ok
             };
             record.rejected = detection.rejected();
-            record.value = scenario.metric.extract(&detection);
+            record.value = metric.extract(&detection);
             record.rounds = detection.cost.rounds;
             record.supersteps = detection.cost.supersteps;
             record.messages = detection.cost.messages;
@@ -443,6 +708,106 @@ fn execute_unit(
         Err(e) => record.status = UnitStatus::Error(e.to_string()),
     }
     record
+}
+
+/// Folds stream checkpoint records (in canonical checkpoint-major
+/// order) into per-detector rows — sequential, one canonical f64
+/// addition order, so stream reports are byte-identical across worker
+/// counts and resumes, exactly like [`aggregate`] for static sweeps.
+fn aggregate_stream(
+    scenario: &StreamScenario,
+    detectors: &[&dyn Detector],
+    records: &[Option<UnitRecord>],
+) -> StreamReport {
+    #[derive(Default)]
+    struct Cell {
+        total: f64,
+        ok: u64,
+        rejections: u64,
+    }
+    #[derive(Default)]
+    struct Acc {
+        cells: Vec<Cell>,
+        rejections: u64,
+        errors: u64,
+        budget_exceeded: u64,
+        skipped: u64,
+    }
+    let checkpoints = scenario.updates.checkpoints;
+    let mut accs: Vec<Acc> = detectors
+        .iter()
+        .map(|_| Acc {
+            cells: (0..checkpoints).map(|_| Cell::default()).collect(),
+            ..Default::default()
+        })
+        .collect();
+
+    let dets = detectors.len();
+    let per_checkpoint = scenario.seeds.len() * dets;
+    for (unit, record) in records.iter().enumerate() {
+        let ci = unit / per_checkpoint;
+        let di = unit % dets;
+        let acc = &mut accs[di];
+        let Some(record) = record else {
+            acc.skipped += 1;
+            continue;
+        };
+        match &record.status {
+            UnitStatus::Ok => {
+                if record.rejected {
+                    acc.rejections += 1;
+                    acc.cells[ci].rejections += 1;
+                }
+                let cell = &mut acc.cells[ci];
+                cell.total += scenario.metric.extract_cost(&record.cost());
+                cell.ok += 1;
+            }
+            UnitStatus::BudgetExceeded => acc.budget_exceeded += 1,
+            UnitStatus::Error(_) => acc.errors += 1,
+        }
+    }
+
+    let rows = detectors
+        .iter()
+        .zip(accs)
+        .map(|(det, acc)| {
+            let descriptor = det.descriptor();
+            let cells = acc
+                .cells
+                .iter()
+                .enumerate()
+                .map(|(ci, cell)| CheckpointCell {
+                    checkpoint: ci,
+                    updates_applied: (ci + 1) * scenario.updates.rate,
+                    mean: if cell.ok > 0 {
+                        cell.total / cell.ok as f64
+                    } else {
+                        f64::NAN
+                    },
+                    ok: cell.ok,
+                    rejections: cell.rejections,
+                })
+                .collect();
+            StreamRow {
+                id: descriptor.id(),
+                descriptor,
+                cells,
+                rejections: acc.rejections,
+                errors: acc.errors,
+                budget_exceeded: acc.budget_exceeded,
+                skipped: acc.skipped,
+            }
+        })
+        .collect();
+    StreamReport {
+        scenario: scenario.name.clone(),
+        schedule: scenario.updates.canonical_label(),
+        metric: scenario.metric,
+        bandwidth: scenario.budget.bandwidth,
+        n: scenario.n,
+        runs_per_checkpoint: scenario.seeds.len(),
+        rows,
+    }
 }
 
 /// Folds unit records (in canonical order) into the per-detector rows —

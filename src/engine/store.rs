@@ -127,9 +127,39 @@ pub fn canonical_unit(
     )
 }
 
+/// The canonical identity string of one *stream checkpoint* work unit:
+/// the schedule's 128-bit fingerprint (covering the base family with
+/// parameters, the rate, the insert/delete mix, and the checkpoint
+/// count), the checkpoint index, the instance coordinates, the detector
+/// identity, and the budget. The `stream=` tag keeps these keys in a
+/// namespace static sweep units (`family=`) can never produce, so a
+/// store directory can hold both without collision. Any schedule
+/// parameter change moves the fingerprint and with it every checkpoint
+/// key — a re-run of an *unchanged* schedule replays every prefix with
+/// zero detector invocations, while an edited one recomputes from
+/// scratch rather than replaying stale verdicts.
+pub fn canonical_stream_unit(
+    schedule_key: &str,
+    checkpoint: usize,
+    n: usize,
+    seed: u64,
+    det_id: &str,
+    det_config: &str,
+    budget: &even_cycle::Budget,
+) -> String {
+    format!(
+        "v3|stream={schedule_key}|checkpoint={checkpoint}|n={n}|seed={seed}|det={det_id}|config={det_config}|bandwidth={}|repetitions={:?}|run_to_budget={}|max_rounds={:?}|max_messages={:?}",
+        budget.bandwidth,
+        budget.repetitions,
+        budget.run_to_budget,
+        budget.max_rounds,
+        budget.max_messages,
+    )
+}
+
 /// One scalar field of a parsed flat JSON object.
 #[derive(Debug, Clone, PartialEq)]
-enum Field {
+pub(crate) enum Field {
     Str(String),
     /// Numbers keep their raw token so both `u64` and `f64` convert
     /// losslessly.
@@ -139,21 +169,21 @@ enum Field {
 }
 
 impl Field {
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Field::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Field::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Field::Num(raw) => raw.parse().ok(),
             Field::Null => Some(f64::NAN),
@@ -161,7 +191,7 @@ impl Field {
         }
     }
 
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Field::Bool(b) => Some(*b),
             _ => None,
@@ -169,16 +199,28 @@ impl Field {
     }
 }
 
+/// Skips insignificant whitespace between tokens. The store's own
+/// lines never contain any, but the [`serve`](crate::serve) protocol
+/// accepts requests from arbitrary JSON emitters, which routinely put
+/// spaces after `:` and `,`.
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
 /// Parses one flat JSON object (string/number/bool/null values only —
-/// the shape this store writes). Returns `None` on any malformed line,
-/// which callers treat as "not resumable".
-fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
+/// the shape this store writes, and the shape the [`serve`](crate::serve)
+/// protocol accepts). Returns `None` on any malformed line, which
+/// callers treat as "not resumable" (or, for serve, a protocol error).
+pub(crate) fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
     let mut chars = line.trim().chars().peekable();
     if chars.next()? != '{' {
         return None;
     }
     let mut map = HashMap::new();
     loop {
+        skip_ws(&mut chars);
         match chars.peek()? {
             '}' => {
                 chars.next();
@@ -186,6 +228,7 @@ fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
             }
             ',' => {
                 chars.next();
+                skip_ws(&mut chars);
             }
             _ => {}
         }
@@ -194,9 +237,11 @@ fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
             return None;
         }
         let key = parse_string_body(&mut chars)?;
+        skip_ws(&mut chars);
         if chars.next()? != ':' {
             return None;
         }
+        skip_ws(&mut chars);
         // Value.
         let value = match chars.peek()? {
             '"' => {
@@ -230,7 +275,7 @@ fn parse_flat(line: &str) -> Option<HashMap<String, Field>> {
             _ => {
                 let mut raw = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c == ',' || c == '}' {
+                    if c == ',' || c == '}' || c.is_ascii_whitespace() {
                         break;
                     }
                     raw.push(c);
@@ -623,6 +668,21 @@ mod tests {
     }
 
     #[test]
+    fn parse_flat_tolerates_inter_token_whitespace() {
+        // The serve protocol feeds this parser lines from arbitrary
+        // JSON emitters, which put spaces after ':' and ',' (python's
+        // json.dumps default, most pretty-printers).
+        let spaced = "{ \"op\" : \"detect\", \"n\" : 24 ,\"deep\" :\ttrue , \"x\": null }";
+        let map = parse_flat(spaced).expect("spaced object parses");
+        assert_eq!(map.get("op").and_then(Field::as_str), Some("detect"));
+        assert_eq!(map.get("n").and_then(Field::as_u64), Some(24));
+        assert_eq!(map.get("deep").and_then(Field::as_bool), Some(true));
+        assert!(matches!(map.get("x"), Some(Field::Null)));
+        // Whitespace never glues two values together.
+        assert!(parse_flat("{\"a\":1 2}").is_none());
+    }
+
+    #[test]
     fn f64_values_roundtrip_exactly() {
         let mut r = sample("00bb");
         r.value = 1.0 / 3.0;
@@ -716,6 +776,43 @@ mod tests {
         ] {
             assert_ne!(a, unit_key(&other));
         }
+    }
+
+    #[test]
+    fn stream_unit_keys_are_sensitive_and_disjoint_from_sweep_keys() {
+        let budget = even_cycle::Budget::classical();
+        let a = unit_key(&canonical_stream_unit(
+            "00ff00ff", 2, 64, 3, "d", "c", &budget,
+        ));
+        // Every identity component must move the key.
+        for other in [
+            canonical_stream_unit("11ff00ff", 2, 64, 3, "d", "c", &budget),
+            canonical_stream_unit("00ff00ff", 3, 64, 3, "d", "c", &budget),
+            canonical_stream_unit("00ff00ff", 2, 65, 3, "d", "c", &budget),
+            canonical_stream_unit("00ff00ff", 2, 64, 4, "d", "c", &budget),
+            canonical_stream_unit("00ff00ff", 2, 64, 3, "e", "c", &budget),
+            canonical_stream_unit("00ff00ff", 2, 64, 3, "d", "x", &budget),
+            canonical_stream_unit(
+                "00ff00ff",
+                2,
+                64,
+                3,
+                "d",
+                "c",
+                &even_cycle::Budget::classical().with_bandwidth(2),
+            ),
+        ] {
+            assert_ne!(a, unit_key(&other));
+        }
+        // The stream namespace can never collide with a static sweep
+        // unit, whatever the family key looks like.
+        let sweep = canonical_unit("spec:00ff00ff", 64, 3, "d", "c", &budget);
+        assert!(sweep.starts_with("v3|family="));
+        assert!(
+            canonical_stream_unit("00ff00ff", 2, 64, 3, "d", "c", &budget)
+                .starts_with("v3|stream=")
+        );
+        assert_ne!(a, unit_key(&sweep));
     }
 
     #[test]

@@ -30,9 +30,18 @@
 //!   keyed by [`FamilySpec`] fingerprints. The `sweep` binary drives
 //!   it from the command line.
 //! * [`suite`] — whole campaigns as data: line-oriented suite files
-//!   (`family=...; sizes=...; seeds=...; detectors=...` per stanza)
-//!   resolved against a run profile and executed through one shared
-//!   engine pass (`sweep --suite`).
+//!   (`family=...; sizes=...; seeds=...; detectors=...` per stanza,
+//!   where `family=` may list several specs and expands to the cross
+//!   product) resolved against a run profile and executed through one
+//!   shared engine pass (`sweep --suite`).
+//! * [`stream`] — the streaming subsystem: [`StreamScenario`] replays a
+//!   seeded, fingerprintable
+//!   [`UpdateSchedule`](congest_graph::UpdateSchedule) against
+//!   registered detectors, checkpoint verdicts are content-addressed
+//!   work units (re-running an unchanged stream invokes zero
+//!   detectors), and [`serve`] exposes the whole thing as a long-lived
+//!   line-oriented TCP service over named mutable snapshots (the
+//!   `serve` binary).
 //!
 //! # Quickstart — the unified `Detector` API
 //!
@@ -80,6 +89,8 @@
 pub mod engine;
 pub mod registry;
 pub mod scenario;
+pub mod serve;
+pub mod stream;
 pub mod suite;
 
 pub use congest_baselines as baselines;
@@ -89,9 +100,13 @@ pub use congest_quantum as quantum;
 pub use congest_sim as sim;
 pub use even_cycle as cycle;
 
-pub use congest_graph::FamilySpec;
-pub use engine::{Engine, RunProfile, Schedule, ScheduleOrder, SuiteOutcome};
+pub use congest_graph::{FamilySpec, MutableGraph, UpdateSchedule};
+pub use engine::{
+    Engine, RunProfile, Schedule, ScheduleOrder, StreamOutcome, StreamSuiteOutcome, SuiteOutcome,
+};
 pub use even_cycle::{Budget, Descriptor, Detection, Detector, Model, RunCost, Target, Verdict};
 pub use registry::DetectorRegistry;
 pub use scenario::{GraphFamily, Metric, Scenario, ScenarioReport};
+pub use serve::{ServeConfig, Server};
+pub use stream::{StreamReport, StreamScenario};
 pub use suite::{PreparedSuite, Suite};

@@ -13,8 +13,11 @@
 //!
 //! Fields:
 //!
-//! * `family` (required) — a [`FamilySpec`] string; the one catalog
-//!   parser, shared error message and all.
+//! * `family` (required) — one [`FamilySpec`] string, or several
+//!   separated by commas (`family=er:3,ws:4:0.1,torus`); a multi-spec
+//!   stanza expands to the full cross product, one stanza per family
+//!   sharing the line's sizes, seeds, detectors, metric, and `k`. The
+//!   one catalog parser, shared error message and all.
 //! * `sizes` — comma-separated instance sizes (default: the run
 //!   profile's grid).
 //! * `seeds` — `A..B` or an explicit `s1,s2,...` list (default: the
@@ -151,9 +154,9 @@ impl Suite {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let stanza =
+            let expanded =
                 parse_stanza(line).map_err(|e| format!("suite line {}: {e}", lineno + 1))?;
-            stanzas.push(stanza);
+            stanzas.extend(expanded);
         }
         if stanzas.is_empty() {
             return Err("suite file has no stanzas".to_string());
@@ -240,8 +243,11 @@ impl Suite {
     }
 }
 
-fn parse_stanza(line: &str) -> Result<SuiteStanza, String> {
-    let mut family: Option<FamilySpec> = None;
+/// Parses one stanza line. `family=` may list several comma-separated
+/// specs; the stanza then expands to one [`SuiteStanza`] per family —
+/// the cross-product shorthand — all sharing the line's other fields.
+fn parse_stanza(line: &str) -> Result<Vec<SuiteStanza>, String> {
+    let mut families: Option<Vec<FamilySpec>> = None;
     let mut stanza = SuiteStanza {
         label: None,
         family: FamilySpec::RandomTrees, // placeholder until `family=` lands
@@ -264,7 +270,19 @@ fn parse_stanza(line: &str) -> Result<SuiteStanza, String> {
             return Err(format!("field {key:?} has an empty value"));
         }
         match key {
-            "family" => family = Some(FamilySpec::parse(value)?),
+            "family" => {
+                let specs: Result<Vec<FamilySpec>, String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|piece| !piece.is_empty())
+                    .map(FamilySpec::parse)
+                    .collect();
+                let specs = specs?;
+                if specs.is_empty() {
+                    return Err(format!("family list {value:?} expands to no families"));
+                }
+                families = Some(specs);
+            }
             "sizes" => stanza.sizes = Some(parse_size_spec(value)?),
             "seeds" => stanza.seeds = Some(parse_seed_spec(value)?),
             "detectors" => {
@@ -292,8 +310,21 @@ fn parse_stanza(line: &str) -> Result<SuiteStanza, String> {
             }
         }
     }
-    stanza.family = family.ok_or_else(|| "stanza is missing the family= field".to_string())?;
-    Ok(stanza)
+    let families = families.ok_or_else(|| "stanza is missing the family= field".to_string())?;
+    // With several families an explicit label gains a family suffix so
+    // the expanded scenarios stay distinguishable in reports.
+    let suffix_labels = families.len() > 1 && stanza.label.is_some();
+    Ok(families
+        .into_iter()
+        .map(|family| {
+            let mut expanded = stanza.clone();
+            if suffix_labels {
+                expanded.label = stanza.label.as_ref().map(|l| format!("{l} · {family}"));
+            }
+            expanded.family = family;
+            expanded
+        })
+        .collect())
 }
 
 /// Resolves a stanza's detector selection into registry entry indices
@@ -417,6 +448,42 @@ mod tests {
         assert_eq!(b.metric, Some(Metric::MaxCongestion));
         assert_eq!(b.label.as_deref(), Some("small world"));
         assert_eq!(b.k, Some(3));
+    }
+
+    #[test]
+    fn family_lists_expand_to_the_cross_product() {
+        let suite = Suite::parse(
+            "family=er:3, ws:4:0.1 ,torus; sizes=24; seeds=0..2; metric=congestion; k=3\n",
+        )
+        .unwrap();
+        assert_eq!(suite.stanzas.len(), 3, "one stanza per listed family");
+        let names: Vec<String> = suite.stanzas.iter().map(|s| s.family.to_string()).collect();
+        assert_eq!(names, vec!["er:3", "ws:4:0.1", "torus"]);
+        for stanza in &suite.stanzas {
+            // Every expanded stanza shares the line's other fields.
+            assert_eq!(stanza.sizes, Some(vec![24]));
+            assert_eq!(stanza.seeds, Some(vec![0, 1]));
+            assert_eq!(stanza.metric, Some(Metric::MaxCongestion));
+            assert_eq!(stanza.k, Some(3));
+        }
+        // An explicit label gains a family suffix under expansion, and
+        // stays untouched for a single family.
+        let suite =
+            Suite::parse("family=er:3,torus; label=pair\nfamily=trees; label=solo\n").unwrap();
+        assert_eq!(suite.stanzas[0].label.as_deref(), Some("pair · er:3"));
+        assert_eq!(suite.stanzas[1].label.as_deref(), Some("pair · torus"));
+        assert_eq!(suite.stanzas[2].label.as_deref(), Some("solo"));
+    }
+
+    #[test]
+    fn empty_family_expansions_are_line_numbered_errors() {
+        let err = Suite::parse("family=planted:4\nfamily=,\n").unwrap_err();
+        assert!(err.contains("suite line 2"), "{err}");
+        assert!(err.contains("expands to no families"), "{err}");
+        // A bad spec inside the list still names the offending piece.
+        let err = Suite::parse("family=er:3,nope\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("known families"), "{err}");
     }
 
     #[test]

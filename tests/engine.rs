@@ -676,3 +676,93 @@ fn profile_registries_line_up_with_standard() {
         assert_eq!(a.id, b.id);
     }
 }
+
+#[test]
+fn stream_replay_executes_zero_detector_invocations() {
+    // The streaming acceptance criterion: replaying an identical
+    // UpdateSchedule twice through StreamScenario must resolve every
+    // checkpoint unit from the content-addressed store on the second
+    // pass — zero detector invocations — and reproduce the report byte
+    // for byte.
+    use even_cycle_congest::stream::StreamScenario;
+    use even_cycle_congest::UpdateSchedule;
+
+    let dir = std::env::temp_dir().join(format!("ec-engine-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let schedule = UpdateSchedule::parse("planted:4@rate=6,mix=0.6,checkpoints=3").unwrap();
+    let scenario = StreamScenario::new("stream resume", schedule)
+        .n(32)
+        .seeds(0..2)
+        .store(&dir);
+    let inner = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let calls = AtomicU64::new(0);
+    let counting = Counting {
+        inner: &inner,
+        calls: &calls,
+    };
+
+    let first = scenario.run(&[&counting]);
+    assert_eq!(first.total_units, 3 * 2);
+    assert_eq!(first.executed_units, 6);
+    assert_eq!(first.replayed_units, 0);
+    assert_eq!(calls.load(Ordering::Relaxed), 6);
+
+    let second = scenario.run(&[&counting]);
+    assert_eq!(
+        second.executed_units, 0,
+        "an unchanged stream must replay entirely from the store"
+    );
+    assert_eq!(second.replayed_units, 6);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        6,
+        "the second pass must not invoke the detector at all"
+    );
+    assert_eq!(
+        first.report.to_json(),
+        second.report.to_json(),
+        "replayed reports must be byte-identical"
+    );
+
+    // Changing any schedule parameter moves every checkpoint key: a
+    // third run with a different mix must execute everything afresh.
+    let edited = UpdateSchedule::parse("planted:4@rate=6,mix=0.5,checkpoints=3").unwrap();
+    let third = StreamScenario::new("stream resume", edited)
+        .n(32)
+        .seeds(0..2)
+        .store(&dir)
+        .run(&[&counting]);
+    assert_eq!(third.executed_units, 6);
+    assert_eq!(calls.load(Ordering::Relaxed), 12);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn extending_a_stream_seed_sweep_executes_only_new_cells() {
+    use even_cycle_congest::stream::StreamScenario;
+    use even_cycle_congest::UpdateSchedule;
+
+    let dir = std::env::temp_dir().join(format!("ec-engine-stream-ext-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let schedule = UpdateSchedule::parse("trees@rate=4,mix=0.8,checkpoints=2").unwrap();
+    let det = CycleDetector::new(Params::practical(2).with_repetitions(2));
+    let narrow = StreamScenario::new("stream extend", schedule.clone())
+        .n(24)
+        .seeds(0..1)
+        .store(&dir)
+        .run(&[&det]);
+    assert_eq!(narrow.executed_units, 2);
+
+    // One more seed: only its two checkpoint units are new.
+    let wide = StreamScenario::new("stream extend", schedule)
+        .n(24)
+        .seeds(0..2)
+        .store(&dir)
+        .run(&[&det]);
+    assert_eq!(wide.total_units, 4);
+    assert_eq!(wide.executed_units, 2, "stored seed replays, new seed runs");
+    assert_eq!(wide.replayed_units, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
