@@ -28,7 +28,11 @@
 //!   edges without any per-neighbor binary search, and point-to-point
 //!   sends do a single neighbor-list search.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use congest_graph::{Graph, NodeId};
+use congest_telemetry as telemetry;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -187,6 +191,47 @@ where
     }
 }
 
+/// Telemetry handles for the superstep core, resolved once per process.
+/// Updates are relaxed atomics, so they stay on unconditionally; only the
+/// per-round trace *events* are gated on `telemetry::enabled()`.
+struct SimMetrics {
+    runs: Arc<telemetry::Counter>,
+    supersteps: Arc<telemetry::Counter>,
+    messages_delivered: Arc<telemetry::Counter>,
+    buffer_reuse_hits: Arc<telemetry::Counter>,
+    superstep_messages: Arc<telemetry::Histogram>,
+    superstep_max_edge_words: Arc<telemetry::Histogram>,
+    run_supersteps_per_sec: Arc<telemetry::Histogram>,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::Registry::global();
+        SimMetrics {
+            runs: registry.counter("sim.runs"),
+            supersteps: registry.counter("sim.supersteps"),
+            messages_delivered: registry.counter("sim.messages.delivered"),
+            buffer_reuse_hits: registry.counter("sim.buffer.reuse_hits"),
+            superstep_messages: registry.histogram("sim.superstep.messages"),
+            superstep_max_edge_words: registry.histogram("sim.superstep.max_edge_words"),
+            run_supersteps_per_sec: registry.histogram("sim.run.supersteps_per_sec"),
+        }
+    })
+}
+
+/// What one delivery pass did, for the caller's accounting and telemetry.
+struct DeliverOutcome {
+    /// Round cost of the superstep: `max(1, ⌈max_load/B⌉)`.
+    round_cost: u64,
+    /// Maximum words charged to any directed edge this superstep.
+    max_load: u64,
+    /// Messages delivered this superstep.
+    messages: u64,
+    /// Outboxes drained into a buffer retained from an earlier superstep.
+    reused_buffers: u64,
+}
+
 /// Per-run delivery state: allocated once, reused every superstep.
 struct Delivery {
     /// Words charged per directed edge this superstep; only the
@@ -197,6 +242,10 @@ struct Delivery {
     /// CSR base of each node's directed-edge block: the edge to the
     /// `i`-th neighbor of `v` has dense index `edge_base[v] + i`.
     edge_base: Vec<usize>,
+    /// Whether each node's point-to-point outbox already carried an
+    /// allocation before this superstep — i.e. a drain now reuses a
+    /// buffer from an earlier superstep rather than a fresh one.
+    had_capacity: Vec<bool>,
 }
 
 impl Delivery {
@@ -213,12 +262,13 @@ impl Delivery {
             edge_words: vec![0; graph.directed_edge_count()],
             touched: Vec::new(),
             edge_base,
+            had_capacity: vec![false; n],
         }
     }
 
     /// Delivers all pending outboxes in sender order (the determinism
     /// anchor), returning the round cost `max(1, ⌈max_load/B⌉)` of the
-    /// superstep.
+    /// superstep along with its congestion profile.
     #[allow(clippy::too_many_arguments)]
     fn deliver<M: Clone + MessageSize>(
         &mut self,
@@ -229,7 +279,9 @@ impl Delivery {
         pending: &mut [Outbox<M>],
         inboxes: &mut [Vec<(NodeId, M)>],
         stats: &mut CongestionStats,
-    ) -> Result<u64, SimError> {
+    ) -> Result<DeliverOutcome, SimError> {
+        let messages_before = stats.total_messages;
+        let mut reused_buffers = 0u64;
         for &e in &self.touched {
             self.edge_words[e] = 0;
         }
@@ -282,9 +334,13 @@ impl Delivery {
                     inboxes[to.index()].push((from, msg.clone()));
                 }
             }
+            if !out.messages.is_empty() && self.had_capacity[v] {
+                reused_buffers += 1;
+            }
             for (to, msg) in out.messages.drain(..) {
                 inboxes[to.index()].push((from, msg));
             }
+            self.had_capacity[v] = out.messages.capacity() > 0;
         }
 
         let max_load = self
@@ -294,7 +350,12 @@ impl Delivery {
             .max()
             .unwrap_or(0);
         stats.max_words_per_edge_step = stats.max_words_per_edge_step.max(max_load);
-        Ok(max_load.div_ceil(bandwidth).max(1))
+        Ok(DeliverOutcome {
+            round_cost: max_load.div_ceil(bandwidth).max(1),
+            max_load,
+            messages: stats.total_messages - messages_before,
+            reused_buffers,
+        })
     }
 
     #[inline]
@@ -304,6 +365,23 @@ impl Delivery {
         }
         self.edge_words[idx] += words;
     }
+}
+
+/// Folds one delivery pass into the process-wide metrics and, when a
+/// recorder is installed, emits the per-round profile event.
+fn observe_delivery(metrics: &SimMetrics, outcome: &DeliverOutcome, superstep: u64) {
+    metrics.messages_delivered.add(outcome.messages);
+    metrics.buffer_reuse_hits.add(outcome.reused_buffers);
+    metrics.superstep_messages.record(outcome.messages);
+    metrics.superstep_max_edge_words.record(outcome.max_load);
+    telemetry::instant_event("sim.round", || {
+        vec![
+            ("superstep", superstep.into()),
+            ("messages", outcome.messages.into()),
+            ("max_edge_words", outcome.max_load.into()),
+            ("round_cost", outcome.round_cost.into()),
+        ]
+    });
 }
 
 /// Runs a program to completion under the given step strategy; the
@@ -323,6 +401,10 @@ where
     F: FnMut(NodeId, usize) -> P,
 {
     let n = graph.node_count();
+    let metrics = sim_metrics();
+    metrics.runs.inc();
+    let started = Instant::now();
+    let mut span = telemetry::Span::begin("sim.run").with("n", n);
     let mut nodes: Vec<P> = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
     let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
         .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(seed, v)))
@@ -347,7 +429,7 @@ where
         None,
     );
     if outboxes.iter().any(|o| !o.is_empty()) {
-        rounds += delivery.deliver(
+        let outcome = delivery.deliver(
             graph,
             bandwidth,
             cut,
@@ -356,6 +438,8 @@ where
             &mut inboxes,
             &mut stats,
         )?;
+        rounds += outcome.round_cost;
+        observe_delivery(metrics, &outcome, 0);
     }
 
     loop {
@@ -379,7 +463,8 @@ where
             Some(supersteps as usize),
         );
         supersteps += 1;
-        rounds += delivery.deliver(
+        metrics.supersteps.inc();
+        let outcome = delivery.deliver(
             graph,
             bandwidth,
             cut,
@@ -388,7 +473,19 @@ where
             &mut inboxes,
             &mut stats,
         )?;
+        rounds += outcome.round_cost;
+        observe_delivery(metrics, &outcome, supersteps);
     }
+
+    if supersteps > 0 {
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        metrics
+            .run_supersteps_per_sec
+            .record((supersteps as f64 / secs) as u64);
+    }
+    span.push("supersteps", supersteps);
+    span.push("rounds", rounds);
+    span.push("messages", stats.total_messages);
 
     let rejecting_nodes: Vec<u32> = nodes
         .iter()

@@ -1,0 +1,163 @@
+//! Converts a JSONL event trace (written by [`JsonlSink`](crate::JsonlSink))
+//! into Chrome `trace_event` format, openable in `about://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! Mapping: spans become complete events (`"ph":"X"`), counters, gauges,
+//! and numeric instants become counter tracks (`"ph":"C"`), and instants
+//! with no numeric payload become thread-scoped instant events
+//! (`"ph":"i"`).
+
+use std::path::Path;
+
+use crate::json::{json_escape, json_f64, parse_flat_line, FlatValue};
+
+const RESERVED: &[&str] = &["ev", "name", "ts_us", "dur_us", "tid", "value"];
+
+/// Converts JSONL trace text to a Chrome `trace_event` JSON document.
+/// Unparseable lines are skipped; the result always contains a
+/// `traceEvents` array.
+pub fn chrome_trace(jsonl: &str) -> String {
+    let mut events = Vec::new();
+    for line in jsonl.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(fields) = parse_flat_line(line) else {
+            continue;
+        };
+        if let Some(event) = convert_line(&fields) {
+            events.push(event);
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+/// Reads the JSONL trace at `input`, writes the Chrome-format document to
+/// `output`, and returns the number of converted events.
+pub fn convert_file(input: &Path, output: &Path) -> std::io::Result<usize> {
+    let jsonl = std::fs::read_to_string(input)?;
+    let document = chrome_trace(&jsonl);
+    let converted = jsonl
+        .lines()
+        .filter(|l| parse_flat_line(l.trim()).is_some())
+        .count();
+    std::fs::write(output, document)?;
+    Ok(converted)
+}
+
+fn convert_line(fields: &[(String, FlatValue)]) -> Option<String> {
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let ev = get("ev")?.as_str()?.to_string();
+    let name = get("name")?.as_str()?.to_string();
+    let ts = get("ts_us")?.as_f64()?;
+    let tid = get("tid").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let args: Vec<&(String, FlatValue)> = fields
+        .iter()
+        .filter(|(k, _)| !RESERVED.contains(&k.as_str()))
+        .collect();
+    match ev.as_str() {
+        "span" => {
+            let dur = get("dur_us")?.as_f64()?;
+            Some(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                json_escape(&name),
+                json_num(ts),
+                json_num(dur),
+                json_num(tid),
+                args_object(&args)
+            ))
+        }
+        "counter" | "gauge" => {
+            let value = get("value")?.as_f64()?;
+            Some(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                json_escape(&name),
+                json_num(ts),
+                json_num(value)
+            ))
+        }
+        "instant" => {
+            let numeric: Vec<&(String, FlatValue)> = args
+                .iter()
+                .filter(|(_, v)| v.as_f64().is_some())
+                .copied()
+                .collect();
+            if numeric.is_empty() {
+                Some(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                    json_escape(&name),
+                    json_num(ts),
+                    json_num(tid),
+                    args_object(&args)
+                ))
+            } else {
+                Some(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{}}}",
+                    json_escape(&name),
+                    json_num(ts),
+                    args_object(&numeric)
+                ))
+            }
+        }
+        _ => None,
+    }
+}
+
+fn args_object(args: &[&(String, FlatValue)]) -> String {
+    let parts: Vec<String> = args
+        .iter()
+        .map(|(key, value)| {
+            let rendered = match value {
+                FlatValue::Num(v) => json_num(*v),
+                FlatValue::Str(s) => format!("\"{}\"", json_escape(s)),
+                FlatValue::Bool(b) => b.to_string(),
+                FlatValue::Null => "null".to_string(),
+            };
+            format!("\"{}\":{rendered}", json_escape(key))
+        })
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn json_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        json_f64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_span_counter_and_round() {
+        let jsonl = "\
+{\"ev\":\"span\",\"name\":\"engine.unit\",\"ts_us\":10,\"dur_us\":5,\"tid\":2,\"det\":\"bfs\",\"n\":64}
+{\"ev\":\"counter\",\"name\":\"engine.units.executed\",\"ts_us\":16,\"value\":1}
+{\"ev\":\"instant\",\"name\":\"sim.round\",\"ts_us\":12,\"tid\":2,\"superstep\":0,\"messages\":8}
+garbage line
+";
+        let doc = chrome_trace(jsonl);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"name\":\"engine.unit\""));
+        assert!(doc.contains("\"args\":{\"det\":\"bfs\",\"n\":64}"));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"messages\":8"));
+        assert!(!doc.contains("garbage"));
+    }
+
+    #[test]
+    fn empty_input_still_yields_document() {
+        assert_eq!(
+            chrome_trace(""),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal flat-JSON helpers, mirroring the serde-free house style used by
+//! the result store: hand-rolled escaping plus a tolerant single-level
+//! parser for the event lines this crate itself writes.
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as JSON: plain decimal for finite values, `null`
+/// otherwise (JSON has no NaN/Inf).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed flat-JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// A JSON number (parsed as `f64`).
+    Num(f64),
+    /// A JSON string (unescaped).
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl FlatValue {
+    /// Returns the numeric value, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FlatValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string value, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat-JSON object line (`{"key":scalar,...}`, no nesting) into
+/// ordered key/value pairs. Returns `None` on malformed input.
+pub fn parse_flat_line(line: &str) -> Option<Vec<(String, FlatValue)>> {
+    let bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let inner = &line.trim()[1..line.trim().len() - 1];
+    let mut chars = inner.char_indices().peekable();
+    loop {
+        skip_ws(inner, &mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        let key = parse_string(inner, &mut chars)?;
+        skip_ws(inner, &mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        skip_ws(inner, &mut chars);
+        let value = parse_scalar(inner, &mut chars)?;
+        fields.push((key, value));
+        skip_ws(inner, &mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            None => break,
+            _ => return None,
+        }
+    }
+    Some(fields)
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(_src: &str, chars: &mut CharStream<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(_src: &str, chars: &mut CharStream<'_>) -> Option<String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return None,
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Some(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'b')) => out.push('\u{8}'),
+                Some((_, 'f')) => out.push('\u{c}'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, c) = chars.next()?;
+                        code = code * 16 + c.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            Some((_, c)) => out.push(c),
+            None => return None,
+        }
+    }
+}
+
+fn parse_scalar(src: &str, chars: &mut CharStream<'_>) -> Option<FlatValue> {
+    match chars.peek().copied() {
+        Some((_, '"')) => parse_string(src, chars).map(FlatValue::Str),
+        Some((start, _)) => {
+            let mut end = src.len();
+            while let Some((i, c)) = chars.peek().copied() {
+                if c == ',' || c == '}' || c.is_whitespace() {
+                    end = i;
+                    break;
+                }
+                chars.next();
+            }
+            let token = &src[start..end];
+            match token {
+                "null" => Some(FlatValue::Null),
+                "true" => Some(FlatValue::Bool(true)),
+                "false" => Some(FlatValue::Bool(false)),
+                _ => token.parse::<f64>().ok().map(FlatValue::Num),
+            }
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_scalars() {
+        let fields =
+            parse_flat_line("{\"ev\":\"span\",\"ts_us\":12,\"ok\":true,\"x\":null,\"f\":1.5}")
+                .unwrap();
+        assert_eq!(fields[0], ("ev".into(), FlatValue::Str("span".into())));
+        assert_eq!(fields[1], ("ts_us".into(), FlatValue::Num(12.0)));
+        assert_eq!(fields[2], ("ok".into(), FlatValue::Bool(true)));
+        assert_eq!(fields[3], ("x".into(), FlatValue::Null));
+        assert_eq!(fields[4], ("f".into(), FlatValue::Num(1.5)));
+    }
+
+    #[test]
+    fn round_trips_escapes() {
+        let raw = "a\"b\\c\nd";
+        let line = format!("{{\"k\":\"{}\"}}", json_escape(raw));
+        let fields = parse_flat_line(&line).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some(raw));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_line("not json").is_none());
+        assert!(parse_flat_line("{\"k\":}").is_none());
+        assert!(parse_flat_line("{\"k\" 1}").is_none());
+    }
+
+    #[test]
+    fn json_f64_always_reads_back_as_number() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

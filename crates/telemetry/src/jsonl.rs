@@ -1,0 +1,94 @@
+//! A [`Recorder`] that appends every event to a JSONL file.
+//!
+//! Each line is one flat JSON object (see [`Event::to_line`]); the schema
+//! is stable and validated by CI: every line carries `ev` (one of
+//! `counter`, `gauge`, `instant`, `span`), `name`, and `ts_us`; spans add
+//! `dur_us` and `tid`; remaining keys are event arguments.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::recorder::{Event, Recorder};
+
+/// A recorder writing one flat-JSON line per event to a file.
+///
+/// Writes are buffered; call [`crate::flush`] (or drop/uninstall the sink)
+/// before reading the file back. I/O errors after creation are swallowed —
+/// telemetry must never take down the run it is observing.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The path the sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_line();
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Recorder::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_line;
+
+    #[test]
+    fn sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("telemetry-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::Counter {
+            name: "c",
+            ts_us: 1,
+            value: 2,
+        });
+        sink.record(&Event::Span {
+            name: "s",
+            ts_us: 3,
+            dur_us: 4,
+            tid: 1,
+            args: vec![("unit", "deadbeef".into())],
+        });
+        Recorder::flush(&sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(parse_flat_line(line).is_some(), "unparseable: {line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

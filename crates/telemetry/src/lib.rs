@@ -1,0 +1,53 @@
+//! Std-only telemetry for the even-cycle workspace.
+//!
+//! Two decoupled halves:
+//!
+//! - **Metrics** — [`Counter`], [`Gauge`], and log2-bucketed [`Histogram`]
+//!   handles resolved from the process-global [`Registry`]. Updates are
+//!   relaxed atomics, always on, and power the serve `metrics` op
+//!   (Prometheus-style exposition via [`Snapshot::to_prometheus`]) and the
+//!   flat-JSON snapshot ([`Snapshot::to_flat_json`]).
+//! - **Events** — [`Span`] timers and [`instant_event`] point events
+//!   delivered to an installed [`Recorder`]. The default is the no-op
+//!   recorder: the disabled path is one relaxed atomic load with no clock
+//!   read and no allocation. [`JsonlSink`] appends events to a JSONL file
+//!   (enabled by `sweep --trace FILE` or `EVEN_CYCLE_TRACE`), and
+//!   [`chrome_trace`] converts that file for `about://tracing`.
+//!
+//! Telemetry is strictly observational: recorders see copies of event data
+//! and metric handles never feed back into detector logic, so reports and
+//! store bytes are byte-identical with a recorder on or off (the facade
+//! crate asserts this registry-wide).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod json;
+mod jsonl;
+mod metrics;
+mod recorder;
+mod registry;
+
+pub use chrome::{chrome_trace, convert_file};
+pub use json::{json_escape, json_f64, parse_flat_line, FlatValue};
+pub use jsonl::JsonlSink;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    enabled, epoch, flush, install, instant_event, instant_us, now_us, record, thread_id,
+    uninstall, ArgValue, Args, Event, NoopRecorder, Recorder, Span,
+};
+pub use registry::{Registry, Snapshot};
+
+/// Environment variable naming a JSONL trace file; when set, the bins
+/// install a [`JsonlSink`] writing there (the `--trace` flag takes
+/// precedence).
+pub const TRACE_ENV: &str = "EVEN_CYCLE_TRACE";
+
+/// Reads [`TRACE_ENV`], returning the trace path when set and non-empty.
+pub fn trace_path_from_env() -> Option<String> {
+    match std::env::var(TRACE_ENV) {
+        Ok(value) if !value.trim().is_empty() => Some(value),
+        _ => None,
+    }
+}

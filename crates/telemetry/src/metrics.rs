@@ -1,0 +1,276 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and a log2-bucketed
+//! [`Histogram`].
+//!
+//! All three are plain atomics so hot paths (the simulator superstep loop,
+//! the engine worker pool) can update them unconditionally: a metric update
+//! is a handful of relaxed RMW operations and never allocates, takes a lock,
+//! or touches the installed [`Recorder`](crate::Recorder).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (inflight requests, active connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the gauge with `value`.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one to the gauge.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one from the gauge.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Returns the current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds the value `0`,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`, so bucket 64
+/// holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Recording is four relaxed RMW operations plus two CAS-free min/max
+/// updates; there is no locking and no allocation after construction.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the bucket index for `value`: 0 for the value zero, otherwise
+    /// `64 - value.leading_zeros()` (the position of the highest set bit,
+    /// one-based).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Returns the largest value that lands in bucket `index`, or `None` for
+    /// the final bucket whose upper bound is unbounded in Prometheus terms
+    /// (it still tops out at `u64::MAX`).
+    pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+        match index {
+            0 => Some(0),
+            i if i < HISTOGRAM_BUCKETS - 1 => Some((1u64 << i) - 1),
+            _ => None,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded sample, or 0 when empty.
+    pub min: u64,
+    /// Largest recorded sample, or 0 when empty.
+    pub max: u64,
+    /// Per-bucket sample counts; see [`Histogram::bucket_index`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_cover_zero_and_max() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "high edge of bucket {i}");
+            assert_eq!(
+                Histogram::bucket_index(hi + 1),
+                i + 1,
+                "first value past bucket {i}"
+            );
+        }
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_match_indexing() {
+        assert_eq!(Histogram::bucket_upper_bound(0), Some(0));
+        assert_eq!(Histogram::bucket_upper_bound(1), Some(1));
+        assert_eq!(Histogram::bucket_upper_bound(2), Some(3));
+        assert_eq!(Histogram::bucket_upper_bound(64), None);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let hi = Histogram::bucket_upper_bound(i).unwrap();
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[64], 1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_scoped_threads() {
+        let counter = Counter::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_from_scoped_threads() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4_000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 3_999);
+    }
+
+    #[test]
+    fn gauge_tracks_signed_values() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.add(-5);
+        assert_eq!(g.value(), -4);
+        g.set(7);
+        assert_eq!(g.value(), 7);
+    }
+}

@@ -1,0 +1,218 @@
+//! A named-metric registry with flat-JSON and Prometheus-style renderers.
+//!
+//! Handles are `Arc`s: resolve them once (per struct, per run, or in a
+//! `OnceLock`) and update lock-free afterwards. The registry itself is only
+//! locked on resolution and snapshot, never on update.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::{json_escape, json_f64};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A collection of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the process-global registry every layer records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Resolves (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.counters.entry(name).or_default().clone()
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauges.entry(name).or_default().clone()
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.histograms.entry(name).or_default().clone()
+    }
+
+    /// Takes a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.to_string(), c.value()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.to_string(), g.value()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], ready to render.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as one flat JSON object. Histograms are
+    /// flattened to `<name>.count`, `<name>.sum`, `<name>.min`,
+    /// `<name>.max`, and `<name>.mean` keys.
+    pub fn to_flat_json(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, value) in &self.counters {
+            parts.push(format!("\"{}\":{value}", json_escape(name)));
+        }
+        for (name, value) in &self.gauges {
+            parts.push(format!("\"{}\":{value}", json_escape(name)));
+        }
+        for (name, h) in &self.histograms {
+            let name = json_escape(name);
+            parts.push(format!("\"{name}.count\":{}", h.count));
+            parts.push(format!("\"{name}.sum\":{}", h.sum));
+            parts.push(format!("\"{name}.min\":{}", h.min));
+            parts.push(format!("\"{name}.max\":{}", h.max));
+            let mean = if h.count == 0 {
+                0.0
+            } else {
+                h.sum as f64 / h.count as f64
+            };
+            parts.push(format!("\"{name}.mean\":{}", json_f64(mean)));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition. Metric
+    /// names are prefixed with `prefix` and dots become underscores;
+    /// histograms render cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = prom_name(prefix, name);
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let metric = prom_name(prefix, name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let metric = prom_name(prefix, name);
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let mut cumulative = 0u64;
+            for (index, bucket) in h.buckets.iter().enumerate() {
+                if *bucket == 0 {
+                    continue;
+                }
+                cumulative += bucket;
+                let le = match Histogram::bucket_upper_bound(index) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{metric}_sum {}\n", h.sum));
+            out.push_str(&format!("{metric}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+fn prom_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len() + 1);
+    out.push_str(prefix);
+    if !prefix.is_empty() && !prefix.ends_with('_') {
+        out.push('_');
+    }
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_line;
+
+    #[test]
+    fn handles_are_shared() {
+        let registry = Registry::new();
+        registry.counter("a.b").add(2);
+        registry.counter("a.b").add(3);
+        assert_eq!(registry.counter("a.b").value(), 5);
+    }
+
+    #[test]
+    fn flat_json_snapshot_parses_back() {
+        let registry = Registry::new();
+        registry.counter("units.executed").add(7);
+        registry.gauge("inflight").set(-2);
+        registry.histogram("latency_ns").record(100);
+        let json = registry.snapshot().to_flat_json();
+        let fields = parse_flat_line(&json).expect("snapshot must be flat JSON");
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("units.executed").unwrap().as_f64(), Some(7.0));
+        assert_eq!(get("inflight").unwrap().as_f64(), Some(-2.0));
+        assert_eq!(get("latency_ns.count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(get("latency_ns.mean").unwrap().as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let registry = Registry::new();
+        registry.counter("serve.connections.total").add(4);
+        registry.histogram("serve.op_ns.ping").record(900);
+        let text = registry.snapshot().to_prometheus("even_cycle");
+        assert!(text.contains("# TYPE even_cycle_serve_connections_total counter"));
+        assert!(text.contains("even_cycle_serve_connections_total 4"));
+        assert!(text.contains("# TYPE even_cycle_serve_op_ns_ping histogram"));
+        assert!(text.contains("even_cycle_serve_op_ns_ping_bucket{le=\"1023\"} 1"));
+        assert!(text.contains("even_cycle_serve_op_ns_ping_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("even_cycle_serve_op_ns_ping_sum 900"));
+        assert!(text.contains("even_cycle_serve_op_ns_ping_count 1"));
+    }
+}

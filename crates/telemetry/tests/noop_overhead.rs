@@ -1,0 +1,71 @@
+//! Asserts the disabled-recorder path allocates nothing.
+//!
+//! This file deliberately contains the only `unsafe` in the crate (the
+//! counting global allocator shim); the library itself is
+//! `#![forbid(unsafe_code)]`. It must stay a single `#[test]` so no other
+//! test thread allocates while the window is open.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn noop_recorder_path_allocates_nothing() {
+    congest_telemetry::uninstall();
+    assert!(!congest_telemetry::enabled());
+
+    // Resolve handles and warm thread-locals up front; resolution may
+    // allocate, steady-state updates must not.
+    let registry = congest_telemetry::Registry::global();
+    let counter = registry.counter("noop.test.counter");
+    let gauge = registry.gauge("noop.test.gauge");
+    let histogram = registry.histogram("noop.test.histogram");
+    let _ = congest_telemetry::thread_id();
+    let _ = congest_telemetry::now_us();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.inc();
+        gauge.set(i as i64);
+        histogram.record(i);
+        let mut span = congest_telemetry::Span::begin("noop.test.span");
+        span.push("i", i);
+        drop(span);
+        congest_telemetry::instant_event("noop.test.instant", || vec![("i", i.into())]);
+        congest_telemetry::record(congest_telemetry::Event::Counter {
+            name: "noop.test.event",
+            ts_us: 0,
+            value: i,
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-recorder telemetry must not allocate"
+    );
+    assert_eq!(counter.value(), 10_000);
+}

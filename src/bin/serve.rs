@@ -112,6 +112,20 @@ fn main() -> ExitCode {
         }
     };
 
+    // EVEN_CYCLE_TRACE=FILE streams telemetry events (connection
+    // spans, per-op latencies) to a JSONL sink for the whole lifetime
+    // of the server; the `metrics` protocol op reads the same registry
+    // whether or not a sink is installed.
+    if let Some(path) = even_cycle_congest::telemetry::trace_path_from_env() {
+        match even_cycle_congest::telemetry::JsonlSink::create(&path) {
+            Ok(sink) => even_cycle_congest::telemetry::install(std::sync::Arc::new(sink)),
+            Err(err) => {
+                eprintln!("serve: cannot open trace file {path:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut config = ServeConfig::new(args.profile, args.k).max_inflight(args.max_inflight);
     if let Some(dir) = &args.store {
         config = config.store(dir);
@@ -145,7 +159,7 @@ fn main() -> ExitCode {
         "serve: listening on {addr} (profile {}, k = {}, {} detection slot(s))",
         args.profile, args.k, args.max_inflight
     );
-    match server.run() {
+    let code = match server.run() {
         Ok(()) => {
             eprintln!("serve: clean shutdown");
             ExitCode::SUCCESS
@@ -154,5 +168,7 @@ fn main() -> ExitCode {
             eprintln!("serve: accept loop failed: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    even_cycle_congest::telemetry::flush();
+    code
 }

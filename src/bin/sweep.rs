@@ -36,11 +36,13 @@
 //! capped runs.
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use even_cycle_congest::engine::{pool, RunProfile, ScheduleOrder};
 use even_cycle_congest::scenario::{GraphFamily, Metric, Scenario};
 use even_cycle_congest::suite::{parse_seed_spec, parse_size_spec, Suite};
+use even_cycle_congest::telemetry;
 use even_cycle_congest::FamilySpec;
 
 struct Args {
@@ -57,6 +59,7 @@ struct Args {
     store: Option<String>,
     schedule: Option<ScheduleOrder>,
     max_seconds: Option<u64>,
+    trace: Option<String>,
     json: bool,
 }
 
@@ -69,6 +72,7 @@ fn usage() -> String {
          \x20            [--workers W] [--store DIR] [--json]\n\
          \x20            [--backend sequential|parallel[:T]|auto[:N]] [--sim-threads T]\n\
          \x20            [--schedule in-order|cheapest-first] [--max-seconds S]\n\
+         \x20            [--trace FILE]  (or EVEN_CYCLE_TRACE=FILE)\n\
          families: {}",
         FamilySpec::catalog_summary()
     )
@@ -90,6 +94,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         store: None,
         schedule: None,
         max_seconds: None,
+        trace: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -161,6 +166,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .map_err(|_| format!("bad --max-seconds value {v:?}"))?,
                 );
             }
+            "--trace" => args.trace = Some(value("--trace")?),
             "--json" => args.json = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
@@ -194,6 +200,33 @@ fn main() -> ExitCode {
         }
     };
 
+    // `--trace FILE` (or EVEN_CYCLE_TRACE=FILE) streams telemetry
+    // events to a JSONL sink for the whole run; on exit the sink is
+    // flushed and a Chrome trace_event mirror (`FILE.chrome.json`) is
+    // written next to it for chrome://tracing / Perfetto.
+    let trace = args.trace.clone().or_else(telemetry::trace_path_from_env);
+    if let Some(path) = &trace {
+        match telemetry::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install(Arc::new(sink)),
+            Err(err) => {
+                eprintln!("cannot open trace file {path:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let code = run(args);
+    if let Some(path) = &trace {
+        telemetry::flush();
+        let chrome = format!("{path}.chrome.json");
+        match telemetry::convert_file(std::path::Path::new(path), std::path::Path::new(&chrome)) {
+            Ok(events) => eprintln!("trace: {path} ({events} event(s)); chrome: {chrome}"),
+            Err(err) => eprintln!("trace: {path}; chrome conversion failed: {err}"),
+        }
+    }
+    code
+}
+
+fn run(args: Args) -> ExitCode {
     // Fail fast on a broken EVEN_CYCLE_WORKERS: a typo'd value must not
     // silently serialize the sweep (the library default warns and runs
     // with 1 worker; the sweep driver refuses outright). An explicit
@@ -266,7 +299,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let started = Instant::now();
         let outcome = prepared.run(&engine);
+        let elapsed = started.elapsed();
         for report in &outcome.reports {
             if args.json {
                 println!("{}", report.to_json());
@@ -275,11 +310,9 @@ fn main() -> ExitCode {
             }
         }
         eprintln!(
-            "suite: {} scenario(s); executed {}, replayed {} of {} unit(s)",
+            "suite: {} scenario(s); {}",
             outcome.reports.len(),
-            outcome.executed_units,
-            outcome.replayed_units,
-            outcome.total_units,
+            outcome.summary(elapsed),
         );
         let skipped = outcome.skipped_units();
         if skipped > 0 {
@@ -319,12 +352,16 @@ fn main() -> ExitCode {
 
     let dets: Vec<&dyn even_cycle_congest::Detector> =
         registry.iter().map(|e| e.detector.as_ref()).collect();
-    let report = engine.run(&scenario, &dets);
+    let started = Instant::now();
+    let outcome = engine.run_suite(&[(&scenario, dets.as_slice())]);
+    let elapsed = started.elapsed();
+    let report = &outcome.reports[0];
     if args.json {
         println!("{}", report.to_json());
     } else {
         println!("{}", report.render());
     }
+    eprintln!("{}", outcome.summary(elapsed));
     let skipped = report.skipped_units();
     if skipped > 0 {
         eprintln!(

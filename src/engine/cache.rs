@@ -26,11 +26,33 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use congest_graph::Graph;
+use congest_telemetry as telemetry;
 
 use crate::scenario::GraphFamily;
+
+/// Cache telemetry, resolved once per process (the cache itself is
+/// per-run; the counters aggregate across runs like every other
+/// registry metric).
+struct CacheMetrics {
+    hits: Arc<telemetry::Counter>,
+    misses: Arc<telemetry::Counter>,
+    evictions: Arc<telemetry::Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::Registry::global();
+        CacheMetrics {
+            hits: registry.counter("engine.graph_cache.hits"),
+            misses: registry.counter("engine.graph_cache.misses"),
+            evictions: registry.counter("engine.graph_cache.evictions"),
+        }
+    })
+}
 
 /// The cache key of one instance: `(family store key, n, seed)`.
 pub type InstanceKey = (String, usize, u64);
@@ -113,8 +135,15 @@ impl GraphCache {
         // blocks here until the graph exists instead of rebuilding it.
         let mut graph = slot.lock().unwrap();
         if graph.is_none() {
+            cache_metrics().misses.inc();
+            let mut span = telemetry::Span::begin("engine.graph_build")
+                .with("n", n)
+                .with("seed", seed);
             *graph = Some(Arc::new(family.build(n, seed)));
+            span.push("family", family.store_key());
             self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cache_metrics().hits.inc();
         }
         Arc::clone(graph.as_ref().expect("slot was just filled"))
     }
@@ -130,6 +159,7 @@ impl GraphCache {
                 entry.remaining -= 1;
                 if entry.remaining == 0 {
                     map.remove(&key);
+                    cache_metrics().evictions.inc();
                 }
             }
         }

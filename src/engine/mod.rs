@@ -47,8 +47,10 @@ pub mod store;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
+use congest_telemetry as telemetry;
 use even_cycle::theory::fit_exponent;
 use even_cycle::Detector;
 
@@ -59,6 +61,47 @@ use crate::scenario::{Metric, Scenario, ScenarioReport, ScenarioRow};
 use crate::stream::{CheckpointCell, StreamReport, StreamRow, StreamScenario};
 use cache::GraphCache;
 use store::{ResultStore, UnitRecord, UnitStatus};
+
+/// Telemetry handles for the engine's work accounting, resolved once
+/// per process. These are always-on relaxed atomics; the per-unit
+/// [`telemetry::Span`]s in [`record_detection`] are additionally gated
+/// on an installed recorder.
+struct EngineMetrics {
+    units_executed: Arc<telemetry::Counter>,
+    units_replayed: Arc<telemetry::Counter>,
+    deadline_skips: Arc<telemetry::Counter>,
+    unit_ns: Arc<telemetry::Histogram>,
+    stream_replays: Arc<telemetry::Counter>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::Registry::global();
+        EngineMetrics {
+            units_executed: registry.counter("engine.units.executed"),
+            units_replayed: registry.counter("engine.units.replayed"),
+            deadline_skips: registry.counter("engine.schedule.deadline_skips"),
+            unit_ns: registry.histogram("engine.unit_ns"),
+            stream_replays: registry.counter("engine.stream.replays"),
+        }
+    })
+}
+
+/// Renders the canonical work summary the `sweep` bin prints to stderr:
+/// `executed E, replayed R, skipped S of T unit(s) in X.Ys`.
+pub fn work_summary(
+    executed: usize,
+    replayed: usize,
+    skipped: u64,
+    total: usize,
+    elapsed: Duration,
+) -> String {
+    format!(
+        "executed {executed}, replayed {replayed}, skipped {skipped} of {total} unit(s) in {:.1}s",
+        elapsed.as_secs_f64()
+    )
+}
 
 /// The sweep executor. Construct with [`Engine::from_env`], then
 /// layer overrides with the builder methods.
@@ -280,6 +323,7 @@ impl Engine {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 // Cap elapsed: skip (do not start) this unit, but still
                 // release its graph reference so eviction stays exact.
+                engine_metrics().deadline_skips.inc();
                 graphs.release(&family_keys[t.si], t.n, t.seed);
                 return None;
             }
@@ -330,11 +374,13 @@ impl Engine {
             .iter()
             .map(|r: &ScenarioReport| r.skipped_units())
             .sum();
+        let replayed_units = total_units - executed - skipped as usize;
+        engine_metrics().units_replayed.add(replayed_units as u64);
         SuiteOutcome {
             reports,
             total_units,
             executed_units: executed,
-            replayed_units: total_units - executed - skipped as usize,
+            replayed_units,
         }
     }
 
@@ -477,6 +523,11 @@ impl Engine {
         for ((si, qi), checkpoints) in &needed {
             let scenario = items[*si].0;
             let last = *checkpoints.iter().next_back().expect("non-empty set");
+            engine_metrics().stream_replays.inc();
+            let _replay_span = telemetry::Span::begin("engine.stream.replay")
+                .with("n", scenario.n)
+                .with("seed", scenario.seeds[*qi])
+                .with("checkpoints", checkpoints.len());
             let mut replay = scenario.updates.replay(scenario.n, scenario.seeds[*qi]);
             while let Some((ci, snapshot)) = replay.next_checkpoint() {
                 if checkpoints.contains(&ci) {
@@ -502,6 +553,7 @@ impl Engine {
             let t = &todo[j];
             let (scenario, detectors) = items[t.si];
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                engine_metrics().deadline_skips.inc();
                 return None;
             }
             let g = &snapshots[&(t.si, t.qi, t.ci)];
@@ -544,11 +596,13 @@ impl Engine {
             reports.push(aggregate_stream(scenario, detectors, &records));
         }
         let skipped: u64 = reports.iter().map(StreamReport::skipped_units).sum();
+        let replayed_units = total_units - executed - skipped as usize;
+        engine_metrics().units_replayed.add(replayed_units as u64);
         StreamSuiteOutcome {
             reports,
             total_units,
             executed_units: executed,
-            replayed_units: total_units - executed - skipped as usize,
+            replayed_units,
         }
     }
 }
@@ -584,6 +638,18 @@ impl SuiteOutcome {
     pub fn skipped_units(&self) -> u64 {
         self.reports.iter().map(|r| r.skipped_units()).sum()
     }
+
+    /// The canonical `executed …, replayed …, skipped … of … unit(s) in
+    /// X.Ys` summary for this run; see [`work_summary`].
+    pub fn summary(&self, elapsed: Duration) -> String {
+        work_summary(
+            self.executed_units,
+            self.replayed_units,
+            self.skipped_units(),
+            self.total_units,
+            elapsed,
+        )
+    }
 }
 
 /// What one stream run did: the aggregated report plus the work
@@ -614,6 +680,25 @@ pub struct StreamSuiteOutcome {
     pub executed_units: usize,
     /// Units served without a detector invocation.
     pub replayed_units: usize,
+}
+
+impl StreamSuiteOutcome {
+    /// Units skipped by the schedule's wall-clock cap, across all
+    /// reports.
+    pub fn skipped_units(&self) -> u64 {
+        self.reports.iter().map(StreamReport::skipped_units).sum()
+    }
+
+    /// The canonical work summary for this run; see [`work_summary`].
+    pub fn summary(&self, elapsed: Duration) -> String {
+        work_summary(
+            self.executed_units,
+            self.replayed_units,
+            self.skipped_units(),
+            self.total_units,
+            elapsed,
+        )
+    }
 }
 
 /// Splits the machine's thread budget between pool workers and
@@ -689,6 +774,12 @@ pub(crate) fn record_detection(
         max_congestion: 0,
         iterations: 0,
     };
+    let mut span = telemetry::Span::begin("engine.unit")
+        .with("unit", key)
+        .with("det", id)
+        .with("n", n)
+        .with("seed", seed);
+    let started = Instant::now();
     match detector.detect(g, seed, budget) {
         Ok(detection) => {
             record.status = if detection.budget_exceeded() {
@@ -707,6 +798,20 @@ pub(crate) fn record_detection(
         }
         Err(e) => record.status = UnitStatus::Error(e.to_string()),
     }
+    let metrics = engine_metrics();
+    metrics.units_executed.inc();
+    metrics
+        .unit_ns
+        .record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    span.push("rounds", record.rounds);
+    span.push(
+        "status",
+        match &record.status {
+            UnitStatus::Ok => "ok",
+            UnitStatus::BudgetExceeded => "budget-exceeded",
+            UnitStatus::Error(_) => "error",
+        },
+    );
     record
 }
 

@@ -9,6 +9,30 @@
 //! to a sequential one.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use congest_telemetry as telemetry;
+
+/// Pool telemetry: how much worker capacity a parallel pass used
+/// (`busy_ns`) versus left on the table waiting for stragglers or an
+/// empty queue (`idle_ns`). `idle / (busy + idle)` is the pool's idle
+/// fraction.
+struct PoolMetrics {
+    busy_ns: Arc<telemetry::Counter>,
+    idle_ns: Arc<telemetry::Counter>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::Registry::global();
+        PoolMetrics {
+            busy_ns: registry.counter("engine.pool.busy_ns"),
+            idle_ns: registry.counter("engine.pool.idle_ns"),
+        }
+    })
+}
 
 /// Runs `count` jobs across `workers` threads and returns the results
 /// in job-index order. `workers == 1` (or a single job) degenerates to
@@ -32,27 +56,38 @@ where
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let spawned = workers.min(count);
+    let mut span = telemetry::Span::begin("engine.pool")
+        .with("jobs", count)
+        .with("workers", spawned);
+    let started = Instant::now();
+    let mut busy_total_ns = 0u64;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(count))
+        let handles: Vec<_> = (0..spawned)
             .map(|_| {
                 let next = &next;
                 let job = &job;
                 scope.spawn(move || {
                     let mut mine = Vec::new();
+                    let mut busy_ns = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
-                        mine.push((i, job(i)));
+                        let job_started = Instant::now();
+                        let value = job(i);
+                        busy_ns += job_started.elapsed().as_nanos() as u64;
+                        mine.push((i, value));
                     }
-                    mine
+                    (mine, busy_ns)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(mine) => {
+                Ok((mine, busy_ns)) => {
+                    busy_total_ns += busy_ns;
                     for (i, value) in mine {
                         slots[i] = Some(value);
                     }
@@ -61,6 +96,16 @@ where
             }
         }
     });
+    // Idle capacity = worker-seconds held open minus worker-seconds
+    // actually inside jobs (join skew on the collecting thread counts
+    // as idle, which is what a saturation probe wants to see).
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let idle_ns = (wall_ns * spawned as u64).saturating_sub(busy_total_ns);
+    pool_metrics().busy_ns.add(busy_total_ns);
+    pool_metrics().idle_ns.add(idle_ns);
+    span.push("busy_ns", busy_total_ns);
+    span.push("idle_ns", idle_ns);
+    drop(span);
     slots
         .into_iter()
         .map(|slot| slot.expect("every job index was claimed exactly once"))

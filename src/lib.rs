@@ -42,6 +42,14 @@
 //!   detectors), and [`serve`] exposes the whole thing as a long-lived
 //!   line-oriented TCP service over named mutable snapshots (the
 //!   `serve` binary).
+//! * [`telemetry`] — std-only structured telemetry: process-global
+//!   counters/gauges/histograms, RAII spans behind a swappable
+//!   [`Recorder`](telemetry::Recorder), JSONL event sinks
+//!   (`sweep --trace`, `EVEN_CYCLE_TRACE`), Chrome trace_event
+//!   conversion, and Prometheus exposition (the server's `metrics`
+//!   op). Result-invariant by contract: recording changes no report
+//!   or store byte, and the disabled path costs one relaxed atomic
+//!   load.
 //!
 //! # Quickstart — the unified `Detector` API
 //!
@@ -98,6 +106,7 @@ pub use congest_graph as graph;
 pub use congest_lowerbounds as lowerbounds;
 pub use congest_quantum as quantum;
 pub use congest_sim as sim;
+pub use congest_telemetry as telemetry;
 pub use even_cycle as cycle;
 
 pub use congest_graph::{FamilySpec, MutableGraph, UpdateSchedule};

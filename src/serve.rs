@@ -20,8 +20,9 @@
 //! | `{"op":"load","name":"g","family":"planted:4","n":64,"seed":7}` | snapshot created (or replaced) from the [`FamilySpec`] catalog |
 //! | `{"op":"update","name":"g","action":"insert","u":1,"v":2}` | one edge insert/delete against the named snapshot |
 //! | `{"op":"detect","name":"g","detector":"color-bfs","seed":0}` | verdict line (see below) |
-//! | `{"op":"stats"}` | per-snapshot counters, including the `replayed` dedup counter |
+//! | `{"op":"stats"}` | per-snapshot counters, including the `replayed` dedup counter, plus process-wide uptime/connection/rejection totals |
 //! | `{"op":"snapshots"}` | the snapshot names, sorted |
+//! | `{"op":"metrics"}` | Prometheus-style text exposition of the process telemetry registry in the `exposition` field |
 //! | `{"op":"shutdown"}` | acknowledges, then stops accepting connections |
 //!
 //! Errors come back as `{"ok":false,"op":…,"error":"…"}` on the same
@@ -60,10 +61,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use congest_graph::{serialize, FamilySpec, MutableGraph, NodeId};
+use congest_telemetry as telemetry;
 use even_cycle::Budget;
 
 use crate::engine::store::{
@@ -141,6 +143,50 @@ impl ServeConfig {
     }
 }
 
+/// Serve telemetry, resolved once per process. Process-wide by design:
+/// the `stats` op's uptime/connection/rejection totals and the
+/// `metrics` exposition both read these, so they survive individual
+/// [`ServeState`] lifetimes.
+struct ServeMetrics {
+    connections_total: Arc<telemetry::Counter>,
+    connections_active: Arc<telemetry::Gauge>,
+    requests_total: Arc<telemetry::Counter>,
+    rejections_total: Arc<telemetry::Counter>,
+    inflight: Arc<telemetry::Gauge>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::Registry::global();
+        ServeMetrics {
+            connections_total: registry.counter("serve.connections.total"),
+            connections_active: registry.gauge("serve.connections.active"),
+            requests_total: registry.counter("serve.requests.total"),
+            rejections_total: registry.counter("serve.rejections.total"),
+            inflight: registry.gauge("serve.inflight"),
+        }
+    })
+}
+
+/// The per-op latency histogram for `op`, from the process registry.
+/// Ops outside the protocol share one `unknown` series so a client
+/// typo cannot grow the registry unboundedly.
+fn op_latency(op: &str) -> Arc<telemetry::Histogram> {
+    let registry = telemetry::Registry::global();
+    match op {
+        "ping" => registry.histogram("serve.op_ns.ping"),
+        "load" => registry.histogram("serve.op_ns.load"),
+        "update" => registry.histogram("serve.op_ns.update"),
+        "detect" => registry.histogram("serve.op_ns.detect"),
+        "stats" => registry.histogram("serve.op_ns.stats"),
+        "snapshots" => registry.histogram("serve.op_ns.snapshots"),
+        "metrics" => registry.histogram("serve.op_ns.metrics"),
+        "shutdown" => registry.histogram("serve.op_ns.shutdown"),
+        _ => registry.histogram("serve.op_ns.unknown"),
+    }
+}
+
 /// Per-snapshot counters, reported by the `stats` op.
 #[derive(Debug, Default, Clone)]
 struct SnapshotStats {
@@ -171,6 +217,7 @@ struct ServeState {
     max_inflight: usize,
     admission_rejected: Mutex<u64>,
     shutdown: AtomicBool,
+    started: Instant,
 }
 
 impl ServeState {
@@ -190,6 +237,7 @@ impl ServeState {
             max_inflight: config.max_inflight,
             admission_rejected: Mutex::new(0),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
         })
     }
 
@@ -212,41 +260,67 @@ impl ServeState {
             }
         }
         *inflight += 1;
+        serve_metrics().inflight.set(*inflight as i64);
         true
     }
 
     fn release_slot(&self) {
-        *self.inflight.lock().unwrap() -= 1;
+        let mut inflight = self.inflight.lock().unwrap();
+        *inflight -= 1;
+        serve_metrics().inflight.set(*inflight as i64);
+        drop(inflight);
         self.slot_freed.notify_one();
     }
 
     /// Handles one request line; returns the response line (without
     /// newline) and whether this request asked the server to shut down.
+    /// Every request is counted and its latency recorded under its op's
+    /// histogram; with a recorder installed each request also emits a
+    /// `serve.op` span.
     fn handle(&self, line: &str) -> (String, bool) {
-        let Some(fields) = parse_flat(line) else {
-            return (err_line("?", "request is not a flat JSON object"), false);
+        let started = Instant::now();
+        serve_metrics().requests_total.inc();
+        let parsed = parse_flat(line);
+        let op = parsed
+            .as_ref()
+            .and_then(|f| f.get("op"))
+            .and_then(Field::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let mut span = telemetry::Span::begin("serve.op").with("request_op", op.as_str());
+        let response = match parsed {
+            None => (err_line("?", "request is not a flat JSON object"), false),
+            Some(fields) => self.dispatch(&op, &fields),
         };
-        let Some(op) = fields.get("op").and_then(Field::as_str).map(str::to_string) else {
+        span.push("ok", response.0.starts_with("{\"ok\":true"));
+        op_latency(&op).record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        response
+    }
+
+    /// Routes one parsed request to its op handler.
+    fn dispatch(&self, op: &str, fields: &FlatFields) -> (String, bool) {
+        if op == "?" {
             return (err_line("?", "request has no \"op\" field"), false);
-        };
-        let result = match op.as_str() {
+        }
+        let result = match op {
             "ping" => Ok("{\"ok\":true,\"op\":\"ping\"}".to_string()),
-            "load" => self.op_load(&fields),
-            "update" => self.op_update(&fields),
-            "detect" => self.op_detect(&fields),
-            "stats" => self.op_stats(&fields),
+            "load" => self.op_load(fields),
+            "update" => self.op_update(fields),
+            "detect" => self.op_detect(fields),
+            "stats" => self.op_stats(fields),
             "snapshots" => Ok(self.op_snapshots()),
+            "metrics" => Ok(op_metrics()),
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 return ("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true);
             }
             other => Err(format!(
-                "unknown op {other:?} (known: ping, load, update, detect, stats, snapshots, shutdown)"
+                "unknown op {other:?} (known: ping, load, update, detect, stats, snapshots, metrics, shutdown)"
             )),
         };
         match result {
             Ok(line) => (line, false),
-            Err(msg) => (err_line(&op, &msg), false),
+            Err(msg) => (err_line(op, &msg), false),
         }
     }
 
@@ -377,6 +451,7 @@ impl ServeState {
             None => {
                 if !self.acquire_slot() {
                     *self.admission_rejected.lock().unwrap() += 1;
+                    serve_metrics().rejections_total.inc();
                     return Err(format!(
                         "admission: all {} detection slot(s) stayed busy past the wall-clock cap; retry later",
                         self.max_inflight
@@ -456,9 +531,15 @@ impl ServeState {
                 s.rejections,
             ));
         }
+        // Per-state admission counter first (what this server refused),
+        // then the process-wide totals from the telemetry registry.
+        let metrics = serve_metrics();
         out.push_str(&format!(
-            "],\"admission_rejected\":{}}}",
-            *self.admission_rejected.lock().unwrap()
+            "],\"admission_rejected\":{},\"uptime_seconds\":{},\"total_connections\":{},\"total_rejections\":{}}}",
+            *self.admission_rejected.lock().unwrap(),
+            self.started.elapsed().as_secs(),
+            metrics.connections_total.value(),
+            metrics.rejections_total.value(),
         ));
         Ok(out)
     }
@@ -475,6 +556,19 @@ impl ServeState {
             names.join(",")
         )
     }
+}
+
+/// `metrics`: the process telemetry registry as Prometheus-style text
+/// exposition, carried in the `exposition` field of the (line-oriented)
+/// response. A scraping bridge can unescape and re-serve it verbatim.
+fn op_metrics() -> String {
+    let exposition = telemetry::Registry::global()
+        .snapshot()
+        .to_prometheus("even_cycle");
+    format!(
+        "{{\"ok\":true,\"op\":\"metrics\",\"content_type\":\"text/plain; version=0.0.4\",\"exposition\":\"{}\"}}",
+        json_escape(&exposition)
+    )
 }
 
 type FlatFields = std::collections::HashMap<String, Field>;
@@ -619,9 +713,16 @@ impl Server {
 /// until EOF or a shutdown request (which also nudges the accept loop
 /// awake via a throwaway connection to `addr`).
 fn handle_connection(stream: TcpStream, state: &ServeState, addr: std::net::SocketAddr) {
+    let metrics = serve_metrics();
+    metrics.connections_total.inc();
+    metrics.connections_active.inc();
+    let _conn_span = telemetry::Span::begin("serve.connection");
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => {
+            metrics.connections_active.dec();
+            return;
+        }
     };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -644,6 +745,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: std::net::Sock
             break;
         }
     }
+    metrics.connections_active.dec();
 }
 
 #[cfg(test)]
@@ -687,6 +789,37 @@ mod tests {
 
         let names = s.handle("{\"op\":\"snapshots\"}");
         assert!(ok(&names).contains("\"names\":[\"g\"]"), "{}", names.0);
+    }
+
+    #[test]
+    fn metrics_op_returns_prometheus_exposition() {
+        let s = state(&ServeConfig::new(RunProfile::FastCi, 2));
+        // A ping first, so at least one op-latency histogram exists.
+        let _ = s.handle("{\"op\":\"ping\"}");
+        let (resp, shutdown) = s.handle("{\"op\":\"metrics\"}");
+        assert!(!shutdown);
+        assert!(
+            resp.starts_with("{\"ok\":true,\"op\":\"metrics\""),
+            "{resp}"
+        );
+        assert!(resp.contains("# TYPE even_cycle_"), "{resp}");
+        assert!(
+            resp.contains("even_cycle_serve_op_ns_ping"),
+            "ping latency series missing: {resp}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_process_wide_fields() {
+        let s = state(&ServeConfig::new(RunProfile::FastCi, 2));
+        let (resp, _) = s.handle("{\"op\":\"stats\"}");
+        for field in [
+            "\"uptime_seconds\":",
+            "\"total_connections\":",
+            "\"total_rejections\":",
+        ] {
+            assert!(resp.contains(field), "{field} missing from {resp}");
+        }
     }
 
     #[test]
