@@ -1,0 +1,557 @@
+//! A small, std-only Rust source scrubber and token scanner.
+//!
+//! The auditor deliberately avoids `syn`/proc-macro machinery (house
+//! style: no external dependencies), so its "parser" is a character
+//! state machine that *scrubs* a source file — replacing the interiors
+//! of comments, string literals, raw strings, byte strings, and char
+//! literals with spaces while preserving every newline and every
+//! character column — followed by a flat token scan over the scrubbed
+//! text. Positions therefore line up exactly with the original file,
+//! and rule patterns can never match text that lives inside a literal
+//! or a comment.
+//!
+//! The tricky cases the scrubber must get right (each covered by a
+//! unit test below and by the fixture corpus):
+//!
+//! * raw strings `r"…"` / `r#"…"#` / `br##"…"##` with any hash count,
+//!   whose bodies may contain unbalanced quotes and `//` sequences;
+//! * nested block comments (`/* outer /* inner */ still out */`),
+//!   which Rust permits and C-style scanners get wrong;
+//! * char literals vs. lifetimes: `'a'` is a literal, `<'a>` is not,
+//!   `'\n'` and `b'\''` are literals with escapes;
+//! * escaped quotes inside ordinary strings (`"\""`).
+
+/// One `//` line comment, kept (with its text) for waiver and
+/// directive parsing. Block comments are scrubbed but not recorded:
+/// waivers are line-oriented annotations by design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line of the `//`.
+    pub line: usize,
+    /// 1-based character column of the `//`.
+    pub col: usize,
+    /// The comment text *after* the `//`, untrimmed.
+    pub text: String,
+    /// Whether only whitespace precedes the comment on its line (a
+    /// standalone comment annotates the next code line; a trailing
+    /// comment annotates its own line).
+    pub own_line: bool,
+}
+
+/// The scrubbed form of one source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// The source with comment and literal interiors replaced by
+    /// spaces, one space per character, newlines preserved — so every
+    /// (line, column) in the scrub maps to the same (line, column) in
+    /// the original.
+    pub text: String,
+    /// Every `//` comment, in file order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Scrubs `source`: blanks comments and literal interiors, collects
+/// line comments.
+pub fn scrub(source: &str) -> Scrubbed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes one character to the scrub, tracking position state.
+    macro_rules! emit {
+        ($c:expr) => {{
+            let c: char = $c;
+            out.push(c);
+            if c == '\n' {
+                line += 1;
+                col = 1;
+                line_has_code = false;
+            } else {
+                col += 1;
+                if !c.is_whitespace() {
+                    line_has_code = true;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment: record text, blank to end of line.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let start_col = col;
+            let own_line = !line_has_code;
+            let mut text = String::new();
+            i += 2;
+            emit!(' ');
+            emit!(' ');
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                emit!(' ');
+                i += 1;
+            }
+            comments.push(LineComment {
+                line: start_line,
+                col: start_col,
+                text,
+                own_line,
+            });
+            continue;
+        }
+
+        // Block comment, nested per the Rust grammar.
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            emit!(' ');
+            emit!(' ');
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    emit!(' ');
+                    emit!(' ');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    emit!(' ');
+                    emit!(' ');
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        emit!('\n');
+                    } else {
+                        emit!(' ');
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (and raw byte) strings: r"…", r#"…"#, br##"…"##. Only
+        // when the `r`/`br` is not the tail of a longer identifier.
+        let prev_is_ident = i > 0 && is_ident_char(chars[i - 1]);
+        if !prev_is_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let prefix = if c == 'b' { 2 } else { 1 };
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Emit the prefix, hashes, and opening quote as-is
+                // (they are structural, not content).
+                for _ in 0..(prefix + hashes + 1) {
+                    emit!(chars[i]);
+                    i += 1;
+                }
+                // Blank the body until `"` + hashes `#`s.
+                'body: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                emit!(chars[i]);
+                                i += 1;
+                            }
+                            break 'body;
+                        }
+                    }
+                    if chars[i] == '\n' {
+                        emit!('\n');
+                    } else {
+                        emit!(' ');
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        // Ordinary (and byte) strings. A `b` prefix was already emitted
+        // as an identifier character; the quote is what matters.
+        if c == '"' {
+            emit!('"');
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => {
+                        // Escape: blank both characters.
+                        emit!(' ');
+                        i += 1;
+                        if i < chars.len() {
+                            if chars[i] == '\n' {
+                                emit!('\n');
+                            } else {
+                                emit!(' ');
+                            }
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        emit!('"');
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        emit!('\n');
+                        i += 1;
+                    }
+                    _ => {
+                        emit!(' ');
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs. lifetime. `'\…'` and `'x'` are literals;
+        // anything else after `'` is a lifetime or loop label, left
+        // intact. A quote immediately after an identifier character
+        // can only close a label position (`'outer:`) — but labels
+        // never *follow* identifiers, so the simple checks suffice.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: blank to the closing quote.
+                emit!('\'');
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\n' {
+                        emit!('\n');
+                    } else {
+                        emit!(' ');
+                    }
+                    i += 1;
+                }
+                if i < chars.len() {
+                    emit!('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                // One-character literal like 'a' or '"'.
+                emit!('\'');
+                emit!(' ');
+                emit!('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime / label: keep as-is.
+            emit!('\'');
+            i += 1;
+            continue;
+        }
+
+        emit!(c);
+        i += 1;
+    }
+
+    Scrubbed {
+        text: out.into_iter().collect(),
+        comments,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// One token of the scrubbed source: a word (identifier, keyword, or
+/// number) or a punctuation glyph (`::` merged into one token; every
+/// other punct is a single character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// Whether this is a word token (identifier/keyword/number).
+    pub word: bool,
+}
+
+impl Token {
+    /// Shorthand: does the token read exactly `s`?
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Token-scans scrubbed text. (Running this on unscrubbed source would
+/// happily tokenize comment bodies — always pair it with [`scrub`].)
+pub fn tokenize(scrubbed: &str) -> Vec<Token> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        if is_ident_char(c) {
+            let start_col = col;
+            let mut text = String::new();
+            while i < chars.len() && is_ident_char(chars[i]) {
+                text.push(chars[i]);
+                col += 1;
+                i += 1;
+            }
+            tokens.push(Token {
+                text,
+                line,
+                col: start_col,
+                word: true,
+            });
+            continue;
+        }
+        // `::` as one token; every other punct is single-character.
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            tokens.push(Token {
+                text: "::".to_string(),
+                line,
+                col,
+                word: false,
+            });
+            col += 2;
+            i += 2;
+            continue;
+        }
+        tokens.push(Token {
+            text: c.to_string(),
+            line,
+            col,
+            word: false,
+        });
+        col += 1;
+        i += 1;
+    }
+    tokens
+}
+
+/// The 1-based line ranges covered by `#[cfg(test)]` items (test
+/// modules and test-only functions). Violations inside these ranges
+/// are exempt: test code may spawn threads, time itself, and unwrap
+/// freely without touching any shipped byte.
+pub fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = tokens[i].is("#")
+            && tokens.get(i + 1).is_some_and(|t| t.is("["))
+            && tokens.get(i + 2).is_some_and(|t| t.is("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is("("))
+            && tokens.get(i + 4).is_some_and(|t| t.is("test"))
+            && tokens.get(i + 5).is_some_and(|t| t.is(")"))
+            && tokens.get(i + 6).is_some_and(|t| t.is("]"));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while tokens.get(j).is_some_and(|t| t.is("#"))
+            && tokens.get(j + 1).is_some_and(|t| t.is("["))
+        {
+            let mut depth = 0usize;
+            while let Some(t) = tokens.get(j) {
+                if t.is("[") {
+                    depth += 1;
+                } else if t.is("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Find the item's body: the first `{` before any `;`. A `;`
+        // first means an out-of-line `mod tests;` — covers one line.
+        let mut end_line = start_line;
+        let mut k = j;
+        let mut found_body = false;
+        while let Some(t) = tokens.get(k) {
+            if t.is(";") {
+                end_line = t.line;
+                break;
+            }
+            if t.is("{") {
+                found_body = true;
+                break;
+            }
+            k += 1;
+        }
+        if found_body {
+            let mut depth = 0usize;
+            while let Some(t) = tokens.get(k) {
+                if t.is("{") {
+                    depth += 1;
+                } else if t.is("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.line;
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            i = k;
+        } else {
+            i = k + 1;
+        }
+        spans.push((start_line, end_line));
+    }
+    spans
+}
+
+/// Whether `line` falls inside any of `spans`.
+pub fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// For each 1-based line, whether the scrubbed text has any
+/// non-whitespace on it (i.e., the line carries code after comments
+/// and literals are blanked). Standalone waiver comments attach to the
+/// next such line.
+pub fn code_lines(scrubbed: &str) -> Vec<bool> {
+    scrubbed.lines().map(|l| !l.trim().is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed(source: &str) -> String {
+        scrub(source).text
+    }
+
+    #[test]
+    fn line_comments_are_blanked_and_recorded() {
+        let s = scrub("let x = 1; // trailing HashMap\n// own line\nlet y = 2;\n");
+        assert!(!s.text.contains("HashMap"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(!s.comments[0].own_line);
+        assert_eq!(s.comments[0].text, " trailing HashMap");
+        assert!(s.comments[1].own_line);
+        // Positions are preserved exactly.
+        assert!(s.text.starts_with("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments_scrub_to_their_true_end() {
+        let src = "a /* outer /* inner */ still comment */ b\n";
+        let s = scrubbed(src);
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+        assert!(!s.contains("outer"));
+        assert!(!s.contains("still"));
+        // A C-style scanner would have ended the comment at the first
+        // `*/` and leaked `still comment` as code.
+        assert_eq!(s.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn raw_strings_hide_their_bodies_at_any_hash_count() {
+        for src in [
+            "let s = r\"Instant::now()\";",
+            "let s = r#\"say \"Instant::now()\" loud\"#;",
+            "let s = br##\"thread::spawn // not code\"##;",
+        ] {
+            let s = scrubbed(src);
+            assert!(!s.contains("Instant"), "{src} -> {s}");
+            assert!(!s.contains("spawn"), "{src} -> {s}");
+            assert!(!s.contains("//"), "{src} -> {s}");
+        }
+        // An identifier ending in `r` does not start a raw string.
+        let s = scrubbed("let var\"x\" = 1;");
+        assert!(s.contains("var"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings_early() {
+        let s = scrubbed(r#"let s = "a \" HashMap \\" ; let t = HashMap;"#);
+        // The first literal swallows the escaped quote; the second
+        // HashMap is real code and must survive.
+        assert!(!s.contains("a "));
+        assert!(s.matches("HashMap").count() == 1, "{s}");
+    }
+
+    #[test]
+    fn char_literals_scrub_but_lifetimes_survive() {
+        let s = scrubbed("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }");
+        assert!(s.contains("'a"), "{s}");
+        assert!(!s.contains('x') || !s.contains("'x'"), "{s}");
+        assert!(!s.contains("\\n"), "{s}");
+        // Columns unchanged: scrub length equals source length.
+    }
+
+    #[test]
+    fn scrub_preserves_line_and_column_geometry() {
+        let src = "let a = \"two\nlines\"; /* c\nc */ 'q';\nlet done = r#\"x\ny\"#;\n";
+        let s = scrubbed(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        for (orig, scrub) in src.lines().zip(s.lines()) {
+            assert_eq!(
+                orig.chars().count(),
+                scrub.chars().count(),
+                "{orig:?} vs {scrub:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenizer_merges_path_separators_and_positions() {
+        let toks = tokenize("Instant::now()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Instant", "::", "now", "(", ")"]);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[2].col, 10);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module_body() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scrub(src);
+        let toks = tokenize(&s.text);
+        let spans = test_spans(&toks);
+        assert_eq!(spans, vec![(2, 5)]);
+        assert!(in_spans(&spans, 4));
+        assert!(!in_spans(&spans, 6));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_still_spans() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { }\nfn code() {}\n";
+        let spans = test_spans(&tokenize(&scrub(src).text));
+        assert_eq!(spans, vec![(1, 3)]);
+    }
+}

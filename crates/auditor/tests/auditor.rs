@@ -1,0 +1,142 @@
+//! End-to-end audits over the committed fixture corpus and the real
+//! workspace tree.
+//!
+//! The negative fixtures each carry an `audit:fixture(as: …)` directive
+//! so the real path classifier runs against them, and each asserts its
+//! *exact* `file:line:col [rule-id]` diagnostics — the acceptance
+//! criterion for the rule catalog. The final test audits the shipped
+//! workspace itself and requires it clean, which is what keeps these
+//! rules enforceable in CI.
+
+use congest_auditor::{audit_files, audit_workspace, report};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/auditor -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists above crates/auditor")
+        .to_path_buf()
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Audits one fixture and returns (rule, line, col) triples in order.
+fn diagnose(name: &str) -> Vec<(String, usize, usize)> {
+    let outcome = audit_files(&repo_root(), &[fixture(name)]).expect("fixture audits");
+    outcome
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.clone(), d.line, d.col))
+        .collect()
+}
+
+/// One expected diagnostic: (rule, line, col).
+type Expected = (&'static str, usize, usize);
+
+#[test]
+fn negative_fixtures_produce_exact_diagnostics() {
+    let expected: [(&str, &[Expected]); 7] = [
+        ("r1_hash_iteration.rs", &[("R1", 7, 26)]),
+        ("r2_instant.rs", &[("R2", 6, 17)]),
+        ("r3_spawn.rs", &[("R3", 5, 23)]),
+        ("r4_unwrap.rs", &[("R4", 5, 25)]),
+        ("r5_fingerprint.rs", &[("R5", 5, 29), ("R5", 9, 5)]),
+        ("r6_unregistered.rs", &[("R6", 6, 19)]),
+        ("bad_waiver.rs", &[("bad-waiver", 6, 5), ("R2", 7, 5)]),
+    ];
+    for (name, want) in expected {
+        let got = diagnose(name);
+        let want: Vec<(String, usize, usize)> = want
+            .iter()
+            .map(|(r, l, c)| (r.to_string(), *l, *c))
+            .collect();
+        assert_eq!(got, want, "{name}");
+    }
+}
+
+#[test]
+fn stale_waiver_is_an_error() {
+    let got = diagnose("stale_waiver.rs");
+    assert_eq!(got, vec![("stale-waiver".to_string(), 7, 5)]);
+    let outcome = audit_files(&repo_root(), &[fixture("stale_waiver.rs")]).expect("audits");
+    assert!(!outcome.clean(), "a stale waiver must fail the audit");
+    let (violations, stale, bad) = outcome.counts();
+    assert_eq!((violations, stale, bad), (0, 1, 0));
+    assert!(
+        outcome.diagnostics[0].message.contains("delete the waiver"),
+        "{:?}",
+        outcome.diagnostics[0]
+    );
+}
+
+#[test]
+fn clean_fixtures_pass() {
+    for name in ["clean.rs", "r1_sorted_collect.rs", "lexer_red_herrings.rs"] {
+        let got = diagnose(name);
+        assert!(got.is_empty(), "{name}: {got:?}");
+    }
+}
+
+#[test]
+fn waived_fixture_is_clean_and_reports_the_waiver() {
+    let outcome = audit_files(&repo_root(), &[fixture("waived.rs")]).expect("audits");
+    assert!(outcome.clean(), "{:?}", outcome.diagnostics);
+    assert_eq!(outcome.waived.len(), 1);
+    assert_eq!(outcome.waived[0].rule, "R2");
+    assert_eq!(outcome.waived[0].line, 7);
+    assert!(outcome.waived[0].reason.contains("demonstration"));
+}
+
+#[test]
+fn diagnostics_render_in_file_line_col_rule_format() {
+    let outcome = audit_files(&repo_root(), &[fixture("r1_hash_iteration.rs")]).expect("audits");
+    let line = outcome.diagnostics[0].render();
+    assert!(line.contains("r1_hash_iteration.rs:7:26 [R1] "), "{line}");
+}
+
+#[test]
+fn json_report_covers_diagnostics_and_waivers() {
+    let outcome = audit_files(
+        &repo_root(),
+        &[fixture("r1_hash_iteration.rs"), fixture("waived.rs")],
+    )
+    .expect("audits");
+    let json = report::render_json(&outcome);
+    assert!(json.starts_with("{\"kind\":\"audit-report\",\"version\":1,"));
+    assert!(json.contains("\"files_scanned\":2"), "{json}");
+    assert!(json.contains("\"violations\":1"), "{json}");
+    assert!(json.contains("\"waived\":1"), "{json}");
+    assert!(json.contains("\"clean\":false"), "{json}");
+    assert!(json.contains("\"rule\":\"R1\""), "{json}");
+    assert!(json.contains("\"rule\":\"R2\""), "{json}");
+    assert!(!json.contains('\n'), "flat report is a single line");
+}
+
+#[test]
+fn shipped_workspace_tree_is_clean() {
+    let outcome = audit_workspace(&repo_root()).expect("workspace audits");
+    let rendered: Vec<String> = outcome.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        outcome.clean(),
+        "shipped tree must audit clean:\n{rendered:#?}"
+    );
+    assert!(
+        outcome.files_scanned > 100,
+        "the walk should cover the whole workspace, saw {}",
+        outcome.files_scanned
+    );
+    assert_eq!(
+        outcome.fixtures_skipped, 12,
+        "every fixture is skipped during workspace walks"
+    );
+    assert!(
+        !outcome.waived.is_empty(),
+        "the shipped tree documents its waivers (engine timing, scoped spawns)"
+    );
+}

@@ -1,0 +1,8 @@
+// audit:fixture(as: src/engine/fixture_bad_waiver.rs)
+//! Bad-waiver negative: a waiver with no reason is malformed.
+use std::time::Instant;
+
+pub fn probe() -> Instant {
+    // audit:allow(R2)
+    Instant::now()
+}

@@ -1,0 +1,15 @@
+// audit:fixture(as: src/engine/fixture_clean.rs)
+//! Clean: ordered iteration, lookups, and collect-and-sort pass every rule.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(rows: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}
+
+pub fn lookup(index: &HashMap<String, u64>, name: &str) -> Option<u64> {
+    index.get(name).copied()
+}

@@ -1,0 +1,10 @@
+// audit:fixture(as: src/engine/fixture_lexer.rs)
+//! Clean: rule-shaped text hiding in literals and comments.
+
+/* Instant::now() in a block comment /* nested: thread::spawn */ stays out */
+pub fn describe<'a>(tag: &'a str) -> String {
+    let raw = r#"Instant::now() and map.iter() and "x.unwrap()""#;
+    let quote = '"';
+    let escaped = "say \"thread::spawn\" aloud";
+    format!("{tag}:{raw}:{quote}:{escaped}")
+}

@@ -1,0 +1,11 @@
+// audit:fixture(as: src/engine/fixture_r1.rs)
+//! R1 negative: HashMap iteration feeding rendered output.
+use std::collections::HashMap;
+
+pub fn render(rows: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}

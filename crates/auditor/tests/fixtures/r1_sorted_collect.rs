@@ -1,0 +1,12 @@
+// audit:fixture(as: src/engine/fixture_r1_sorted.rs)
+//! Clean: unordered iteration immediately collected and sorted.
+use std::collections::HashMap;
+
+pub fn render(rows: &HashMap<String, u64>) -> String {
+    let mut pairs: Vec<_> = rows.iter().collect();
+    pairs.sort();
+    pairs
+        .into_iter()
+        .map(|(name, value)| format!("{name}={value}\n"))
+        .collect()
+}

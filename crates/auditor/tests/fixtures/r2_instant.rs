@@ -1,0 +1,8 @@
+// audit:fixture(as: crates/core/src/fixture_r2.rs)
+//! R2 negative: a detector-layer wall-clock read.
+use std::time::Instant;
+
+pub fn decide(n: u128) -> bool {
+    let start = Instant::now();
+    n > start.elapsed().as_nanos()
+}

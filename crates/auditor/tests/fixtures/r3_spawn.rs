@@ -1,0 +1,7 @@
+// audit:fixture(as: crates/graph/src/fixture_r3.rs)
+//! R3 negative: ad-hoc threading in the graph layer.
+
+pub fn build_parallel() -> i32 {
+    let handle = std::thread::spawn(|| 42);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+// audit:fixture(as: src/serve.rs)
+//! R4 negative: a bare unwrap on the protocol surface.
+
+pub fn parse_port(line: &str) -> u16 {
+    line.trim().parse().unwrap()
+}
+
+pub fn parse_port_checked(line: &str) -> Result<u16, String> {
+    line.trim().parse().map_err(|e| format!("bad port: {e}"))
+}

@@ -1,0 +1,10 @@
+// audit:fixture(as: src/engine/fixture_r5.rs)
+//! R5 negative: truncating cast and float formatting in key builders.
+
+pub fn unit_key(seed: u64) -> String {
+    format!("unit:{}", seed as u32)
+}
+
+pub fn fingerprint(p: f64) -> String {
+    format!("noisy:{}", p)
+}

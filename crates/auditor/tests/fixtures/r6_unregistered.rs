@@ -1,0 +1,10 @@
+// audit:fixture(as: crates/core/src/fixture_r6.rs)
+//! R6 negative: a Detector impl missing from the registry.
+
+pub struct GhostDetector;
+
+impl Detector for GhostDetector {
+    fn id(&self) -> &'static str {
+        "ghost"
+    }
+}

@@ -1,0 +1,12 @@
+// audit:fixture(as: src/engine/fixture_stale.rs)
+//! Stale negative: a waiver outliving its violation.
+use std::collections::BTreeMap;
+
+pub fn render(rows: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    // audit:allow(R1): this map was a HashMap once; the waiver outlived the fix
+    for (name, value) in rows {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// audit:fixture(as: crates/core/src/fixture_waived.rs)
+//! Positive: a violation acknowledged by a well-formed waiver.
+use std::time::Instant;
+
+pub fn probe() -> u128 {
+    // audit:allow(R2): demonstration waiver for the fixture corpus
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -161,6 +161,9 @@ where
     ) {
         let n = nodes.len();
         let chunk = n.div_ceil(self.threads.max(1)).max(1);
+        // audit:allow(R3): the ParallelStrategy backend is the sanctioned
+        // phase-fanout — deliveries are merged in node order afterwards, so
+        // results are byte-identical to the sequential backend.
         std::thread::scope(|scope| {
             for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in nodes
                 .chunks_mut(chunk)
@@ -171,6 +174,7 @@ where
                 .enumerate()
             {
                 let base = chunk_idx * chunk;
+                // audit:allow(R3): chunk workers of the scope above.
                 scope.spawn(move || {
                     for (off, node) in nodes.iter_mut().enumerate() {
                         step_node(
@@ -403,6 +407,8 @@ where
     let n = graph.node_count();
     let metrics = sim_metrics();
     metrics.runs.inc();
+    // audit:allow(R2): span timing for the sim.run telemetry event —
+    // rounds/messages/verdicts never read the clock.
     let started = Instant::now();
     let mut span = telemetry::Span::begin("sim.run").with("n", n);
     let mut nodes: Vec<P> = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();

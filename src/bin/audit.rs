@@ -1,0 +1,130 @@
+//! `audit` — the determinism auditor's command-line driver.
+//!
+//! With no file arguments it audits the whole workspace (every `.rs`
+//! under `src/`, `crates/`, `tests/`, fixture corpora skipped) and
+//! exits 0 only when the tree is clean: no rule violations, no stale
+//! waivers, no malformed waivers. With file arguments it audits
+//! exactly those files, honoring their fixture directives — the mode
+//! the negative-fixture tests and the CI job use.
+//!
+//! ```text
+//! cargo run --bin audit                      # audit the workspace
+//! cargo run --bin audit -- --json report.json
+//! cargo run --bin audit -- path/to/fixture.rs
+//! ```
+
+use congest_auditor::{audit_files, audit_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "audit: source-level determinism rules (R1-R6) for this workspace\n\
+     \n\
+     USAGE:\n\
+     \u{20}   audit [OPTIONS] [FILES...]\n\
+     \n\
+     OPTIONS:\n\
+     \u{20}   --root DIR     workspace root to audit (default: current directory)\n\
+     \u{20}   --json PATH    also write the flat-JSON report to PATH\n\
+     \u{20}   --quiet        suppress per-diagnostic lines (summary only)\n\
+     \u{20}   --help         show this message\n\
+     \n\
+     With FILES, audits exactly those files (fixture directives are\n\
+     honored); without, walks the workspace (fixture files are skipped).\n\
+     Exits 0 when clean, 1 on any violation, stale waiver, or malformed\n\
+     waiver, 2 on usage or I/O errors."
+}
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        quiet: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                args.root = PathBuf::from(v);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json requires a path")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("audit: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = if args.files.is_empty() {
+        audit_workspace(&args.root)
+    } else {
+        audit_files(&args.root, &args.files)
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("audit: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !args.quiet {
+        for d in &outcome.diagnostics {
+            println!("{}", d.render());
+        }
+    }
+    let (violations, stale, bad) = outcome.counts();
+    eprintln!(
+        "audit: {} file(s) scanned, {} fixture(s) skipped: {} violation(s), \
+         {} stale waiver(s), {} malformed waiver(s), {} waived",
+        outcome.files_scanned,
+        outcome.fixtures_skipped,
+        violations,
+        stale,
+        bad,
+        outcome.waived.len(),
+    );
+
+    if let Some(path) = &args.json {
+        if let Err(err) = std::fs::write(path, report::render_json(&outcome) + "\n") {
+            eprintln!("audit: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -24,7 +24,7 @@
 //! stanzas over the same family share each instance build, while equal
 //! `(n, seed)` pairs from *different* families never collide.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -103,7 +103,9 @@ impl GraphCache {
     /// Declares how many pending units will [`release`](Self::release)
     /// each instance. Counts add to any previously declared balance,
     /// and only declared keys are ever evicted.
-    pub fn expect_pending(&self, counts: &HashMap<InstanceKey, usize>) {
+    /// The counts arrive as a `BTreeMap` so the declaration pass is
+    /// deterministic end to end (auditor rule R1).
+    pub fn expect_pending(&self, counts: &BTreeMap<InstanceKey, usize>) {
         let mut map = self.map.lock().unwrap();
         for (key, &count) in counts {
             if count == 0 {
@@ -168,6 +170,8 @@ impl GraphCache {
     /// Number of instances currently resident (built and not evicted).
     pub fn len(&self) -> usize {
         let map = self.map.lock().unwrap();
+        // audit:allow(R1): order-free aggregation — counting resident
+        // entries; no byte of output depends on visit order.
         map.values()
             .filter(|e| e.slot.lock().unwrap().is_some())
             .count()
@@ -239,7 +243,7 @@ mod tests {
         let trees = GraphFamily::random_trees();
         let key = trees.store_key();
         let cache = GraphCache::new();
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         counts.insert((key.clone(), 32, 1), 2);
         cache.expect_pending(&counts);
 
@@ -271,7 +275,7 @@ mod tests {
         // fetching their graph; the entry must evict cleanly unbuilt.
         let trees = GraphFamily::random_trees();
         let cache = GraphCache::new();
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         counts.insert((trees.store_key(), 48, 0), 1);
         cache.expect_pending(&counts);
         cache.release(&trees.store_key(), 48, 0);

@@ -45,7 +45,7 @@ pub mod profile;
 pub mod schedule;
 pub mod store;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -302,7 +302,7 @@ impl Engine {
         // Pre-compute per-instance refcounts so the shared graph cache
         // can evict each (family, n, seed) when its last pending unit
         // completes.
-        let mut pending: HashMap<cache::InstanceKey, usize> = HashMap::new();
+        let mut pending: BTreeMap<cache::InstanceKey, usize> = BTreeMap::new();
         for t in &todo {
             *pending
                 .entry((family_keys[t.si].clone(), t.n, t.seed))
@@ -315,11 +315,15 @@ impl Engine {
         // mutex), so a killed or wall-clock-capped sweep keeps
         // everything finished so far and the next run resumes from
         // there.
+        // audit:allow(R2): schedule-cap enforcement — the deadline decides
+        // *whether* a unit runs (skipped units resume later), never what any
+        // executed unit computes.
         let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
         let shared_store = std::sync::Mutex::new(store.take());
         let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), workers, |j| {
             let t = &todo[j];
             let (scenario, detectors) = items[t.si];
+            // audit:allow(R2): same cap probe as above — gating only.
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 // Cap elapsed: skip (do not start) this unit, but still
                 // release its graph reference so eviction stays exact.
@@ -547,11 +551,15 @@ impl Engine {
             });
         }
 
+        // audit:allow(R2): schedule-cap enforcement — the deadline decides
+        // *whether* a unit runs (skipped units resume later), never what any
+        // executed unit computes.
         let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
         let shared_store = std::sync::Mutex::new(store.take());
         let fresh: Vec<Option<UnitRecord>> = pool::run_indexed(todo.len(), workers, |j| {
             let t = &todo[j];
             let (scenario, detectors) = items[t.si];
+            // audit:allow(R2): same cap probe as above — gating only.
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 engine_metrics().deadline_skips.inc();
                 return None;
@@ -779,6 +787,8 @@ pub(crate) fn record_detection(
         .with("det", id)
         .with("n", n)
         .with("seed", seed);
+    // audit:allow(R2): unit timing feeds the telemetry span and the
+    // cost-model estimate refresh — never a stored or reported verdict.
     let started = Instant::now();
     match detector.detect(g, seed, budget) {
         Ok(detection) => {

@@ -204,6 +204,14 @@ struct Snapshot {
     stats: SnapshotStats,
 }
 
+// Lock-poisoning messages: these panics are internal invariants, not
+// protocol errors — a lock is poisoned only if another handler thread
+// already panicked, and the auditor's R4 rule requires each one to be
+// documented rather than a bare unwrap().
+const SNAPSHOTS_POISONED: &str = "snapshots mutex poisoned: a handler thread panicked";
+const STORE_POISONED: &str = "store mutex poisoned: a handler thread panicked";
+const ADMISSION_POISONED: &str = "admission counter mutex poisoned: a handler thread panicked";
+
 /// The shared server state every connection thread works against.
 #[derive(Debug)]
 struct ServeState {
@@ -246,7 +254,10 @@ impl ServeState {
     /// by admission control.
     fn acquire_slot(&self) -> bool {
         let deadline = self.schedule.wall_clock_cap.map(|cap| Instant::now() + cap);
-        let mut inflight = self.inflight.lock().unwrap();
+        let mut inflight = self
+            .inflight
+            .lock()
+            .expect("inflight mutex poisoned: a handler thread panicked");
         while *inflight >= self.max_inflight {
             match deadline {
                 Some(d) => {
@@ -254,9 +265,18 @@ impl ServeState {
                     if now >= d {
                         return false;
                     }
-                    inflight = self.slot_freed.wait_timeout(inflight, d - now).unwrap().0;
+                    inflight = self
+                        .slot_freed
+                        .wait_timeout(inflight, d - now)
+                        .expect("slot condvar poisoned: a handler thread panicked")
+                        .0;
                 }
-                None => inflight = self.slot_freed.wait(inflight).unwrap(),
+                None => {
+                    inflight = self
+                        .slot_freed
+                        .wait(inflight)
+                        .expect("slot condvar poisoned: a handler thread panicked")
+                }
             }
         }
         *inflight += 1;
@@ -265,7 +285,10 @@ impl ServeState {
     }
 
     fn release_slot(&self) {
-        let mut inflight = self.inflight.lock().unwrap();
+        let mut inflight = self
+            .inflight
+            .lock()
+            .expect("inflight mutex poisoned: a handler thread panicked");
         *inflight -= 1;
         serve_metrics().inflight.set(*inflight as i64);
         drop(inflight);
@@ -332,7 +355,7 @@ impl ServeState {
         let seed = opt_u64(fields, "seed")?.unwrap_or(0);
         let graph = spec.build(n, seed);
         let (nodes, edges) = (graph.node_count(), graph.edge_count());
-        self.snapshots.lock().unwrap().insert(
+        self.snapshots.lock().expect(SNAPSHOTS_POISONED).insert(
             name.to_string(),
             Snapshot {
                 graph: MutableGraph::from_graph(graph),
@@ -352,7 +375,7 @@ impl ServeState {
         let action = req_str(fields, "action")?;
         let u = node_id(req_u64(fields, "u")?)?;
         let v = node_id(req_u64(fields, "v")?)?;
-        let mut snapshots = self.snapshots.lock().unwrap();
+        let mut snapshots = self.snapshots.lock().expect(SNAPSHOTS_POISONED);
         let snapshot = snapshots
             .get_mut(name)
             .ok_or_else(|| format!("no snapshot named {name:?} (load it first)"))?;
@@ -416,7 +439,7 @@ impl ServeState {
         // it — updates arriving during a long detection act on the next
         // request's snapshot, never on this one's.
         let graph = {
-            let snapshots = self.snapshots.lock().unwrap();
+            let snapshots = self.snapshots.lock().expect(SNAPSHOTS_POISONED);
             let snapshot = snapshots
                 .get(name)
                 .ok_or_else(|| format!("no snapshot named {name:?} (load it first)"))?;
@@ -441,7 +464,7 @@ impl ServeState {
         let replayed = self
             .store
             .lock()
-            .unwrap()
+            .expect(STORE_POISONED)
             .as_ref()
             .and_then(|s| s.get(&key))
             .filter(|r| r.det == entry.id && r.n == n && r.seed == seed)
@@ -450,7 +473,7 @@ impl ServeState {
             Some(record) => (record, true),
             None => {
                 if !self.acquire_slot() {
-                    *self.admission_rejected.lock().unwrap() += 1;
+                    *self.admission_rejected.lock().expect(ADMISSION_POISONED) += 1;
                     serve_metrics().rejections_total.inc();
                     return Err(format!(
                         "admission: all {} detection slot(s) stayed busy past the wall-clock cap; retry later",
@@ -468,7 +491,7 @@ impl ServeState {
                     seed,
                 );
                 self.release_slot();
-                if let Some(store) = self.store.lock().unwrap().as_mut() {
+                if let Some(store) = self.store.lock().expect(STORE_POISONED).as_mut() {
                     store
                         .append(std::slice::from_ref(&record))
                         .map_err(|e| format!("result store rejected the record: {e}"))?;
@@ -478,7 +501,7 @@ impl ServeState {
         };
 
         {
-            let mut snapshots = self.snapshots.lock().unwrap();
+            let mut snapshots = self.snapshots.lock().expect(SNAPSHOTS_POISONED);
             if let Some(snapshot) = snapshots.get_mut(name) {
                 snapshot.stats.detects += 1;
                 if was_replayed {
@@ -500,7 +523,7 @@ impl ServeState {
     /// `stats`: the per-snapshot counters (one snapshot, or all).
     fn op_stats(&self, fields: &FlatFields) -> Result<String, String> {
         let only = fields.get("name").and_then(Field::as_str);
-        let snapshots = self.snapshots.lock().unwrap();
+        let snapshots = self.snapshots.lock().expect(SNAPSHOTS_POISONED);
         if let Some(name) = only {
             if !snapshots.contains_key(name) {
                 return Err(format!("no snapshot named {name:?}"));
@@ -536,7 +559,7 @@ impl ServeState {
         let metrics = serve_metrics();
         out.push_str(&format!(
             "],\"admission_rejected\":{},\"uptime_seconds\":{},\"total_connections\":{},\"total_rejections\":{}}}",
-            *self.admission_rejected.lock().unwrap(),
+            *self.admission_rejected.lock().expect(ADMISSION_POISONED),
             self.started.elapsed().as_secs(),
             metrics.connections_total.value(),
             metrics.rejections_total.value(),
@@ -546,7 +569,7 @@ impl ServeState {
 
     /// `snapshots`: just the sorted names.
     fn op_snapshots(&self) -> String {
-        let snapshots = self.snapshots.lock().unwrap();
+        let snapshots = self.snapshots.lock().expect(SNAPSHOTS_POISONED);
         let names: Vec<String> = snapshots
             .keys()
             .map(|n| format!("\"{}\"", json_escape(n)))
