@@ -124,7 +124,8 @@ pub fn classify(rel: &str) -> FileClass {
             "crates/telemetry/src/",
         ]),
         // The layers allowed to read wall clocks: work distribution,
-        // scheduling caps, the server, CLI drivers, telemetry, bench.
+        // scheduling caps, the server, CLI drivers, telemetry, bench,
+        // and the simulator's worker pool (busy/idle accounting).
         timing_allowed: starts(&[
             "src/engine/pool.rs",
             "src/engine/schedule.rs",
@@ -132,14 +133,16 @@ pub fn classify(rel: &str) -> FileClass {
             "src/bin/",
             "crates/telemetry/",
             "crates/bench/",
+            "crates/congest/src/pool.rs",
         ]),
-        // The layers allowed to create threads.
+        // The layers allowed to create threads: the engine's sweep
+        // pool, the server, CLI drivers, and the simulator's persistent
+        // superstep pool — and nothing else in the simulator.
         spawn_allowed: starts(&[
             "src/engine/pool.rs",
             "src/serve.rs",
             "src/bin/",
-            "crates/congest/src/parallel.rs",
-            "crates/congest/src/backend.rs",
+            "crates/congest/src/pool.rs",
         ]),
         protocol_surface: rel == "src/serve.rs",
         // The vendored compat shims reproduce upstream rand algorithms
@@ -525,6 +528,18 @@ mod tests {
         assert!(graph.output_scope && !graph.timing_allowed);
         let detector = classify("crates/core/src/randomized.rs");
         assert!(!detector.output_scope && !detector.timing_allowed && !detector.spawn_allowed);
+        let sim_pool = classify("crates/congest/src/pool.rs");
+        assert!(sim_pool.timing_allowed && sim_pool.spawn_allowed);
+        // The rest of the simulator may neither spawn nor read clocks
+        // without a reviewed waiver: the pool is the whole surface.
+        for rel in [
+            "crates/congest/src/core.rs",
+            "crates/congest/src/parallel.rs",
+            "crates/congest/src/backend.rs",
+        ] {
+            let c = classify(rel);
+            assert!(!c.spawn_allowed && !c.timing_allowed, "{rel}");
+        }
         let compat = classify("crates/compat/rand_chacha/src/lib.rs");
         assert!(!compat.key_hygiene);
         let test = classify("crates/telemetry/tests/noop_overhead.rs");

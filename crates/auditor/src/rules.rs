@@ -10,7 +10,7 @@
 //! |----|-------|------------------------------|
 //! | R1 | `HashMap`/`HashSet` iteration in an output-producing file | iteration order is randomized per process; any byte derived from it differs across runs |
 //! | R2 | `Instant::now`/`SystemTime::now` outside the timing allowlist | results that read the clock differ across machines and runs |
-//! | R3 | `thread::spawn`/`thread::scope` outside pool/backend/serve | ad-hoc threads race on shared state the engine cannot order |
+//! | R3 | `thread::spawn`/`thread::scope` outside the pool modules/serve | ad-hoc threads race on shared state the engine cannot order |
 //! | R4 | bare `.unwrap()` on the serve protocol surface | malformed network input must produce an error reply, not a worker panic |
 //! | R5 | lossy casts / float `format!` in key- or fingerprint-building functions | truncation and locale-free-but-rounded decimals silently merge distinct units |
 //! | R6 | `impl Detector for T` with `T` absent from `src/registry.rs` | unregistered detectors escape the conformance suite and the sweep grid |
@@ -27,11 +27,11 @@ pub const RULES: [(&str, &str); 6] = [
     ),
     (
         "R2",
-        "Instant::now/SystemTime::now only in the timing allowlist (pool, schedule, serve, bin drivers, telemetry, bench)",
+        "Instant::now/SystemTime::now only in the timing allowlist (engine pool, schedule, serve, bin drivers, telemetry, bench, sim worker pool)",
     ),
     (
         "R3",
-        "thread::spawn and scoped spawns only in pool, simulation-backend, and serve modules",
+        "thread::spawn and scoped spawns only in the engine pool, the simulator's superstep pool, and serve modules",
     ),
     (
         "R4",

@@ -41,10 +41,11 @@ type Expected = (&'static str, usize, usize);
 
 #[test]
 fn negative_fixtures_produce_exact_diagnostics() {
-    let expected: [(&str, &[Expected]); 7] = [
+    let expected: [(&str, &[Expected]); 8] = [
         ("r1_hash_iteration.rs", &[("R1", 7, 26)]),
         ("r2_instant.rs", &[("R2", 6, 17)]),
         ("r3_spawn.rs", &[("R3", 5, 23)]),
+        ("r3_sim_core.rs", &[("R3", 8, 23)]),
         ("r4_unwrap.rs", &[("R4", 5, 25)]),
         ("r5_fingerprint.rs", &[("R5", 5, 29), ("R5", 9, 5)]),
         ("r6_unregistered.rs", &[("R6", 6, 19)]),
@@ -132,7 +133,7 @@ fn shipped_workspace_tree_is_clean() {
         outcome.files_scanned
     );
     assert_eq!(
-        outcome.fixtures_skipped, 12,
+        outcome.fixtures_skipped, 13,
         "every fixture is skipped during workspace walks"
     );
     assert!(

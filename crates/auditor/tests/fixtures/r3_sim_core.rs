@@ -1,0 +1,10 @@
+// audit:fixture(as: crates/congest/src/core.rs)
+//! R3 negative: ad-hoc threading in the superstep core. Threads may
+//! only be created by the simulator's persistent pool module
+//! (`crates/congest/src/pool.rs`); everywhere else in the simulator a
+//! spawn bypasses the chunk-claim protocol the transcripts rely on.
+
+pub fn spawn_in_core() -> i32 {
+    let worker = std::thread::spawn(|| 7);
+    worker.join().unwrap_or(0)
+}

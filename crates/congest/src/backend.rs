@@ -5,17 +5,19 @@
 //! Every detector in the workspace drives the same superstep core (see
 //! `core.rs`); a [`Backend`] picks the node-stepping strategy:
 //!
-//! * [`Backend::Sequential`] — one thread, no scoped-thread overhead.
-//!   The right choice for small instances and for sweeps that already
+//! * [`Backend::Sequential`] — one thread, no pool coordination. The
+//!   right choice for small instances and for sweeps that already
 //!   parallelize across work units.
-//! * [`Backend::Parallel`] — a fixed number of worker threads step the
-//!   nodes of each superstep in disjoint chunks. Message delivery stays
-//!   sequential in sender order, so transcripts are byte-identical to
-//!   the sequential backend at any thread count.
+//! * [`Backend::Parallel`] — a persistent worker pool (see `pool.rs`)
+//!   lives for the whole run; each superstep the workers wake once and
+//!   claim chunks of node state off a shared cursor. Message delivery
+//!   stays sequential in sender order, so transcripts are
+//!   byte-identical to the sequential backend at any thread count.
 //! * [`Backend::Auto`] — sequential below a node-count threshold,
 //!   parallel (with [`default_parallel_threads`] workers) at or above
-//!   it. Per-superstep thread-spawn overhead dominates on small
-//!   graphs; `Auto` flips only where parallelism actually pays.
+//!   it. Pool coordination (wakeups, chunk claiming) is per-superstep
+//!   overhead that only amortizes once the phase does real work;
+//!   `Auto` flips only where parallelism actually pays.
 //!
 //! The parallel thread count defaults to the `EVEN_CYCLE_SIM_THREADS`
 //! environment variable (validated exactly like the experiment
@@ -31,7 +33,7 @@ pub enum Backend {
     /// Step all nodes on the calling thread.
     #[default]
     Sequential,
-    /// Step nodes across `threads` scoped worker threads per superstep.
+    /// Step nodes across a persistent pool of `threads` workers.
     Parallel {
         /// Worker-thread count (clamped to at least 1).
         threads: usize,
@@ -47,10 +49,16 @@ pub enum Backend {
 
 impl Backend {
     /// The node count at which [`Backend::auto`] flips to parallel.
-    /// Below this size, per-superstep thread-spawn overhead outweighs
-    /// the parallel phase speedup (measured on the workspace's own
-    /// detectors; see `simbench`).
-    pub const DEFAULT_AUTO_NODE_THRESHOLD: usize = 8192;
+    /// Below this size, waking and coordinating the worker pool
+    /// outweighs the parallel phase speedup. Tuned from the
+    /// `crossover` section of `BENCH_sim.json` (`simbench`'s sparse
+    /// 4-regular sweep): pool coordination overhead on the pooled
+    /// 2-thread backend falls to measurement-noise level from 10k
+    /// nodes (it is ~10% at 1k), so on any host with ≥ 2 cores the
+    /// crossover sits at or below this size — and `Auto` resolves its
+    /// thread count through [`default_parallel_threads`], which is 1
+    /// on a single-core host, so flipping there is free anyway.
+    pub const DEFAULT_AUTO_NODE_THRESHOLD: usize = 10_000;
 
     /// The auto backend with the default flip threshold.
     pub fn auto() -> Backend {

@@ -7,16 +7,28 @@
 //! reset touched edges, reallocated a fresh `Vec<Outbox>` per phase,
 //! and silently dropped [`CutMeter`] support. This module is the one
 //! loop both now drive; the only pluggable piece is the
-//! [`StepStrategy`] deciding how the node-step phase runs (on the
-//! calling thread, or chunked across scoped workers).
+//! [`PhaseDriver`] deciding how the node-step phase runs (on the
+//! calling thread, or claimed chunk-by-chunk by the persistent worker
+//! pool in [`crate::pool`]).
 //!
 //! Determinism invariant: message *delivery* is always sequential in
 //! sender order, and each node's randomness is its own seeded stream,
-//! so transcripts are byte-identical whatever the strategy or thread
-//! count (asserted by the conformance suites).
+//! so transcripts are byte-identical whatever the driver or thread
+//! count (asserted by the conformance suites). Chunk boundaries, claim
+//! order, and the halted-word skip below are all invisible to
+//! transcripts: per-node effects within a phase are independent by
+//! definition of the synchronous model, and a skipped chunk is one
+//! with no live node to step and no delivered message to drop.
 //!
 //! Hot-path choices, in one place instead of two:
 //!
+//! * **Chunked struct-of-arrays node state** — per-node state lives in
+//!   [`NodeChunk`]s of a fixed power-of-two span: programs, RNG
+//!   streams, inboxes, and outboxes in parallel arrays, halted flags
+//!   packed into `u64` bitset words. A phase sweep walks contiguous
+//!   memory, a fully-halted 64-node word is skipped in one compare,
+//!   and a chunk whose nodes are all halted with nothing in any inbox
+//!   is skipped outright (`live`/`pending` counters).
 //! * **Touched-edge accounting** — `edge_words` is allocated once and
 //!   only the entries actually written in a superstep are reset, so a
 //!   quiet superstep costs `O(touched)`, not `O(m)`.
@@ -28,7 +40,7 @@
 //!   edges without any per-neighbor binary search, and point-to-point
 //!   sends do a single neighbor-list search.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use congest_graph::{Graph, NodeId};
@@ -43,155 +55,233 @@ use crate::message::MessageSize;
 use crate::metrics::{CongestionStats, RunReport};
 use crate::program::{Control, Ctx, Decision, Outbox, Program};
 
-/// How the node-step phase of each superstep executes. The strategy
-/// steps (or, at superstep `None`, initializes) every live node
-/// exactly once, writing sends into `outboxes` — everything else
-/// (delivery, accounting, halting bookkeeping) is shared.
-pub(crate) trait StepStrategy<P: Program> {
-    #[allow(clippy::too_many_arguments)]
-    fn run_phase(
-        &self,
-        graph: &Graph,
-        nodes: &mut [P],
-        rngs: &mut [ChaCha8Rng],
-        halted: &mut [bool],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        outboxes: &mut [Outbox<P::Msg>],
-        superstep: Option<usize>,
-    );
+/// One contiguous block of per-node state in struct-of-arrays layout.
+/// `nodes[off]`, `rngs[off]`, `inboxes[off]`, and `outboxes[off]` all
+/// belong to global node `base + off`; `halted` packs the halt flags
+/// 64 per word. The chunk is the unit of work claiming: a phase steps
+/// whole chunks, so a `Mutex` per chunk (uncontended — the claim
+/// cursor hands each chunk to exactly one worker) is the entire
+/// synchronization story, with no `unsafe` anywhere.
+pub(crate) struct NodeChunk<P: Program> {
+    /// Global id of the chunk's first node.
+    pub(crate) base: usize,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) rngs: Vec<ChaCha8Rng>,
+    /// Halt flags, bit `off - 64*w` of word `w`.
+    halted: Vec<u64>,
+    /// Nodes in this chunk that have not halted.
+    pub(crate) live: usize,
+    /// Inboxes in this chunk currently holding messages. Maintained by
+    /// delivery (push into an empty inbox) and reset by the phase
+    /// sweep (every inbox is drained or dropped); together with `live`
+    /// it makes both the chunk-skip test and the global termination
+    /// test O(1) per chunk.
+    pub(crate) pending: usize,
+    pub(crate) inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    pub(crate) outboxes: Vec<Outbox<P::Msg>>,
 }
 
-/// Steps one node (the body shared by both strategies). `v` is the
-/// node's global id; all slices are indexed by the caller's local
-/// offset.
 #[inline]
-#[allow(clippy::too_many_arguments)]
-fn step_node<P: Program>(
-    graph: &Graph,
-    n: usize,
-    v: usize,
-    node: &mut P,
-    rng: &mut ChaCha8Rng,
-    halted: &mut bool,
-    inbox: &mut Vec<(NodeId, P::Msg)>,
-    out: &mut Outbox<P::Msg>,
-    superstep: Option<usize>,
-) {
-    let id = NodeId::new(v as u32);
-    let mut ctx = Ctx {
-        node: id,
-        n,
-        neighbors: graph.neighbors(id),
-        rng,
-    };
-    match superstep {
-        None => node.init(&mut ctx, out),
-        Some(s) => {
-            if *halted {
-                // Messages to halted nodes are dropped (capacity kept).
-                inbox.clear();
-                return;
-            }
-            // Take the inbox for the step, then hand its allocation
-            // back so the buffer's capacity survives the superstep.
-            let staged = std::mem::take(inbox);
-            if node.step(&mut ctx, s, &staged, out) == Control::Halt {
-                *halted = true;
-            }
-            *inbox = staged;
-            inbox.clear();
-        }
+fn word_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
     }
 }
 
-/// The sequential phase: every node on the calling thread. Imposes no
-/// `Send` bound, so it serves `Program`s the parallel path cannot.
-pub(crate) struct SeqPhase;
+impl<P: Program> NodeChunk<P> {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
 
-impl<P: Program> StepStrategy<P> for SeqPhase {
-    fn run_phase(
-        &self,
-        graph: &Graph,
-        nodes: &mut [P],
-        rngs: &mut [ChaCha8Rng],
-        halted: &mut [bool],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        outboxes: &mut [Outbox<P::Msg>],
-        superstep: Option<usize>,
-    ) {
-        let n = nodes.len();
-        for v in 0..n {
-            step_node(
-                graph,
-                n,
-                v,
-                &mut nodes[v],
-                &mut rngs[v],
-                &mut halted[v],
-                &mut inboxes[v],
-                &mut outboxes[v],
-                superstep,
+    /// Runs one phase (init at `None`, else one step) over every node
+    /// of the chunk. Returns `false` when the chunk was skipped — all
+    /// nodes halted and no inbox held messages to drop, so nothing
+    /// observable could have happened.
+    pub(crate) fn run_phase(&mut self, graph: &Graph, n: usize, superstep: Option<usize>) -> bool {
+        let len = self.len();
+        let Some(s) = superstep else {
+            for off in 0..len {
+                let id = NodeId::new((self.base + off) as u32);
+                let mut ctx = Ctx {
+                    node: id,
+                    n,
+                    neighbors: graph.neighbors(id),
+                    rng: &mut self.rngs[off],
+                };
+                self.nodes[off].init(&mut ctx, &mut self.outboxes[off]);
+            }
+            return true;
+        };
+        if self.live == 0 && self.pending == 0 {
+            return false;
+        }
+        for w in 0..self.halted.len() {
+            let word = self.halted[w];
+            let lo = w * 64;
+            let hi = (lo + 64).min(len);
+            if word == word_mask(hi - lo) && self.pending == 0 {
+                // Every node of this word is halted and no inbox in
+                // the chunk holds messages to drop: skip 64 nodes.
+                continue;
+            }
+            for off in lo..hi {
+                if word >> (off - lo) & 1 == 1 {
+                    // Messages to halted nodes are dropped (capacity kept).
+                    self.inboxes[off].clear();
+                    continue;
+                }
+                let id = NodeId::new((self.base + off) as u32);
+                // Take the inbox for the step, then hand its
+                // allocation back so the capacity survives.
+                let staged = std::mem::take(&mut self.inboxes[off]);
+                let mut ctx = Ctx {
+                    node: id,
+                    n,
+                    neighbors: graph.neighbors(id),
+                    rng: &mut self.rngs[off],
+                };
+                if self.nodes[off].step(&mut ctx, s, &staged, &mut self.outboxes[off])
+                    == Control::Halt
+                {
+                    self.halted[w] |= 1 << (off - lo);
+                    self.live -= 1;
+                }
+                self.inboxes[off] = staged;
+                self.inboxes[off].clear();
+            }
+        }
+        self.pending = 0;
+        true
+    }
+}
+
+/// Locks a chunk, ignoring poison: a panicked worker already aborts
+/// the run through the pool's unwind guards, and the sequential path
+/// never shares chunks across threads.
+pub(crate) fn lock_chunk<P: Program>(chunk: &Mutex<NodeChunk<P>>) -> MutexGuard<'_, NodeChunk<P>> {
+    chunk.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Nodes per chunk, as a power-of-two shift: large enough to amortize
+/// the per-chunk claim (one atomic increment + one uncontended lock),
+/// small enough that the claim cursor load-balances ragged supersteps
+/// (BFS frontiers) across workers and the `live`/`pending` skip stays
+/// fine-grained. Chunk geometry is invisible to transcripts.
+fn chunk_shift_for(n: usize, threads: usize) -> u32 {
+    let workers = threads.max(1);
+    let target = (n / (workers * 8)).clamp(64, 4096);
+    usize::BITS - 1 - target.leading_zeros()
+}
+
+/// The whole per-run node state: every [`NodeChunk`], plus the
+/// power-of-two geometry that maps a global node id to `(chunk,
+/// offset)` with a shift and a mask.
+pub(crate) struct ChunkTable<P: Program> {
+    chunks: Vec<Mutex<NodeChunk<P>>>,
+    shift: u32,
+    n: usize,
+}
+
+impl<P: Program> ChunkTable<P> {
+    /// Builds the chunked state for an `n`-node run: programs from the
+    /// factory (called in ascending node order, on the caller's
+    /// thread), one seeded RNG stream per node, everything else empty.
+    pub(crate) fn build<F>(graph: &Graph, seed: u64, threads: usize, mut factory: F) -> Self
+    where
+        F: FnMut(NodeId, usize) -> P,
+    {
+        let n = graph.node_count();
+        let shift = chunk_shift_for(n, threads);
+        let span = 1usize << shift;
+        let mut chunks = Vec::with_capacity(n.div_ceil(span));
+        let mut base = 0usize;
+        while base < n {
+            let len = span.min(n - base);
+            let mut nodes = Vec::with_capacity(len);
+            let mut rngs = Vec::with_capacity(len);
+            let mut inboxes = Vec::with_capacity(len);
+            let mut outboxes = Vec::with_capacity(len);
+            for off in 0..len {
+                let v = (base + off) as u64;
+                nodes.push(factory(NodeId::new(v as u32), n));
+                rngs.push(ChaCha8Rng::seed_from_u64(derive_seed(seed, v)));
+                inboxes.push(Vec::new());
+                outboxes.push(Outbox::new());
+            }
+            chunks.push(Mutex::new(NodeChunk {
+                base,
+                nodes,
+                rngs,
+                halted: vec![0u64; len.div_ceil(64)],
+                live: len,
+                pending: 0,
+                inboxes,
+                outboxes,
+            }));
+            base += len;
+        }
+        ChunkTable { chunks, shift, n }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    pub(crate) fn chunk(&self, i: usize) -> &Mutex<NodeChunk<P>> {
+        &self.chunks[i]
+    }
+
+    /// Locks every chunk in ascending order, for the single-threaded
+    /// phases (delivery, termination test, decision collection). No
+    /// worker holds a chunk between phases, so this never blocks.
+    pub(crate) fn guards(&self) -> Vec<MutexGuard<'_, NodeChunk<P>>> {
+        self.chunks.iter().map(lock_chunk).collect()
+    }
+
+    /// Consumes the table into the per-node programs, in node order.
+    pub(crate) fn into_nodes(self) -> Vec<P> {
+        let mut nodes = Vec::with_capacity(self.n);
+        for chunk in self.chunks {
+            nodes.extend(
+                chunk
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .nodes,
             );
         }
+        nodes
     }
 }
 
-/// The parallel phase: per-node state split into disjoint chunks for
-/// scoped worker threads. Node order within a chunk is ascending and
-/// chunks are contiguous, so the set of per-node effects is identical
-/// to the sequential phase (they are independent by definition of the
-/// synchronous model).
-pub(crate) struct ParPhase {
-    pub threads: usize,
+/// How the node phases of a run execute. The driver runs every chunk
+/// of the table exactly once per phase (init at superstep `None`) —
+/// everything else (delivery, accounting, halting bookkeeping) is
+/// shared and single-threaded.
+pub(crate) trait PhaseDriver<P: Program> {
+    fn run_phase(&self, table: &ChunkTable<P>, graph: &Graph, superstep: Option<usize>);
 }
 
-impl<P: Program + Send> StepStrategy<P> for ParPhase
-where
-    P::Msg: Send,
-{
-    fn run_phase(
-        &self,
-        graph: &Graph,
-        nodes: &mut [P],
-        rngs: &mut [ChaCha8Rng],
-        halted: &mut [bool],
-        inboxes: &mut [Vec<(NodeId, P::Msg)>],
-        outboxes: &mut [Outbox<P::Msg>],
-        superstep: Option<usize>,
-    ) {
-        let n = nodes.len();
-        let chunk = n.div_ceil(self.threads.max(1)).max(1);
-        // audit:allow(R3): the ParallelStrategy backend is the sanctioned
-        // phase-fanout — deliveries are merged in node order afterwards, so
-        // results are byte-identical to the sequential backend.
-        std::thread::scope(|scope| {
-            for (chunk_idx, ((((nodes, rngs), halted), inboxes), outs)) in nodes
-                .chunks_mut(chunk)
-                .zip(rngs.chunks_mut(chunk))
-                .zip(halted.chunks_mut(chunk))
-                .zip(inboxes.chunks_mut(chunk))
-                .zip(outboxes.chunks_mut(chunk))
-                .enumerate()
-            {
-                let base = chunk_idx * chunk;
-                // audit:allow(R3): chunk workers of the scope above.
-                scope.spawn(move || {
-                    for (off, node) in nodes.iter_mut().enumerate() {
-                        step_node(
-                            graph,
-                            n,
-                            base + off,
-                            node,
-                            &mut rngs[off],
-                            &mut halted[off],
-                            &mut inboxes[off],
-                            &mut outs[off],
-                            superstep,
-                        );
-                    }
-                });
-            }
-        });
+/// The sequential driver: every chunk on the calling thread, in
+/// order. Imposes no `Send` bound, so it serves `Program`s the pooled
+/// driver cannot.
+pub(crate) struct SeqDriver;
+
+impl<P: Program> PhaseDriver<P> for SeqDriver {
+    fn run_phase(&self, table: &ChunkTable<P>, graph: &Graph, superstep: Option<usize>) {
+        let n = table.n();
+        for i in 0..table.chunk_count() {
+            lock_chunk(table.chunk(i)).run_phase(graph, n, superstep);
+        }
     }
 }
 
@@ -252,6 +342,26 @@ struct Delivery {
     had_capacity: Vec<bool>,
 }
 
+/// Appends `msg` to the inbox of `to`, keeping the recipient chunk's
+/// `pending` count exact (the first push into an empty inbox marks it).
+#[inline]
+fn push_to<P: Program>(
+    chunks: &mut [MutexGuard<'_, NodeChunk<P>>],
+    shift: u32,
+    mask: usize,
+    from: NodeId,
+    to: NodeId,
+    msg: P::Msg,
+) {
+    let t = to.index();
+    let chunk = &mut *chunks[t >> shift];
+    let inbox = &mut chunk.inboxes[t & mask];
+    if inbox.is_empty() {
+        chunk.pending += 1;
+    }
+    inbox.push((from, msg));
+}
+
 impl Delivery {
     fn new(graph: &Graph) -> Delivery {
         let n = graph.node_count();
@@ -272,16 +382,19 @@ impl Delivery {
 
     /// Delivers all pending outboxes in sender order (the determinism
     /// anchor), returning the round cost `max(1, ⌈max_load/B⌉)` of the
-    /// superstep along with its congestion profile.
+    /// superstep along with its congestion profile. The caller holds
+    /// every chunk guard: delivery is a single-threaded phase, and
+    /// holding all chunks lets a sender's taken-out outbox feed
+    /// recipient inboxes anywhere in the table.
     #[allow(clippy::too_many_arguments)]
-    fn deliver<M: Clone + MessageSize>(
+    fn deliver<P: Program>(
         &mut self,
         graph: &Graph,
         bandwidth: u64,
         cut: Option<&CutMeter>,
         cut_words: &mut u64,
-        pending: &mut [Outbox<M>],
-        inboxes: &mut [Vec<(NodeId, M)>],
+        shift: u32,
+        chunks: &mut [MutexGuard<'_, NodeChunk<P>>],
         stats: &mut CongestionStats,
     ) -> Result<DeliverOutcome, SimError> {
         let messages_before = stats.total_messages;
@@ -293,58 +406,71 @@ impl Delivery {
 
         // Accounting pass: charge words per directed edge and validate
         // that every recipient is a neighbor.
-        for (v, out) in pending.iter().enumerate() {
-            if out.is_empty() {
-                continue;
-            }
-            let from = NodeId::new(v as u32);
-            let base = self.edge_base[v];
-            let neighbors = graph.neighbors(from);
-            if let Some(msg) = &out.broadcast {
-                let words = msg.words() as u64;
-                for (pos, &to) in neighbors.iter().enumerate() {
+        for chunk in chunks.iter() {
+            for (off, out) in chunk.outboxes.iter().enumerate() {
+                if out.is_empty() {
+                    continue;
+                }
+                let v = chunk.base + off;
+                let from = NodeId::new(v as u32);
+                let base = self.edge_base[v];
+                let neighbors = graph.neighbors(from);
+                if let Some(msg) = &out.broadcast {
+                    let words = msg.words() as u64;
+                    for (pos, &to) in neighbors.iter().enumerate() {
+                        self.charge(base + pos, words);
+                        stats.total_words += words;
+                        stats.total_messages += 1;
+                        if let Some(cut) = cut {
+                            if cut.crosses(from, to) {
+                                *cut_words += words;
+                            }
+                        }
+                    }
+                }
+                for (to, msg) in &out.messages {
+                    let pos = neighbors
+                        .binary_search(to)
+                        .map_err(|_| SimError::NotANeighbor { from, to: *to })?;
+                    let words = msg.words() as u64;
                     self.charge(base + pos, words);
                     stats.total_words += words;
                     stats.total_messages += 1;
                     if let Some(cut) = cut {
-                        if cut.crosses(from, to) {
+                        if cut.crosses(from, *to) {
                             *cut_words += words;
                         }
-                    }
-                }
-            }
-            for (to, msg) in &out.messages {
-                let pos = neighbors
-                    .binary_search(to)
-                    .map_err(|_| SimError::NotANeighbor { from, to: *to })?;
-                let words = msg.words() as u64;
-                self.charge(base + pos, words);
-                stats.total_words += words;
-                stats.total_messages += 1;
-                if let Some(cut) = cut {
-                    if cut.crosses(from, *to) {
-                        *cut_words += words;
                     }
                 }
             }
         }
 
         // Delivery pass (sender order => deterministic inbox order),
-        // draining outboxes in place so their capacity survives.
-        for (v, out) in pending.iter_mut().enumerate() {
-            let from = NodeId::new(v as u32);
-            if let Some(msg) = out.broadcast.take() {
-                for &to in graph.neighbors(from) {
-                    inboxes[to.index()].push((from, msg.clone()));
+        // draining outboxes in place so their capacity survives. The
+        // sender's outbox is taken out of its chunk first, so pushing
+        // into a recipient inbox of the *same* chunk aliases nothing.
+        let mask = (1usize << shift) - 1;
+        for ci in 0..chunks.len() {
+            let base = chunks[ci].base;
+            let len = chunks[ci].outboxes.len();
+            for off in 0..len {
+                let from = NodeId::new((base + off) as u32);
+                let broadcast = chunks[ci].outboxes[off].broadcast.take();
+                let mut msgs = std::mem::take(&mut chunks[ci].outboxes[off].messages);
+                if let Some(msg) = broadcast {
+                    for &to in graph.neighbors(from) {
+                        push_to(chunks, shift, mask, from, to, msg.clone());
+                    }
                 }
+                if !msgs.is_empty() && self.had_capacity[base + off] {
+                    reused_buffers += 1;
+                }
+                for (to, msg) in msgs.drain(..) {
+                    push_to(chunks, shift, mask, from, to, msg);
+                }
+                self.had_capacity[base + off] = msgs.capacity() > 0;
+                chunks[ci].outboxes[off].messages = msgs;
             }
-            if !out.messages.is_empty() && self.had_capacity[v] {
-                reused_buffers += 1;
-            }
-            for (to, msg) in out.messages.drain(..) {
-                inboxes[to.index()].push((from, msg));
-            }
-            self.had_capacity[v] = out.messages.capacity() > 0;
         }
 
         let max_load = self
@@ -388,36 +514,30 @@ fn observe_delivery(metrics: &SimMetrics, outcome: &DeliverOutcome, superstep: u
     });
 }
 
-/// Runs a program to completion under the given step strategy; the
-/// semantics of [`crate::Executor::run`], shared by every backend.
-pub(crate) fn run_loop<P, S, F>(
+/// Runs a program to completion over an already-built chunk table
+/// under the given phase driver; the semantics of
+/// [`crate::Executor::run`], shared by every backend. The caller owns
+/// the table (pooled runs share it with scoped workers) and extracts
+/// the final node states with [`ChunkTable::into_nodes`] afterwards.
+pub(crate) fn run_loop<P, D>(
     graph: &Graph,
-    seed: u64,
     bandwidth: u64,
     cut: Option<&CutMeter>,
-    strategy: &S,
-    mut factory: F,
+    table: &ChunkTable<P>,
+    driver: &D,
     max_supersteps: u64,
-) -> Result<(RunReport, Vec<P>), SimError>
+) -> Result<RunReport, SimError>
 where
     P: Program,
-    S: StepStrategy<P>,
-    F: FnMut(NodeId, usize) -> P,
+    D: PhaseDriver<P>,
 {
-    let n = graph.node_count();
+    let n = table.n();
     let metrics = sim_metrics();
     metrics.runs.inc();
     // audit:allow(R2): span timing for the sim.run telemetry event —
     // rounds/messages/verdicts never read the clock.
     let started = Instant::now();
     let mut span = telemetry::Span::begin("sim.run").with("n", n);
-    let mut nodes: Vec<P> = (0..n as u32).map(|v| factory(NodeId::new(v), n)).collect();
-    let mut rngs: Vec<ChaCha8Rng> = (0..n as u64)
-        .map(|v| ChaCha8Rng::seed_from_u64(derive_seed(seed, v)))
-        .collect();
-    let mut halted = vec![false; n];
-    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut outboxes: Vec<Outbox<P::Msg>> = (0..n).map(|_| Outbox::new()).collect();
     let mut delivery = Delivery::new(graph);
     let mut stats = CongestionStats::default();
     let mut cut_words: u64 = 0;
@@ -425,62 +545,50 @@ where
     let mut supersteps: u64 = 0;
 
     // Init phase: superstep-0 sends.
-    strategy.run_phase(
-        graph,
-        &mut nodes,
-        &mut rngs,
-        &mut halted,
-        &mut inboxes,
-        &mut outboxes,
-        None,
-    );
-    if outboxes.iter().any(|o| !o.is_empty()) {
-        let outcome = delivery.deliver(
-            graph,
-            bandwidth,
-            cut,
-            &mut cut_words,
-            &mut outboxes,
-            &mut inboxes,
-            &mut stats,
-        )?;
-        rounds += outcome.round_cost;
-        observe_delivery(metrics, &outcome, 0);
-    }
-
-    loop {
-        let all_halted = halted.iter().all(|&h| h);
-        let inbox_empty = inboxes.iter().all(Vec::is_empty);
-        if all_halted && inbox_empty {
-            break;
+    driver.run_phase(table, graph, None);
+    let mut finished = {
+        let mut guards = table.guards();
+        if guards
+            .iter()
+            .any(|c| c.outboxes.iter().any(|o| !o.is_empty()))
+        {
+            let outcome = delivery.deliver(
+                graph,
+                bandwidth,
+                cut,
+                &mut cut_words,
+                table.shift(),
+                &mut guards,
+                &mut stats,
+            )?;
+            rounds += outcome.round_cost;
+            observe_delivery(metrics, &outcome, 0);
         }
+        guards.iter().all(|c| c.live == 0 && c.pending == 0)
+    };
+
+    while !finished {
         if supersteps >= max_supersteps {
             return Err(SimError::StepLimitExceeded {
                 limit: max_supersteps,
             });
         }
-        strategy.run_phase(
-            graph,
-            &mut nodes,
-            &mut rngs,
-            &mut halted,
-            &mut inboxes,
-            &mut outboxes,
-            Some(supersteps as usize),
-        );
+        driver.run_phase(table, graph, Some(supersteps as usize));
         supersteps += 1;
         metrics.supersteps.inc();
+        let mut guards = table.guards();
         let outcome = delivery.deliver(
             graph,
             bandwidth,
             cut,
             &mut cut_words,
-            &mut outboxes,
-            &mut inboxes,
+            table.shift(),
+            &mut guards,
             &mut stats,
         )?;
         rounds += outcome.round_cost;
         observe_delivery(metrics, &outcome, supersteps);
+        finished = guards.iter().all(|c| c.live == 0 && c.pending == 0);
     }
 
     if supersteps > 0 {
@@ -493,26 +601,74 @@ where
     span.push("rounds", rounds);
     span.push("messages", stats.total_messages);
 
-    let rejecting_nodes: Vec<u32> = nodes
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.decision() == Decision::Reject)
-        .map(|(v, _)| v as u32)
-        .collect();
+    let mut rejecting_nodes: Vec<u32> = Vec::new();
+    for guard in table.guards() {
+        for (off, p) in guard.nodes.iter().enumerate() {
+            if p.decision() == Decision::Reject {
+                rejecting_nodes.push((guard.base + off) as u32);
+            }
+        }
+    }
     let decision = if rejecting_nodes.is_empty() {
         Decision::Accept
     } else {
         Decision::Reject
     };
-    Ok((
-        RunReport {
-            rounds,
-            supersteps,
-            congestion: stats,
-            decision,
-            rejecting_nodes,
-            cut_words: cut.map(|_| cut_words),
-        },
-        nodes,
-    ))
+    Ok(RunReport {
+        rounds,
+        supersteps,
+        congestion: stats,
+        decision,
+        rejecting_nodes,
+        cut_words: cut.map(|_| cut_words),
+    })
+}
+
+/// Runs a program sequentially on the calling thread: the semantics of
+/// [`crate::Executor::run`], with no `Send` bound on the program.
+pub(crate) fn run_sequential<P, F>(
+    graph: &Graph,
+    seed: u64,
+    bandwidth: u64,
+    cut: Option<&CutMeter>,
+    factory: F,
+    max_supersteps: u64,
+) -> Result<(RunReport, Vec<P>), SimError>
+where
+    P: Program,
+    F: FnMut(NodeId, usize) -> P,
+{
+    let table = ChunkTable::build(graph, seed, 1, factory);
+    let report = run_loop(graph, bandwidth, cut, &table, &SeqDriver, max_supersteps)?;
+    Ok((report, table.into_nodes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_geometry_covers_every_node_once() {
+        for (n, threads) in [(0usize, 1usize), (1, 1), (63, 2), (64, 1), (65, 4), (5000, 2)] {
+            let shift = chunk_shift_for(n, threads);
+            let span = 1usize << shift;
+            assert!((64..=4096).contains(&span), "span {span} for n={n}");
+            let mut covered = 0usize;
+            let mut base = 0usize;
+            while base < n {
+                let len = span.min(n - base);
+                assert_eq!(base >> shift, base / span, "chunk index is a shift");
+                covered += len;
+                base += len;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn word_mask_widths() {
+        assert_eq!(word_mask(64), u64::MAX);
+        assert_eq!(word_mask(1), 1);
+        assert_eq!(word_mask(63), u64::MAX >> 1);
+    }
 }

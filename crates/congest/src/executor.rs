@@ -2,7 +2,7 @@
 
 use congest_graph::{Graph, NodeId};
 
-use crate::core::{run_loop, SeqPhase};
+use crate::core::run_sequential;
 use crate::cut::CutMeter;
 use crate::error::SimError;
 use crate::metrics::RunReport;
@@ -79,12 +79,11 @@ impl<'g, P: Program> Executor<'g, P> {
     where
         F: FnMut(NodeId, usize) -> P,
     {
-        let (report, nodes) = run_loop(
+        let (report, nodes) = run_sequential(
             self.graph,
             self.seed,
             self.bandwidth,
             self.cut.as_ref(),
-            &SeqPhase,
             factory,
             max_supersteps,
         )?;

@@ -76,6 +76,7 @@ mod executor;
 mod message;
 mod metrics;
 pub mod parallel;
+mod pool;
 mod program;
 pub mod strict;
 pub mod trace;
@@ -116,21 +117,13 @@ where
     F: FnMut(NodeId, usize) -> P,
 {
     match backend.effective_threads(graph.node_count()) {
-        0 | 1 => core::run_loop(
+        0 | 1 => core::run_sequential(graph, seed, bandwidth, cut.as_ref(), factory, max_supersteps),
+        threads => pool::run_pooled(
             graph,
             seed,
             bandwidth,
             cut.as_ref(),
-            &core::SeqPhase,
-            factory,
-            max_supersteps,
-        ),
-        threads => core::run_loop(
-            graph,
-            seed,
-            bandwidth,
-            cut.as_ref(),
-            &core::ParPhase { threads },
+            threads,
             factory,
             max_supersteps,
         ),

@@ -7,11 +7,15 @@
 //! stream, and (b) message delivery is ordered by sender id regardless
 //! of which thread produced the outbox. Tests assert transcript-level
 //! equivalence with the sequential executor.
+//!
+//! Scheduling is delegated to the persistent worker pool in
+//! `crate::pool`: workers are spawned once per run and parked on a
+//! condvar between supersteps, instead of paying a thread spawn per
+//! superstep.
 
 use congest_graph::{Graph, NodeId};
 
 use crate::backend;
-use crate::core::{run_loop, ParPhase};
 use crate::cut::CutMeter;
 use crate::error::SimError;
 use crate::metrics::RunReport;
@@ -96,14 +100,12 @@ where
     where
         F: FnMut(NodeId, usize) -> P,
     {
-        let (report, nodes) = run_loop(
+        let (report, nodes) = crate::pool::run_pooled(
             self.graph,
             self.seed,
             self.bandwidth,
             self.cut.as_ref(),
-            &ParPhase {
-                threads: self.threads,
-            },
+            self.threads,
             factory,
             max_supersteps,
         )?;

@@ -238,6 +238,17 @@ fn run(args: Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Same refusal for a broken EVEN_CYCLE_SIM_THREADS: the library
+    // default would warn and fall back to available parallelism, but a
+    // driver asked for a specific intra-run thread count must not run
+    // with a different one. An explicit --sim-threads overrides the
+    // environment, so it also overrides a broken value.
+    if args.sim_threads.is_none() {
+        if let Err(msg) = even_cycle_congest::sim::backend::sim_threads_env_override() {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Resolve --sim-threads before the backend spec: it feeds the
     // default thread count of `parallel` and `auto` backends (the same

@@ -710,10 +710,12 @@ impl StreamSuiteOutcome {
 }
 
 /// Splits the machine's thread budget between pool workers and
-/// intra-run simulation threads: explicit backend thread counts are
-/// clamped to the machine, then the worker count is reduced until
-/// `workers × sim_threads ≤ available` (both stay ≥ 1). The sim-thread
-/// budget is what the backend will actually use on the sweep's largest
+/// intra-run simulation threads (the simulator's own persistent
+/// superstep pool, `congest_sim::pool`): explicit backend thread
+/// counts are clamped to the machine, then the worker count is reduced
+/// until `workers × sim_threads ≤ available` (both stay ≥ 1). The
+/// sim-thread budget is what the backend will actually use on the
+/// sweep's largest
 /// requested size, not its worst case — so an `Auto` backend whose
 /// threshold no grid size reaches (every unit runs sequentially, e.g.
 /// the `paper-exact` defaults) costs the pool nothing. Sizes are the

@@ -7,6 +7,11 @@
 //! [`Detector`](even_cycle::Detector) contract (all randomness derives
 //! from the seed), this is what makes a parallel sweep byte-identical
 //! to a sequential one.
+//!
+//! This pool parallelizes *across* work units; the simulator has its
+//! own persistent superstep pool (`congest_sim::pool`) parallelizing
+//! *inside* one run. [`super::split_thread_budget`] keeps the product
+//! of the two within the machine's parallelism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -225,11 +225,20 @@ fn backends_are_transcript_equivalent_across_the_registry() {
                 .detector
                 .detect(g, 3, &Budget::classical())
                 .unwrap_or_else(|e| panic!("{}: {gname} failed sequentially: {e}", entry.id));
+            // Thread counts bracketing every pool regime: the
+            // sequential fallback (1), small pools (2, 4), more
+            // workers than nodes (128 — every instance here is
+            // smaller), and `Auto` on both sides of its flip:
+            // threshold 1 always takes the pooled path, the tuned
+            // default always stays sequential at these sizes.
             for backend in [
                 Backend::Sequential,
+                Backend::Parallel { threads: 1 },
                 Backend::Parallel { threads: 2 },
                 Backend::Parallel { threads: 4 },
+                Backend::Parallel { threads: 128 },
                 Backend::Auto { node_threshold: 1 },
+                Backend::auto(),
             ] {
                 let budget = Budget::classical().with_backend(backend);
                 let d = entry
@@ -243,6 +252,68 @@ fn backends_are_transcript_equivalent_across_the_registry() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn cut_meter_words_agree_on_the_pooled_path() {
+    // Congestion lower bounds read `cut_words` off the run report; the
+    // persistent worker pool must charge exactly the same cut
+    // crossings as the sequential core, whatever the thread count and
+    // however the backend was selected. Broadcast gossip on a bisected
+    // ER graph keeps every cut edge busy every superstep.
+    use even_cycle_congest::sim::{
+        run_with_backend, Backend, Control, Ctx, CutMeter, Outbox, Program,
+    };
+    use even_cycle_congest::graph::NodeId;
+
+    #[derive(Debug)]
+    struct Flood {
+        steps: usize,
+    }
+    impl Program for Flood {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx, out: &mut Outbox<u64>) {
+            out.broadcast(ctx.node.index() as u64);
+        }
+        fn step(
+            &mut self,
+            _ctx: &mut Ctx,
+            s: usize,
+            inbox: &[(NodeId, u64)],
+            out: &mut Outbox<u64>,
+        ) -> Control {
+            if s + 1 < self.steps {
+                out.broadcast(inbox.len() as u64);
+                Control::Continue
+            } else {
+                Control::Halt
+            }
+        }
+    }
+
+    let g = generators::erdos_renyi(64, 0.12, 11);
+    let side: Vec<bool> = (0..g.node_count()).map(|v| v >= 32).collect();
+    let build = |_: NodeId, _: usize| Flood { steps: 4 };
+    let cut = || Some(CutMeter::new(&g, side.clone()));
+    let (baseline, _) =
+        run_with_backend(&g, 5, Backend::Sequential, 1, cut(), build, 16).unwrap();
+    assert!(
+        baseline.cut_words.is_some_and(|w| w > 0),
+        "the bisection must be crossed"
+    );
+    for backend in [
+        Backend::Parallel { threads: 2 },
+        Backend::Parallel { threads: 4 },
+        Backend::Parallel { threads: 128 },
+        Backend::Auto { node_threshold: 1 },
+    ] {
+        let (report, _) = run_with_backend(&g, 5, backend, 1, cut(), build, 16).unwrap();
+        assert_eq!(
+            report.cut_words, baseline.cut_words,
+            "cut accounting diverged under {backend}"
+        );
+        assert_eq!(report, baseline, "full report diverged under {backend}");
     }
 }
 
